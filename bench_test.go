@@ -1,0 +1,188 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation.
+// Each benchmark reports the paper's headline metric (interventions) via
+// ReportMetric alongside wall-clock time; `go run ./cmd/prism-tables` and
+// `./cmd/prism-figures` print the full rows/series.
+package dataprism_test
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// benchFigure7 runs one Figure 7 case-study row and reports each
+// technique's intervention count.
+func benchFigure7(b *testing.B, scenario string) {
+	b.Helper()
+	var rows []experiments.Row
+	for i := 0; i < b.N; i++ {
+		for _, row := range experiments.Figure7(1200, 4) {
+			if row.Scenario == scenario {
+				rows = append(rows, row)
+			}
+		}
+	}
+	if len(rows) == 0 {
+		b.Fatal("scenario not found")
+	}
+	last := rows[len(rows)-1]
+	for i, tech := range experiments.Techniques {
+		c := last.Cells[i]
+		if c.NA {
+			b.ReportMetric(-1, tech+"-interventions")
+		} else {
+			b.ReportMetric(float64(c.Interventions), tech+"-interventions")
+		}
+	}
+}
+
+// BenchmarkFigure7Sentiment regenerates the Sentiment row of Figure 7.
+func BenchmarkFigure7Sentiment(b *testing.B) { benchFigure7(b, "Sentiment") }
+
+// BenchmarkFigure7Income regenerates the Income row of Figure 7.
+func BenchmarkFigure7Income(b *testing.B) { benchFigure7(b, "Income") }
+
+// BenchmarkFigure7Cardio regenerates the Cardiovascular row of Figure 7.
+func BenchmarkFigure7Cardio(b *testing.B) { benchFigure7(b, "Cardiovascular") }
+
+// BenchmarkFigure8Attributes regenerates Figure 8 (left): GRD/GT runtime as
+// attributes grow. The benchmark time is the whole sweep.
+func BenchmarkFigure8Attributes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts := experiments.Figure8Attributes([]int{10, 100, 400}, 1)
+		if len(pts) != 3 {
+			b.Fatal("sweep incomplete")
+		}
+	}
+}
+
+// BenchmarkFigure8PVTs regenerates Figure 8 (right): GRD/GT runtime as
+// discriminative PVTs grow.
+func BenchmarkFigure8PVTs(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts := experiments.Figure8PVTs([]int{10, 1000, 10000}, 1)
+		if len(pts) != 3 {
+			b.Fatal("sweep incomplete")
+		}
+	}
+}
+
+// reportSweep reports the last point's per-technique interventions.
+func reportSweep(b *testing.B, pts []experiments.Point) {
+	b.Helper()
+	last := pts[len(pts)-1]
+	for i, tech := range experiments.Techniques {
+		b.ReportMetric(last.Values[i], tech+"-interventions")
+	}
+}
+
+// BenchmarkFigure9Attributes regenerates Figure 9(a).
+func BenchmarkFigure9Attributes(b *testing.B) {
+	var pts []experiments.Point
+	for i := 0; i < b.N; i++ {
+		pts = experiments.Figure9Attributes([]int{4, 10, 16}, 2)
+	}
+	reportSweep(b, pts)
+}
+
+// BenchmarkFigure9PVTs regenerates Figure 9(b).
+func BenchmarkFigure9PVTs(b *testing.B) {
+	var pts []experiments.Point
+	for i := 0; i < b.N; i++ {
+		pts = experiments.Figure9PVTs([]int{10, 60, 120}, 2)
+	}
+	reportSweep(b, pts)
+}
+
+// BenchmarkFigure9Conjunction regenerates Figure 9(c).
+func BenchmarkFigure9Conjunction(b *testing.B) {
+	var pts []experiments.Point
+	for i := 0; i < b.N; i++ {
+		pts = experiments.Figure9Conjunction([]int{1, 6, 12}, 2)
+	}
+	reportSweep(b, pts)
+}
+
+// BenchmarkFigure9Disjunction regenerates Figure 9(d).
+func BenchmarkFigure9Disjunction(b *testing.B) {
+	var pts []experiments.Point
+	for i := 0; i < b.N; i++ {
+		pts = experiments.Figure9Disjunction([]int{1, 6, 12}, 2)
+	}
+	reportSweep(b, pts)
+}
+
+// BenchmarkFigure6GroupTesting regenerates the Figure 6 toy comparison.
+func BenchmarkFigure6GroupTesting(b *testing.B) {
+	var gt, rnd float64
+	for i := 0; i < b.N; i++ {
+		var err error
+		gt, rnd, err = experiments.Figure6(10)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(gt, "GT-interventions")
+	b.ReportMetric(rnd, "randomGT-interventions")
+}
+
+// BenchmarkGRDvsGTAdversarial regenerates the Section 5.2 rank-54 scenario:
+// GRD needs 54 interventions, GT stays logarithmic (paper: 54 vs 9).
+func BenchmarkGRDvsGTAdversarial(b *testing.B) {
+	var grd, gt int
+	for i := 0; i < b.N; i++ {
+		var err error
+		grd, gt, err = experiments.GRDvsGTAdversarial(7)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(grd), "GRD-interventions")
+	b.ReportMetric(float64(gt), "GT-interventions")
+}
+
+// BenchmarkAblationBenefit compares the greedy search's intervention count
+// under the four benefit-scoring modes (DESIGN.md ablation).
+func BenchmarkAblationBenefit(b *testing.B) {
+	var counts []int
+	for i := 0; i < b.N; i++ {
+		var err error
+		counts, err = experiments.AblationBenefit(3)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for i, name := range []string{"full", "violation", "coverage", "random"} {
+		b.ReportMetric(float64(counts[i]), name+"-interventions")
+	}
+}
+
+// BenchmarkAblationDegree compares the greedy search with and without the
+// high-degree-attribute prioritization (DESIGN.md ablation).
+func BenchmarkAblationDegree(b *testing.B) {
+	var withGraph, withoutGraph float64
+	for i := 0; i < b.N; i++ {
+		var err error
+		withGraph, withoutGraph, err = experiments.AblationDegree(10)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(withGraph, "with-graph-interventions")
+	b.ReportMetric(withoutGraph, "without-graph-interventions")
+}
+
+// BenchmarkAblationBisection compares min-bisection against random
+// bisection in group testing (DESIGN.md ablation).
+func BenchmarkAblationBisection(b *testing.B) {
+	var minBis, randBis float64
+	for i := 0; i < b.N; i++ {
+		var err error
+		minBis, randBis, err = experiments.AblationBisection(10)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(minBis, "min-bisection-interventions")
+	b.ReportMetric(randBis, "random-bisection-interventions")
+}

@@ -1,0 +1,209 @@
+// Command dataprism explains the mismatch between a failing dataset and a
+// data-driven system, given a passing dataset for contrast.
+//
+// The system under debugging is either one of the built-in case-study
+// pipelines (-scenario) or an arbitrary external command (-system-cmd) that
+// receives the candidate dataset as CSV on stdin and prints a malfunction
+// score in [0,1] on stdout:
+//
+//	dataprism -pass pass.csv -fail fail.csv -tau 0.3 -system-cmd "python score.py"
+//	dataprism -scenario sentiment -algo gt
+//
+// The output is the minimal explanation — the data profiles that causally
+// explain the malfunction — along with the intervention trace and, with
+// -out, the repaired dataset.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	dataprism "repro"
+	"repro/internal/pipeline"
+	"repro/internal/report"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		passPath  = flag.String("pass", "", "CSV file of the passing dataset")
+		failPath  = flag.String("fail", "", "CSV file of the failing dataset")
+		systemCmd = flag.String("system-cmd", "", "external system: command receiving CSV on stdin, printing a malfunction score")
+		scenario  = flag.String("scenario", "", "built-in scenario instead of CSV inputs: sentiment, income, cardio, bias, ezgo")
+		tau       = flag.Float64("tau", 0.3, "allowable malfunction threshold")
+		algo      = flag.String("algo", "grd", "algorithm: grd (greedy) or gt (group testing)")
+		seed      = flag.Int64("seed", 1, "random seed")
+		rows      = flag.Int("rows", 1000, "rows per generated dataset for built-in scenarios")
+		outPath   = flag.String("out", "", "write the repaired dataset to this CSV file")
+		textCols  = flag.String("text-columns", "", "comma-separated columns to force to text on CSV import")
+		verbose   = flag.Bool("v", false, "print the intervention trace")
+		jsonOut   = flag.Bool("json", false, "emit the result as JSON instead of text")
+		mdOut     = flag.Bool("markdown", false, "emit the result as a Markdown report")
+	)
+	flag.Parse()
+
+	var (
+		pass, fail *dataprism.Dataset
+		sys        dataprism.System
+		opts       = dataprism.DefaultDiscoveryOptions()
+		threshold  = *tau
+	)
+	switch {
+	case *scenario != "":
+		var err error
+		pass, fail, sys, opts, threshold, err = builtinScenario(*scenario, *rows, *seed)
+		if err != nil {
+			fatal(err)
+		}
+	case *passPath != "" && *failPath != "" && *systemCmd != "":
+		inferOpts := dataprism.CSVInferOptions{}
+		if *textCols != "" {
+			inferOpts.TextColumns = strings.Split(*textCols, ",")
+		}
+		var err error
+		if pass, err = dataprism.ReadCSVFile(*passPath, inferOpts); err != nil {
+			fatal(err)
+		}
+		if fail, err = dataprism.ReadCSVFile(*failPath, inferOpts); err != nil {
+			fatal(err)
+		}
+		sys = &pipeline.External{Command: strings.Fields(*systemCmd)}
+	default:
+		fmt.Fprintln(os.Stderr, "usage: dataprism -scenario <name> | -pass <csv> -fail <csv> -system-cmd <cmd>")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	passScore := sys.MalfunctionScore(pass)
+	failScore := sys.MalfunctionScore(fail)
+
+	e := &dataprism.Explainer{System: sys, Tau: threshold, Options: &opts, Seed: *seed}
+	var (
+		res *dataprism.Result
+		err error
+	)
+	switch *algo {
+	case "grd":
+		res, err = e.ExplainGreedy(pass, fail)
+	case "gt":
+		res, err = e.ExplainGroupTest(pass, fail)
+	default:
+		fatal(fmt.Errorf("unknown algorithm %q (want grd or gt)", *algo))
+	}
+	if errors.Is(err, dataprism.ErrNoExplanation) {
+		if *jsonOut {
+			emitJSON(sys, threshold, passScore, failScore, res, false)
+			os.Exit(1)
+		}
+		fmt.Printf("no explanation found after %d interventions (final score %.3f)\n",
+			res.Interventions, res.FinalScore)
+		os.Exit(1)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if *jsonOut || *mdOut {
+		if *jsonOut {
+			emitJSON(sys, threshold, passScore, failScore, res, true)
+		} else {
+			fmt.Print(report.Summary{SystemName: sys.Name(), Tau: threshold, PassScore: passScore, FailScore: failScore, Result: res}.Markdown())
+		}
+		if *outPath != "" && res.Transformed != nil {
+			if err := res.Transformed.WriteCSVFile(*outPath); err != nil {
+				fatal(err)
+			}
+		}
+		return
+	}
+
+	summary := report.Summary{SystemName: sys.Name(), Tau: threshold, PassScore: passScore, FailScore: failScore, Result: res}
+	if !*verbose {
+		res.Trace = nil // keep the default text report compact
+	}
+	fmt.Print(summary.Text())
+
+	if *outPath != "" && res.Transformed != nil {
+		if err := res.Transformed.WriteCSVFile(*outPath); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("repaired dataset written to %s\n", *outPath)
+	}
+}
+
+func builtinScenario(name string, rows int, seed int64) (pass, fail *dataprism.Dataset, sys dataprism.System, opts dataprism.DiscoveryOptions, tau float64, err error) {
+	switch name {
+	case "sentiment":
+		s := workload.NewSentimentScenario(rows, seed)
+		return s.Pass, s.Fail, s.System, s.Options, s.Tau, nil
+	case "income":
+		s := workload.NewIncomeScenario(rows, seed)
+		return s.Pass, s.Fail, s.System, s.Options, s.Tau, nil
+	case "cardio":
+		s := workload.NewCardioScenario(rows, seed)
+		return s.Pass, s.Fail, s.System, s.Options, s.Tau, nil
+	case "bias":
+		s := workload.NewBiasScenario(rows, seed)
+		return s.Pass, s.Fail, s.System, s.Options, s.Tau, nil
+	case "ezgo":
+		s := workload.NewEZGoScenario(rows, seed)
+		return s.Pass, s.Fail, s.System, s.Options, s.Tau, nil
+	default:
+		return nil, nil, nil, opts, 0, fmt.Errorf("unknown scenario %q", name)
+	}
+}
+
+// jsonResult is the machine-readable output schema of -json.
+type jsonResult struct {
+	System         string          `json:"system"`
+	Tau            float64         `json:"tau"`
+	PassScore      float64         `json:"pass_score"`
+	FailScore      float64         `json:"fail_score"`
+	Found          bool            `json:"found"`
+	Discriminative int             `json:"discriminative_pvts"`
+	Interventions  int             `json:"interventions"`
+	FinalScore     float64         `json:"final_score"`
+	RuntimeSecs    float64         `json:"runtime_seconds"`
+	Explanation    []string        `json:"explanation"`
+	Trace          []jsonTraceStep `json:"trace"`
+}
+
+type jsonTraceStep struct {
+	PVTs      []string `json:"pvts"`
+	Transform string   `json:"transform"`
+	Score     float64  `json:"score"`
+	Accepted  bool     `json:"accepted"`
+}
+
+func emitJSON(sys dataprism.System, tau, passScore, failScore float64, res *dataprism.Result, found bool) {
+	out := jsonResult{
+		System:         sys.Name(),
+		Tau:            tau,
+		PassScore:      passScore,
+		FailScore:      failScore,
+		Found:          found,
+		Discriminative: res.Discriminative,
+		Interventions:  res.Interventions,
+		FinalScore:     res.FinalScore,
+		RuntimeSecs:    res.Runtime.Seconds(),
+	}
+	for _, p := range res.Explanation {
+		out.Explanation = append(out.Explanation, p.String())
+	}
+	for _, s := range res.Trace {
+		out.Trace = append(out.Trace, jsonTraceStep{PVTs: s.PVTs, Transform: s.Transform, Score: s.Score, Accepted: s.Accepted})
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dataprism:", err)
+	os.Exit(1)
+}

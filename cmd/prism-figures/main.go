@@ -1,0 +1,127 @@
+// Command prism-figures regenerates the paper's evaluation figures as
+// data series printed to stdout:
+//
+//	prism-figures -fig 8a        Figure 8 left: runtime vs #attributes
+//	prism-figures -fig 8b        Figure 8 right: runtime vs #discriminative PVTs
+//	prism-figures -fig 9a        Figure 9(a): interventions vs #attributes
+//	prism-figures -fig 9b        Figure 9(b): interventions vs #PVTs
+//	prism-figures -fig 9c        Figure 9(c): interventions vs conjunction size
+//	prism-figures -fig 9d        Figure 9(d): interventions vs disjunction size
+//	prism-figures -fig 6         Figure 6: GT vs traditional adaptive GT
+//	prism-figures -fig grdvsgt   Section 5.2: the adversarial rank-54 scenario
+//	prism-figures -fig ablate    DESIGN.md ablations: benefit / degree / bisection
+//
+// -full extends the sweeps to the paper's extremes (slower).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	fig := flag.String("fig", "9a", "figure to regenerate: 8a, 8b, 9a, 9b, 9c, 9d, 6, grdvsgt, ablate")
+	seeds := flag.Int("seeds", 5, "seeds to average over (Figure 9)")
+	full := flag.Bool("full", false, "use the paper's full sweep ranges (slower)")
+	format := flag.String("format", "table", "output format for series figures: table or csv")
+	flag.Parse()
+	outputFormat = *format
+
+	switch *fig {
+	case "8a":
+		attrs := []int{10, 50, 100, 200, 400}
+		if *full {
+			attrs = append(attrs, 600, 800)
+		}
+		printSeries("Figure 8 (left): runtime vs #attributes", "#attrs",
+			[]string{"GRD secs", "GT secs"}, experiments.Figure8Attributes(attrs, 1), "%12.4f")
+	case "8b":
+		pvts := []int{10, 1000, 10000, 50000}
+		if *full {
+			pvts = append(pvts, 100000, 200000, 300000)
+		}
+		printSeries("Figure 8 (right): runtime vs #discriminative PVTs", "#PVTs",
+			[]string{"GRD secs", "GT secs"}, experiments.Figure8PVTs(pvts, 1), "%12.4f")
+	case "9a":
+		printSeries("Figure 9(a): avg interventions vs #attributes", "#attrs",
+			experiments.Techniques, experiments.Figure9Attributes([]int{4, 6, 8, 10, 12, 14, 16}, *seeds), "%14.1f")
+	case "9b":
+		printSeries("Figure 9(b): avg interventions vs #discriminative PVTs", "#PVTs",
+			experiments.Techniques, experiments.Figure9PVTs([]int{10, 20, 40, 60, 80, 100, 120}, *seeds), "%14.1f")
+	case "9c":
+		printSeries("Figure 9(c): avg interventions vs conjunction size", "size",
+			experiments.Techniques, experiments.Figure9Conjunction([]int{1, 2, 4, 6, 8, 10, 12}, *seeds), "%14.1f")
+	case "9d":
+		printSeries("Figure 9(d): avg interventions vs disjunction size", "size",
+			experiments.Techniques, experiments.Figure9Disjunction([]int{1, 2, 4, 6, 8, 10, 12}, *seeds), "%14.1f")
+	case "6":
+		gt, rnd, err := experiments.Figure6(*seeds * 2)
+		exitOn(err)
+		fmt.Printf("Figure 6 toy example over %d seeds:\n", *seeds*2)
+		fmt.Printf("  DataPrismGT:             %.1f interventions (paper: 10)\n", gt)
+		fmt.Printf("  traditional adaptive GT: %.1f interventions (paper: 14)\n", rnd)
+	case "grdvsgt":
+		grd, gt, err := experiments.GRDvsGTAdversarial(7)
+		exitOn(err)
+		fmt.Println("Section 5.2 adversarial scenario (cause benefit ranked 54 of 60):")
+		fmt.Printf("  DataPrismGRD: %d interventions (paper: 54)\n", grd)
+		fmt.Printf("  DataPrismGT:  %d interventions (paper: 9)\n", gt)
+	case "ablate":
+		bm, err := experiments.AblationBenefit(3)
+		exitOn(err)
+		fmt.Println("Benefit-score ablation (cause has top coverage; interventions):")
+		fmt.Printf("  full=%d violation-only=%d coverage-only=%d random=%d\n", bm[0], bm[1], bm[2], bm[3])
+		wg, wo, err := experiments.AblationDegree(*seeds * 2)
+		exitOn(err)
+		fmt.Printf("Degree-priority ablation: with-graph=%.1f without=%.1f avg interventions\n", wg, wo)
+		mb, rb, err := experiments.AblationBisection(*seeds * 2)
+		exitOn(err)
+		fmt.Printf("Bisection ablation (attribute-aligned scenario): min-bisection=%.1f random=%.1f avg interventions\n", mb, rb)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)
+		os.Exit(2)
+	}
+}
+
+var outputFormat = "table"
+
+func printSeries(title, xLabel string, series []string, points []experiments.Point, cellFmt string) {
+	if outputFormat == "csv" {
+		fmt.Printf("%s", xLabel)
+		for _, s := range series {
+			fmt.Printf(",%s", s)
+		}
+		fmt.Println()
+		for _, p := range points {
+			fmt.Printf("%d", p.X)
+			for _, v := range p.Values {
+				fmt.Printf(",%g", v)
+			}
+			fmt.Println()
+		}
+		return
+	}
+	fmt.Println(title)
+	fmt.Printf("%-8s", xLabel)
+	for _, s := range series {
+		fmt.Printf("%14s", s)
+	}
+	fmt.Println()
+	for _, p := range points {
+		fmt.Printf("%-8d", p.X)
+		for _, v := range p.Values {
+			fmt.Printf(cellFmt, v)
+		}
+		fmt.Println()
+	}
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

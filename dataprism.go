@@ -1,0 +1,171 @@
+// Package dataprism is a from-scratch Go implementation of DataPrism
+// ("DataPrism: Exposing Disconnect between Data and Systems", SIGMOD 2022;
+// preprint title "DataExposer"): a framework that identifies data
+// profiles — domains, outlier/missing rates, selectivities, and
+// (in)dependence structure — as the causally verified root causes of a
+// data-driven system's malfunction, together with the transformations that
+// fix them.
+//
+// Given a black-box System with a malfunction score, a passing dataset, a
+// failing dataset, and an acceptable threshold τ, DataPrism:
+//
+//  1. discovers the discriminative PVT (Profile, Violation, Transformation)
+//     triplets between the two datasets,
+//  2. intervenes on the failing dataset — greedily (GRD) or by
+//     dependency-aware group testing (GT) — re-running the system after
+//     each intervention, and
+//  3. returns a minimal explanation: the PVTs whose composed
+//     transformations bring the malfunction below τ.
+//
+// Quick start:
+//
+//	sys := &dataprism.SystemFunc{SystemName: "my-pipeline", Score: score}
+//	e := &dataprism.Explainer{System: sys, Tau: 0.3}
+//	res, err := e.ExplainGreedy(passing, failing)
+//	if err == nil {
+//	    fmt.Println(res.ExplanationString()) // the root causes
+//	}
+//
+// The subpackages under internal implement the substrates: the relational
+// dataset, statistics, pattern learning, causal coefficients, profiles,
+// transformations, graphs, ML models, synthetic pipelines, and the paper's
+// case-study workloads.
+package dataprism
+
+import (
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/pipeline"
+	"repro/internal/profile"
+	"repro/internal/transform"
+)
+
+// Core data types re-exported for downstream users.
+type (
+	// Dataset is the columnar relational table DataPrism profiles and
+	// transforms.
+	Dataset = dataset.Dataset
+	// Column is a typed column of a Dataset.
+	Column = dataset.Column
+	// Kind identifies a column's type (Numeric, Categorical, Text).
+	Kind = dataset.Kind
+	// Predicate is a conjunctive selection predicate over a Dataset.
+	Predicate = dataset.Predicate
+	// Clause is one comparison inside a Predicate.
+	Clause = dataset.Clause
+
+	// Profile is a parameterized data property with violation semantics.
+	Profile = profile.Profile
+	// DiscoveryOptions configures profile discovery.
+	DiscoveryOptions = profile.Options
+
+	// Transformation alters a dataset to satisfy a target profile.
+	Transformation = transform.Transformation
+
+	// PVT is a Profile-Violation-Transformation triplet.
+	PVT = core.PVT
+	// Explainer configures and runs the root-cause search.
+	Explainer = core.Explainer
+	// Result is the outcome of a root-cause search.
+	Result = core.Result
+	// Step is one logged intervention in a Result's trace.
+	Step = core.Step
+	// BenefitMode selects the greedy candidate-scoring strategy.
+	BenefitMode = core.BenefitMode
+
+	// System is a black-box data-driven system exposing a malfunction score.
+	System = pipeline.System
+	// SystemFunc adapts a plain scoring function into a System.
+	SystemFunc = pipeline.Func
+	// ExternalSystem treats an external program (CSV on stdin, score on
+	// stdout) as the black-box system.
+	ExternalSystem = pipeline.External
+	// Oracle wraps a System and counts score evaluations.
+	Oracle = pipeline.Oracle
+
+	// BaselineConfig parameterizes the BugDoc / Anchor / GrpTest baselines.
+	BaselineConfig = baselines.Config
+)
+
+// Column kinds.
+const (
+	Numeric     = dataset.Numeric
+	Categorical = dataset.Categorical
+	Text        = dataset.Text
+)
+
+// Benefit modes (ablation knobs for the greedy search).
+const (
+	BenefitFull          = core.BenefitFull
+	BenefitViolationOnly = core.BenefitViolationOnly
+	BenefitCoverageOnly  = core.BenefitCoverageOnly
+	BenefitRandom        = core.BenefitRandom
+)
+
+// ErrNoExplanation is returned when no combination of discriminative PVT
+// transformations brings the malfunction score below τ.
+var ErrNoExplanation = core.ErrNoExplanation
+
+// NewDataset returns an empty dataset.
+func NewDataset() *Dataset { return dataset.New() }
+
+// ReadCSVFile loads a dataset from a CSV file with type inference.
+func ReadCSVFile(path string, opts dataset.InferOptions) (*Dataset, error) {
+	return dataset.ReadCSVFile(path, opts)
+}
+
+// CSVInferOptions configures CSV type inference.
+type CSVInferOptions = dataset.InferOptions
+
+// DefaultDiscoveryOptions returns the paper's default profile-discovery
+// configuration.
+func DefaultDiscoveryOptions() DiscoveryOptions { return profile.DefaultOptions() }
+
+// DiscoverProfiles learns the minimal profiles a dataset satisfies.
+func DiscoverProfiles(d *Dataset, opts DiscoveryOptions) []Profile {
+	return profile.Discover(d, opts)
+}
+
+// DiscriminativeProfiles returns the profiles of the passing dataset that
+// the failing dataset violates — the candidate root causes of Definition 10.
+func DiscriminativeProfiles(pass, fail *Dataset, opts DiscoveryOptions, eps float64) []Profile {
+	return profile.Discriminative(pass, fail, opts, eps)
+}
+
+// TransformationsFor builds the intervention mechanisms for a profile.
+func TransformationsFor(p Profile) []Transformation { return transform.ForProfile(p) }
+
+// DiscoverPVTs pairs the discriminative profiles with their transformations.
+func DiscoverPVTs(pass, fail *Dataset, opts DiscoveryOptions, eps float64) []*PVT {
+	return core.DiscoverPVTs(pass, fail, opts, eps)
+}
+
+// Explain is the one-call entry point: it runs the greedy DataPrismGRD
+// search with default options and returns the minimal explanation.
+func Explain(sys System, tau float64, pass, fail *Dataset) (*Result, error) {
+	e := &Explainer{System: sys, Tau: tau}
+	return e.ExplainGreedy(pass, fail)
+}
+
+// VerifyExplanation independently re-verifies a reported explanation: the
+// composed transformations must bring the failing dataset to τ or below,
+// and (with checkMinimal) no proper subset may suffice.
+func VerifyExplanation(sys System, tau float64, fail *Dataset, expl []*PVT, seed int64, checkMinimal bool) (ok bool, oracleCalls int) {
+	return core.VerifyExplanation(sys, tau, fail, expl, seed, checkMinimal)
+}
+
+// BugDoc runs the BugDoc baseline on pre-discovered PVT candidates.
+func BugDoc(cfg BaselineConfig, pvts []*PVT, fail *Dataset) (*Result, error) {
+	return baselines.BugDoc(cfg, pvts, fail)
+}
+
+// Anchor runs the Anchor baseline on pre-discovered PVT candidates.
+func Anchor(cfg BaselineConfig, pvts []*PVT, fail *Dataset) (*Result, error) {
+	return baselines.Anchor(cfg, pvts, fail)
+}
+
+// GrpTest runs the traditional adaptive group-testing baseline.
+func GrpTest(cfg BaselineConfig, pvts []*PVT, fail *Dataset) (*Result, error) {
+	return baselines.GrpTest(cfg, pvts, fail)
+}

@@ -1,0 +1,46 @@
+// Command grouptesting reproduces the toy example of Figure 6: eight
+// candidate PVTs whose dependency graph is a perfect matching, with the
+// disjunctive ground-truth explanation {X1,X6} ∨ {X4,X8}. It contrasts
+// DataPrismGT's dependency-aware min-bisection with traditional adaptive
+// group testing (random bisection) across seeds.
+package main
+
+import (
+	"fmt"
+
+	dataprism "repro"
+	"repro/internal/synth"
+)
+
+func main() {
+	fmt.Println("=== Figure 6: group testing on the toy example ===")
+	fmt.Println("candidates: X1..X8; dependency pairs {X1,X2} {X3,X4} {X5,X7} {X6,X8}")
+	fmt.Println("ground truth: {X1,X6} ∨ {X4,X8}")
+	fmt.Println()
+
+	const seeds = 10
+	totalGT, totalRand := 0, 0
+	for seed := int64(0); seed < seeds; seed++ {
+		sc := synth.Figure6Scenario()
+		gt := &dataprism.Explainer{System: sc.System, Tau: 0.05, Seed: seed}
+		r1, err := gt.ExplainGroupTestPVTs(sc.PVTs, sc.Fail)
+		if err != nil {
+			fmt.Println("GT failed:", err)
+			return
+		}
+		sc2 := synth.Figure6Scenario()
+		rnd := &dataprism.Explainer{System: sc2.System, Tau: 0.05, Seed: seed, RandomBisection: true}
+		r2, err := rnd.ExplainGroupTestPVTs(sc2.PVTs, sc2.Fail)
+		if err != nil {
+			fmt.Println("random GT failed:", err)
+			return
+		}
+		totalGT += r1.Interventions
+		totalRand += r2.Interventions
+		fmt.Printf("seed %2d: DataPrismGT %2d interventions → %-22s  random GT %2d interventions → %s\n",
+			seed, r1.Interventions, r1.ExplanationString(), r2.Interventions, r2.ExplanationString())
+	}
+	fmt.Printf("\naverage interventions: DataPrismGT %.1f, traditional adaptive GT %.1f\n",
+		float64(totalGT)/seeds, float64(totalRand)/seeds)
+	fmt.Println("(the paper's single execution reports 10 vs 14)")
+}

@@ -1,0 +1,124 @@
+package baselines
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/pipeline"
+	"repro/internal/synth"
+)
+
+func hasIndex(expl []*core.PVT, idx int) bool {
+	for _, p := range expl {
+		if sp, ok := p.Profile.(*synth.Profile); ok && sp.Index == idx {
+			return true
+		}
+	}
+	return false
+}
+
+func TestBugDocSingleCause(t *testing.T) {
+	sc := synth.New(synth.Options{NumPVTs: 20, NumAttrs: 5, Conjunction: 1, Seed: 21})
+	cfg := Config{System: sc.System, Tau: 0.05, Seed: 21}
+	res, err := BugDoc(cfg, sc.PVTs, sc.Fail)
+	if err != nil {
+		t.Fatalf("bugdoc failed: %v", err)
+	}
+	if !hasIndex(res.Explanation, sc.GroundTruth[0][0]) {
+		t.Errorf("explanation = %s missing cause X%d", res.ExplanationString(), sc.GroundTruth[0][0]+1)
+	}
+	// Linear-ish cost: sampling (2 log k) + shrink (≤ k) + verifications.
+	if res.Interventions > 2*20+20 {
+		t.Errorf("interventions = %d, too many", res.Interventions)
+	}
+	if res.FinalScore > cfg.Tau {
+		t.Errorf("final score = %g", res.FinalScore)
+	}
+}
+
+func TestBugDocConjunction(t *testing.T) {
+	sc := synth.New(synth.Options{NumPVTs: 16, NumAttrs: 4, Conjunction: 3, Seed: 22})
+	cfg := Config{System: sc.System, Tau: 0.05, Seed: 22}
+	res, err := BugDoc(cfg, sc.PVTs, sc.Fail)
+	if err != nil {
+		t.Fatalf("bugdoc failed: %v", err)
+	}
+	for _, idx := range sc.GroundTruth[0] {
+		if !hasIndex(res.Explanation, idx) {
+			t.Errorf("missing ground-truth X%d in %s", idx+1, res.ExplanationString())
+		}
+	}
+}
+
+func TestBugDocNoExplanation(t *testing.T) {
+	sc := synth.New(synth.Options{NumPVTs: 8, NumAttrs: 2, Seed: 23})
+	stubborn := &pipeline.Func{SystemName: "stubborn", Score: func(*dataset.Dataset) float64 { return 0.9 }}
+	cfg := Config{System: stubborn, Tau: 0.1, Seed: 23}
+	if _, err := BugDoc(cfg, sc.PVTs, sc.Fail); !errors.Is(err, core.ErrNoExplanation) {
+		t.Errorf("err = %v, want ErrNoExplanation", err)
+	}
+}
+
+func TestAnchorSingleCause(t *testing.T) {
+	sc := synth.New(synth.Options{NumPVTs: 6, NumAttrs: 3, Conjunction: 1, Seed: 24})
+	cfg := Config{System: sc.System, Tau: 0.05, Seed: 24}
+	res, err := Anchor(cfg, sc.PVTs, sc.Fail)
+	if err != nil {
+		t.Fatalf("anchor failed: %v", err)
+	}
+	if !hasIndex(res.Explanation, sc.GroundTruth[0][0]) {
+		t.Errorf("explanation = %s missing cause", res.ExplanationString())
+	}
+	// Anchor burns far more interventions than DataPrism on the same task.
+	grd := &core.Explainer{System: sc.System, Tau: 0.05, Seed: 24}
+	resGRD, err := grd.ExplainGreedyPVTs(sc.PVTs, sc.Fail)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Interventions <= 5*resGRD.Interventions {
+		t.Errorf("anchor %d vs greedy %d: expected order-of-magnitude gap",
+			res.Interventions, resGRD.Interventions)
+	}
+}
+
+func TestAnchorBudgetExhaustion(t *testing.T) {
+	sc := synth.New(synth.Options{NumPVTs: 10, NumAttrs: 2, Conjunction: 1, Seed: 25})
+	stubborn := &pipeline.Func{SystemName: "stubborn", Score: func(*dataset.Dataset) float64 { return 0.9 }}
+	cfg := Config{System: stubborn, Tau: 0.1, Seed: 25, MaxInterventions: 30}
+	res, err := Anchor(cfg, sc.PVTs, sc.Fail)
+	if !errors.Is(err, core.ErrNoExplanation) {
+		t.Fatalf("err = %v", err)
+	}
+	if res.Interventions > 31 {
+		t.Errorf("interventions = %d exceed budget", res.Interventions)
+	}
+}
+
+func TestGrpTestBaseline(t *testing.T) {
+	sc := synth.New(synth.Options{NumPVTs: 32, NumAttrs: 8, Conjunction: 1, Seed: 26})
+	cfg := Config{System: sc.System, Tau: 0.05, Seed: 26}
+	res, err := GrpTest(cfg, sc.PVTs, sc.Fail)
+	if err != nil {
+		t.Fatalf("grptest failed: %v", err)
+	}
+	if !hasIndex(res.Explanation, sc.GroundTruth[0][0]) {
+		t.Errorf("explanation = %s", res.ExplanationString())
+	}
+	if res.Interventions >= 32 {
+		t.Errorf("grptest interventions = %d, want logarithmic", res.Interventions)
+	}
+}
+
+func TestBaselinesEmptyCandidates(t *testing.T) {
+	sys := &pipeline.Func{SystemName: "s", Score: func(*dataset.Dataset) float64 { return 0.9 }}
+	cfg := Config{System: sys, Tau: 0.1}
+	fail := synth.FailingDataset(1)
+	if _, err := BugDoc(cfg, nil, fail); !errors.Is(err, core.ErrNoExplanation) {
+		t.Error("bugdoc with no candidates should fail cleanly")
+	}
+	if _, err := Anchor(cfg, nil, fail); !errors.Is(err, core.ErrNoExplanation) {
+		t.Error("anchor with no candidates should fail cleanly")
+	}
+}

@@ -1,0 +1,151 @@
+// Package causal estimates pairwise causal coefficients between attributes,
+// standing in for the TETRAD toolkit that the paper uses to parameterize
+// causal Indep profiles (Figure 1, row 9).
+//
+// The model is a linear non-Gaussian pairwise SEM: for standardized x and y,
+// the causal coefficient magnitude is the standardized regression coefficient
+// (equal to Pearson's r), and the direction is decided by the
+// Hyvärinen–Smith cumulant criterion: with ρ = corr(x, y) and
+// Δ = E[x³y] − E[xy³], ρ·Δ > 0 favours x→y and ρ·Δ < 0 favours y→x.
+// This captures exactly what the profile needs — a coefficient per attribute
+// pair whose magnitude a transformation can reduce — without a full
+// constraint-based search.
+package causal
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/dataset"
+	"repro/internal/stats"
+)
+
+// Edge is a directed causal relationship with its coefficient magnitude.
+type Edge struct {
+	From  string
+	To    string
+	Coeff float64
+}
+
+// Coefficient returns the magnitude of the pairwise causal coefficient
+// between x and y under the linear SEM: |corr(x, y)| after standardization.
+// It returns 0 for degenerate inputs.
+func Coefficient(x, y []float64) float64 {
+	return math.Abs(stats.Pearson(x, y))
+}
+
+// Direction returns +1 when the cumulant criterion favours x→y, -1 when it
+// favours y→x, and 0 when the evidence is negligible (near-Gaussian or
+// near-independent data).
+func Direction(x, y []float64) int {
+	n := len(x)
+	if n == 0 || n != len(y) {
+		return 0
+	}
+	zx := stats.Standardize(x)
+	zy := stats.Standardize(y)
+	rho := stats.Pearson(zx, zy)
+	var d float64
+	for i := 0; i < n; i++ {
+		d += zx[i]*zx[i]*zx[i]*zy[i] - zx[i]*zy[i]*zy[i]*zy[i]
+	}
+	d /= float64(n)
+	// For a true x→y link, ρ·Δ has the sign of the cause's excess kurtosis
+	// (ρΔ = b²(1−b²)(κ−3) in the linear SEM), so correct by the sign of the
+	// observed joint excess kurtosis to handle sub- and super-Gaussian data.
+	excess := (stats.Kurtosis(zx)+stats.Kurtosis(zy))/2 - 3
+	if math.Abs(excess) < 1e-2 {
+		return 0 // near-Gaussian: direction unidentifiable
+	}
+	score := rho * d
+	if excess < 0 {
+		score = -score
+	}
+	const tiny = 1e-3
+	switch {
+	case score > tiny:
+		return 1
+	case score < -tiny:
+		return -1
+	default:
+		return 0
+	}
+}
+
+// encode converts a column to a numeric vector: numeric columns pass through
+// (NULLs as the column mean), string columns map to sorted level indices.
+func encode(d *dataset.Dataset, attr string) []float64 {
+	c := d.Column(attr)
+	if c == nil {
+		return nil
+	}
+	n := d.NumRows()
+	out := make([]float64, n)
+	if c.Kind == dataset.Numeric {
+		mean := stats.Mean(d.NumericValues(attr))
+		if math.IsNaN(mean) {
+			mean = 0
+		}
+		for i := 0; i < n; i++ {
+			if c.Null[i] {
+				out[i] = mean
+			} else {
+				out[i] = c.Nums[i]
+			}
+		}
+		return out
+	}
+	levels := d.DistinctStrings(attr)
+	idx := make(map[string]float64, len(levels))
+	for i, l := range levels {
+		idx[l] = float64(i)
+	}
+	for i := 0; i < n; i++ {
+		if !c.Null[i] {
+			out[i] = idx[c.Strs[i]]
+		}
+	}
+	return out
+}
+
+// LearnGraph estimates a causal edge for every attribute pair whose
+// coefficient magnitude is at least minCoeff. Edges are oriented by the
+// cumulant criterion; undecided pairs default to lexicographic order so the
+// output is deterministic. Attrs defaults to all columns when nil.
+func LearnGraph(d *dataset.Dataset, attrs []string, minCoeff float64) []Edge {
+	if attrs == nil {
+		attrs = d.ColumnNames()
+	}
+	vecs := make(map[string][]float64, len(attrs))
+	for _, a := range attrs {
+		vecs[a] = encode(d, a)
+	}
+	var edges []Edge
+	for i := 0; i < len(attrs); i++ {
+		for j := i + 1; j < len(attrs); j++ {
+			a, b := attrs[i], attrs[j]
+			co := Coefficient(vecs[a], vecs[b])
+			if co < minCoeff {
+				continue
+			}
+			from, to := a, b
+			if Direction(vecs[a], vecs[b]) < 0 {
+				from, to = b, a
+			}
+			edges = append(edges, Edge{From: from, To: to, Coeff: co})
+		}
+	}
+	sort.Slice(edges, func(x, y int) bool {
+		if edges[x].From != edges[y].From {
+			return edges[x].From < edges[y].From
+		}
+		return edges[x].To < edges[y].To
+	})
+	return edges
+}
+
+// PairCoefficient estimates the causal coefficient magnitude between two
+// attributes of a dataset (numeric or categorical).
+func PairCoefficient(d *dataset.Dataset, a, b string) float64 {
+	return Coefficient(encode(d, a), encode(d, b))
+}

@@ -1,0 +1,82 @@
+package core
+
+// CoveringArray2 builds a binary covering array of strength two over k
+// columns: a set of rows (configurations) such that every pair of columns
+// exhibits all four value combinations (00, 01, 10, 11). The paper's
+// Appendix B cites combinatorial-design-based initialization [19] for the
+// decision-tree approach; this is the classic balanced-codeword
+// construction with O(log k) rows.
+//
+// Construction: each column is assigned a distinct binary codeword of
+// length n with first bit 0 and weight ⌊n/2⌋. Any two such codewords are
+// non-equal, non-complementary (both start with 0 → 00 covered), share a
+// one-position by pigeonhole (11 covered), and each has a one the other
+// lacks by equal weight (01 and 10 covered). n grows until
+// C(n−1, ⌊n/2⌋) ≥ k.
+func CoveringArray2(k int) [][]bool {
+	if k <= 0 {
+		return nil
+	}
+	if k == 1 {
+		return [][]bool{{false}, {true}}
+	}
+	// Find the smallest even n with C(n-1, n/2) ≥ k. n must be even so the
+	// pigeonhole bound 2·(n/2) − (n−1) = 1 guarantees a shared one-position.
+	n := 4
+	for binom(n-1, n/2) < k {
+		n += 2
+	}
+	// Enumerate the first k codewords: length n, first bit 0, weight n/2.
+	codewords := make([][]bool, 0, k)
+	current := make([]bool, n)
+	var build func(pos, remaining int)
+	build = func(pos, remaining int) {
+		if len(codewords) >= k {
+			return
+		}
+		if remaining == 0 {
+			cw := make([]bool, n)
+			copy(cw, current)
+			codewords = append(codewords, cw)
+			return
+		}
+		if n-pos < remaining {
+			return
+		}
+		// Place a one at pos, or skip it.
+		current[pos] = true
+		build(pos+1, remaining-1)
+		current[pos] = false
+		build(pos+1, remaining)
+	}
+	// First bit fixed to 0: start placement at position 1.
+	build(1, n/2)
+
+	// Transpose: row r of the covering array reads bit r of every codeword.
+	rows := make([][]bool, n)
+	for r := 0; r < n; r++ {
+		rows[r] = make([]bool, k)
+		for c := 0; c < k; c++ {
+			rows[r][c] = codewords[c][r]
+		}
+	}
+	return rows
+}
+
+// binom computes C(n, k) with overflow saturation.
+func binom(n, k int) int {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	result := 1
+	for i := 0; i < k; i++ {
+		result = result * (n - i) / (i + 1)
+		if result < 0 || result > 1<<40 {
+			return 1 << 40 // saturate: plenty for any realistic k
+		}
+	}
+	return result
+}

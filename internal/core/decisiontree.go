@@ -1,0 +1,300 @@
+package core
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/pipeline"
+)
+
+// ExplainWithDecisionTree implements the Appendix B extension (Algorithm 5)
+// for settings where assumption A2 fails — interventions on single PVTs do
+// not reduce malfunction, only certain conjunctions do. It leverages
+// multiple passing and failing datasets: a decision tree is fitted over
+// binary violation features (one per candidate PVT) with the pass/fail
+// outcome as the label; each root-to-pure-pass-leaf path yields a candidate
+// conjunction of PVTs whose joint repair is then verified by intervention
+// on the failing dataset. Failed candidates are added as new training
+// instances and the tree is rebuilt (Algorithm 5's update loop).
+//
+// examples are the known datasets (at least one passing and one failing);
+// fail is the failing dataset to explain. Candidates are the PVTs
+// discriminative between the first passing example and fail.
+func (e *Explainer) ExplainWithDecisionTree(examples []*dataset.Dataset, fail *dataset.Dataset) (*Result, error) {
+	// Pick a passing exemplar to anchor candidate discovery.
+	var pass *dataset.Dataset
+	for _, d := range examples {
+		if e.System.MalfunctionScore(d) <= e.Tau {
+			pass = d
+			break
+		}
+	}
+	var pvts []*PVT
+	if pass != nil {
+		pvts = DiscoverPVTs(pass, fail, e.options(), e.eps())
+	}
+	return e.ExplainWithDecisionTreePVTs(pvts, examples, fail)
+}
+
+// ExplainWithDecisionTreePVTs runs the Appendix B algorithm on a pre-built
+// candidate PVT set (see ExplainWithDecisionTree).
+func (e *Explainer) ExplainWithDecisionTreePVTs(pvts []*PVT, examples []*dataset.Dataset, fail *dataset.Dataset) (*Result, error) {
+	start := time.Now()
+	oracle := pipeline.NewOracle(e.System)
+	rng := e.rng()
+
+	res := &Result{Discriminative: len(pvts)}
+	res.InitialScore = oracle.Exempt(fail)
+	res.FinalScore = res.InitialScore
+	if res.InitialScore <= e.Tau {
+		res.Found = true
+		res.Transformed = fail.Clone()
+		res.Runtime = time.Since(start)
+		return res, nil
+	}
+	if len(pvts) == 0 {
+		res.Runtime = time.Since(start)
+		return res, ErrNoExplanation
+	}
+
+	// Training instances: binary violation vector + pass/fail outcome.
+	featurize := func(d *dataset.Dataset) []bool {
+		v := make([]bool, len(pvts))
+		for i, p := range pvts {
+			v[i] = p.Profile.Violation(d) > e.eps()
+		}
+		return v
+	}
+	var train []violationInstance
+	for _, d := range examples {
+		train = append(train, violationInstance{violated: featurize(d), pass: oracle.Exempt(d) <= e.Tau})
+	}
+	train = append(train, violationInstance{violated: featurize(fail), pass: false})
+
+	calls := 0
+
+	// Optional combinatorial-design bootstrap (Appendix B's cited [19]):
+	// evaluate a strength-2 covering array of repair configurations so the
+	// tree starts with instances covering every pairwise repair pattern —
+	// enabling the method even when no example datasets are supplied.
+	if e.BootstrapCoveringArray {
+		for _, row := range CoveringArray2(len(pvts)) {
+			if calls >= e.maxInterventions() {
+				break
+			}
+			group := make([]*PVT, 0, len(pvts))
+			for i, on := range row {
+				if on {
+					group = append(group, pvts[i])
+				}
+			}
+			dt := composeAll(fail, group, nil, rng)
+			s := oracle.MalfunctionScore(dt)
+			calls++
+			train = append(train, violationInstance{violated: featurize(dt), pass: s <= e.Tau})
+		}
+	}
+	tried := make(map[string]bool)
+	// Algorithm 5 main loop: extract candidate conjunctions from the tree's
+	// pure pass paths, verify by intervention, retrain on failures.
+	for iter := 0; iter < 16 && calls < e.maxInterventions(); iter++ {
+		tree := buildViolationTree(train, len(pvts))
+		paths := collectPassPaths(tree, nil)
+		// Sort candidate conjunctions by total benefit on the failing
+		// dataset, descending (Algorithm 5 line 3).
+		sort.SliceStable(paths, func(a, b int) bool {
+			return conjunctionBenefit(pvts, paths[a], fail, e) > conjunctionBenefit(pvts, paths[b], fail, e)
+		})
+		progressed := false
+		for _, conj := range paths {
+			if len(conj) == 0 {
+				continue
+			}
+			key := conjKey(conj)
+			if tried[key] {
+				continue
+			}
+			tried[key] = true
+			progressed = true
+			group := make([]*PVT, len(conj))
+			for i, idx := range conj {
+				group[i] = pvts[idx]
+			}
+			dt := composeAll(fail, group, nil, rng)
+			if calls >= e.maxInterventions() {
+				break
+			}
+			s := oracle.MalfunctionScore(dt)
+			calls++
+			accepted := s <= e.Tau
+			res.Trace = append(res.Trace, Step{PVTs: pvtNames(group), Transform: "decision-tree conjunction", Score: s, Accepted: accepted})
+			if accepted {
+				expl, final := e.makeMinimal(oracle, fail, dt, group, nil, rng, &res.Trace, &calls)
+				res.Interventions = calls
+				res.Found = true
+				res.Explanation = expl
+				res.Transformed = final
+				res.FinalScore = oracle.Exempt(final)
+				res.Runtime = time.Since(start)
+				return res, nil
+			}
+			// Algorithm 5 line 10: add the transformed failing instance.
+			train = append(train, violationInstance{violated: featurize(dt), pass: false})
+			break // rebuild the tree with the new instance
+		}
+		if !progressed {
+			break
+		}
+	}
+	res.Interventions = calls
+	res.Runtime = time.Since(start)
+	return res, ErrNoExplanation
+
+}
+
+// pvtNames renders a PVT group for the trace.
+func pvtNames(pvts []*PVT) []string {
+	out := make([]string, len(pvts))
+	for i, p := range pvts {
+		out[i] = p.String()
+	}
+	return out
+}
+
+// conjKey canonicalizes a conjunction for the tried-set.
+func conjKey(conj []int) string {
+	s := append([]int(nil), conj...)
+	sort.Ints(s)
+	key := ""
+	for _, i := range s {
+		key += string(rune('A'+i%26)) + string(rune('0'+i/26))
+	}
+	return key
+}
+
+// conjunctionBenefit sums the benefit of a conjunction's PVTs on fail.
+func conjunctionBenefit(pvts []*PVT, conj []int, fail *dataset.Dataset, e *Explainer) float64 {
+	total := 0.0
+	for _, i := range conj {
+		total += Benefit(pvts[i], fail)
+	}
+	return total
+}
+
+// violationInstance is one training point for the Appendix B tree: the
+// binary violation vector of a dataset plus whether the system passed on it.
+type violationInstance struct {
+	violated []bool
+	pass     bool
+}
+
+// vtNode is a tiny ID3 decision tree over binary violation features.
+type vtNode struct {
+	leaf     bool
+	pass     bool // majority / pure outcome at the leaf
+	pure     bool
+	feature  int
+	violated *vtNode // branch where feature is violated
+	clean    *vtNode // branch where feature is not violated
+}
+
+// buildViolationTree fits an ID3 tree on instances with binary violation
+// features and a boolean pass outcome.
+func buildViolationTree(train []violationInstance, numFeatures int) *vtNode {
+	used := make([]bool, numFeatures)
+	return growViolationTree(train, used, 0)
+}
+
+func growViolationTree(insts []violationInstance, used []bool, depth int) *vtNode {
+	passes, fails := 0, 0
+	for _, in := range insts {
+		if in.pass {
+			passes++
+		} else {
+			fails++
+		}
+	}
+	node := &vtNode{leaf: true, pass: passes >= fails, pure: passes == 0 || fails == 0}
+	if node.pure || depth >= len(used) {
+		return node
+	}
+	// Pick the feature with the highest information gain.
+	entropy := func(p, f int) float64 {
+		n := float64(p + f)
+		if n == 0 || p == 0 || f == 0 {
+			return 0
+		}
+		pp, pf := float64(p)/n, float64(f)/n
+		return -pp*math.Log2(pp) - pf*math.Log2(pf)
+	}
+	base := entropy(passes, fails)
+	bestGain, bestFeat := 1e-12, -1
+	for j := range used {
+		if used[j] {
+			continue
+		}
+		var vp, vf, cp, cf int
+		for _, in := range insts {
+			if in.violated[j] {
+				if in.pass {
+					vp++
+				} else {
+					vf++
+				}
+			} else {
+				if in.pass {
+					cp++
+				} else {
+					cf++
+				}
+			}
+		}
+		if vp+vf == 0 || cp+cf == 0 {
+			continue
+		}
+		n := float64(len(insts))
+		cond := float64(vp+vf)/n*entropy(vp, vf) + float64(cp+cf)/n*entropy(cp, cf)
+		if gain := base - cond; gain > bestGain {
+			bestGain, bestFeat = gain, j
+		}
+	}
+	if bestFeat < 0 {
+		return node
+	}
+	var vIn, cIn []violationInstance
+	for _, in := range insts {
+		if in.violated[bestFeat] {
+			vIn = append(vIn, in)
+		} else {
+			cIn = append(cIn, in)
+		}
+	}
+	used[bestFeat] = true
+	node.leaf = false
+	node.feature = bestFeat
+	node.violated = growViolationTree(vIn, used, depth+1)
+	node.clean = growViolationTree(cIn, used, depth+1)
+	used[bestFeat] = false
+	return node
+}
+
+// collectPassPaths walks the tree gathering, for each pure passing leaf,
+// the set of features the path requires to be NOT violated — the PVTs whose
+// joint repair the path predicts will make the system pass.
+func collectPassPaths(n *vtNode, required []int) [][]int {
+	if n == nil {
+		return nil
+	}
+	if n.leaf {
+		if n.pure && n.pass && len(required) > 0 {
+			return [][]int{append([]int(nil), required...)}
+		}
+		return nil
+	}
+	var out [][]int
+	out = append(out, collectPassPaths(n.clean, append(required, n.feature))...)
+	out = append(out, collectPassPaths(n.violated, required)...)
+	return out
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"errors"
+
+	"repro/internal/dataset"
+	"repro/internal/pipeline"
+)
+
+// VerifyExplanation independently re-verifies an explanation: it applies
+// the PVTs' transformations to the failing dataset (Definition 9's
+// composition) and checks the malfunction drops to τ or below, and — when
+// checkMinimal is set — that no proper subset suffices (Definition 11).
+// It reports the number of oracle calls spent.
+func VerifyExplanation(sys pipeline.System, tau float64, fail *dataset.Dataset, expl []*PVT, seed int64, checkMinimal bool) (ok bool, calls int) {
+	e := &Explainer{System: sys, Tau: tau, Seed: seed}
+	oracle := pipeline.NewOracle(sys)
+	rng := e.rng()
+	composed := composeAll(fail, expl, nil, rng)
+	calls++
+	if oracle.MalfunctionScore(composed) > tau {
+		return false, calls
+	}
+	if !checkMinimal {
+		return true, calls
+	}
+	for drop := range expl {
+		reduced := make([]*PVT, 0, len(expl)-1)
+		for i, p := range expl {
+			if i != drop {
+				reduced = append(reduced, p)
+			}
+		}
+		if len(reduced) == 0 {
+			continue // the empty set failing is given: fail itself scores > τ
+		}
+		calls++
+		if oracle.MalfunctionScore(composeAll(fail, reduced, nil, rng)) <= tau {
+			return false, calls // a subset suffices: not minimal
+		}
+	}
+	return true, calls
+}
+
+// EnumerateExplanations returns up to maxCount distinct minimal
+// explanations of the mismatch, an extension beyond the paper's
+// "any minimal explanation" contract: after each explanation is found, its
+// PVTs are removed from the candidate pool one combination at a time
+// (banning one member per found explanation) and the greedy search reruns.
+// Explanations are distinct as PVT sets. The search stops early when no
+// further explanation exists.
+func (e *Explainer) EnumerateExplanations(pass, fail *dataset.Dataset, maxCount int) ([][]*PVT, error) {
+	return e.EnumerateExplanationsPVTs(DiscoverPVTs(pass, fail, e.options(), e.eps()), fail, maxCount)
+}
+
+// EnumerateExplanationsPVTs is EnumerateExplanations over a pre-built
+// candidate PVT set.
+func (e *Explainer) EnumerateExplanationsPVTs(all []*PVT, fail *dataset.Dataset, maxCount int) ([][]*PVT, error) {
+	if len(all) == 0 {
+		return nil, ErrNoExplanation
+	}
+	var out [][]*PVT
+	seen := make(map[string]bool)
+	// Frontier of candidate pools to search: start with the full pool.
+	type pool struct{ banned map[*PVT]bool }
+	frontier := []pool{{banned: map[*PVT]bool{}}}
+	for len(out) < maxCount && len(frontier) > 0 {
+		cur := frontier[0]
+		frontier = frontier[1:]
+		candidates := make([]*PVT, 0, len(all))
+		for _, p := range all {
+			if !cur.banned[p] {
+				candidates = append(candidates, p)
+			}
+		}
+		if len(candidates) == 0 {
+			continue
+		}
+		res, err := e.ExplainGreedyPVTs(candidates, fail)
+		if err != nil {
+			if errors.Is(err, ErrNoExplanation) {
+				continue
+			}
+			return out, err
+		}
+		key := explanationKey(res.Explanation)
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, res.Explanation)
+			// Branch: ban each member of the found explanation in turn, so
+			// later searches are forced onto different explanations
+			// (the classic Lawler-style enumeration scheme).
+			for _, p := range res.Explanation {
+				banned := make(map[*PVT]bool, len(cur.banned)+1)
+				for b := range cur.banned {
+					banned[b] = true
+				}
+				banned[p] = true
+				frontier = append(frontier, pool{banned: banned})
+			}
+		}
+	}
+	if len(out) == 0 {
+		return nil, ErrNoExplanation
+	}
+	return out, nil
+}
+
+// explanationKey canonicalizes an explanation set for deduplication.
+func explanationKey(expl []*PVT) string {
+	keys := make([]string, len(expl))
+	for i, p := range expl {
+		keys[i] = p.Profile.Key()
+	}
+	// insertion sort: explanation sets are tiny
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	out := ""
+	for _, k := range keys {
+		out += k + "|"
+	}
+	return out
+}

@@ -1,0 +1,193 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/pipeline"
+	"repro/internal/profile"
+	"repro/internal/transform"
+)
+
+// BenefitMode selects how the greedy algorithm scores candidate PVTs; the
+// non-default modes exist for the ablation study.
+type BenefitMode int
+
+const (
+	// BenefitFull is violation × coverage (the paper's benefit score).
+	BenefitFull BenefitMode = iota
+	// BenefitViolationOnly scores by violation alone (ablation).
+	BenefitViolationOnly
+	// BenefitCoverageOnly scores by coverage alone (ablation).
+	BenefitCoverageOnly
+	// BenefitRandom scores uniformly at random (ablation).
+	BenefitRandom
+)
+
+// Explainer configures DataPrism's root-cause search. The zero value plus a
+// System and Tau is usable; defaults mirror the paper's setup.
+type Explainer struct {
+	// System is the black box under debugging (required).
+	System pipeline.System
+	// Tau is the allowable malfunction threshold (Definition 10).
+	Tau float64
+	// Options configures profile discovery; the zero value means
+	// profile.DefaultOptions.
+	Options *profile.Options
+	// Eps is the minimum failing-side violation for a profile to count as
+	// discriminative (default 1e-9).
+	Eps float64
+	// Seed drives the deterministic RNG behind sampling transformations and
+	// bisection initialization.
+	Seed int64
+	// MaxInterventions caps oracle calls as a safety valve (default 10000).
+	MaxInterventions int
+	// Benefit selects the greedy scoring mode (ablation knob).
+	Benefit BenefitMode
+	// DisableGraphPriority skips the high-degree-attribute filter of
+	// Algorithm 1 line 10 (ablation knob).
+	DisableGraphPriority bool
+	// RandomBisection makes the group-testing variant partition PVTs
+	// uniformly at random instead of by min-bisection — this is exactly the
+	// paper's GrpTest baseline.
+	RandomBisection bool
+	// BootstrapCoveringArray makes the decision-tree method (Appendix B)
+	// seed its training set by evaluating a strength-2 covering array of
+	// repair configurations, so it works without example datasets.
+	BootstrapCoveringArray bool
+	// SpeculativeParallel makes the group-testing search evaluate both
+	// halves of each bisection concurrently. The X2 evaluation is
+	// speculative — Algorithm 3 skips it when X1 already suffices — so the
+	// intervention count can exceed the sequential run's, in exchange for
+	// roughly halved wall-clock time on systems that are expensive to
+	// evaluate. Requires the System to be safe for concurrent use.
+	SpeculativeParallel bool
+}
+
+// Step records one intervention for the Result trace.
+type Step struct {
+	// PVTs lists the profiles intervened on (one for greedy, a group for GT).
+	PVTs []string
+	// Transform names the applied transformation ("" for group steps).
+	Transform string
+	// Score is the malfunction score observed after the intervention.
+	Score float64
+	// Accepted reports whether the intervention was kept.
+	Accepted bool
+}
+
+// Result is the outcome of a root-cause search.
+type Result struct {
+	// Found reports whether an explanation bringing the score below Tau
+	// was identified.
+	Found bool
+	// Explanation is the minimal PVT set (Definition 11) when Found.
+	Explanation []*PVT
+	// Transformed is the repaired dataset when Found.
+	Transformed *dataset.Dataset
+	// Interventions is the number of oracle calls on transformed datasets.
+	Interventions int
+	// Discriminative is the number of discriminative PVT candidates.
+	Discriminative int
+	// InitialScore and FinalScore bracket the search.
+	InitialScore, FinalScore float64
+	// Trace logs each intervention in order.
+	Trace []Step
+	// Runtime is the wall-clock duration of the search.
+	Runtime time.Duration
+}
+
+// ExplanationString renders the explanation in the paper's set notation.
+func (r *Result) ExplanationString() string { return pvtSetString(r.Explanation) }
+
+// ErrNoExplanation is returned when no combination of discriminative PVT
+// transformations brings the malfunction score below τ — e.g. when
+// assumption A1 (the ground truth is captured by some discriminative PVT)
+// or A3 (for group testing) does not hold.
+var ErrNoExplanation = errors.New("core: no explanation found among discriminative PVTs")
+
+// options returns the discovery options with defaults applied.
+func (e *Explainer) options() profile.Options {
+	if e.Options != nil {
+		return *e.Options
+	}
+	return profile.DefaultOptions()
+}
+
+func (e *Explainer) eps() float64 {
+	if e.Eps == 0 {
+		return 1e-9
+	}
+	return e.Eps
+}
+
+func (e *Explainer) maxInterventions() int {
+	if e.MaxInterventions == 0 {
+		return 10000
+	}
+	return e.MaxInterventions
+}
+
+func (e *Explainer) rng() *rand.Rand {
+	return rand.New(rand.NewSource(e.Seed + 0x9e3779b9))
+}
+
+// benefit scores a PVT according to the configured mode.
+func (e *Explainer) benefit(p *PVT, d *dataset.Dataset, rng *rand.Rand) float64 {
+	switch e.Benefit {
+	case BenefitViolationOnly:
+		return p.Profile.Violation(d)
+	case BenefitCoverageOnly:
+		cov := 0.0
+		for _, t := range p.Transforms {
+			if c := t.Coverage(d); c > cov {
+				cov = c
+			}
+		}
+		return cov
+	case BenefitRandom:
+		return rng.Float64()
+	default:
+		return Benefit(p, d)
+	}
+}
+
+// makeMinimal implements Algorithm 1 line 20 / Algorithm 2 line 7: starting
+// from an explanation X*, repeatedly try dropping one PVT; if the remaining
+// composition still brings the failing dataset below τ, the PVT was
+// unnecessary. Every check costs one oracle call. chosen pins the specific
+// transformation each PVT used during the search so minimality is checked
+// against the same fix that was verified.
+func (e *Explainer) makeMinimal(oracle *pipeline.Oracle, fail, finalD *dataset.Dataset, expl []*PVT,
+	chosen map[*PVT]transform.Transformation, rng *rand.Rand, trace *[]Step, calls *int) ([]*PVT, *dataset.Dataset) {
+
+	current := append([]*PVT(nil), expl...)
+	best := finalD
+	for i := 0; i < len(current) && len(current) > 1; {
+		reduced := append(append([]*PVT(nil), current[:i]...), current[i+1:]...)
+		candidate := composeAll(fail, reduced, chosen, rng)
+		if *calls >= e.maxInterventions() {
+			break
+		}
+		score := oracle.MalfunctionScore(candidate)
+		*calls++
+		drop := score <= e.Tau
+		*trace = append(*trace, Step{
+			PVTs:      []string{current[i].String()},
+			Transform: "make-minimal drop check",
+			Score:     score,
+			Accepted:  drop,
+		})
+		if drop {
+			current = reduced
+			best = candidate
+			// restart scan: minimality is w.r.t. the reduced set
+			i = 0
+			continue
+		}
+		i++
+	}
+	return current, best
+}

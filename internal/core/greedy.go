@@ -1,0 +1,118 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/pipeline"
+	"repro/internal/transform"
+)
+
+// ExplainGreedy runs DataPrismGRD (Algorithm 1): it discovers the
+// discriminative PVTs, prioritizes them by the PVT-attribute graph and the
+// benefit score, intervenes one PVT at a time, and post-processes the
+// accumulated explanation to a minimal one.
+//
+// It returns ErrNoExplanation (with the partial Result) when the candidate
+// PVTs are exhausted or the intervention budget runs out before the
+// malfunction score drops below τ.
+func (e *Explainer) ExplainGreedy(pass, fail *dataset.Dataset) (*Result, error) {
+	// Lines 1-4: discriminative PVTs.
+	return e.ExplainGreedyPVTs(DiscoverPVTs(pass, fail, e.options(), e.eps()), fail)
+}
+
+// ExplainGreedyPVTs runs DataPrismGRD on a pre-built discriminative PVT set,
+// bypassing profile discovery — used by the synthetic-pipeline experiments
+// that construct PVTs directly.
+func (e *Explainer) ExplainGreedyPVTs(pvts []*PVT, fail *dataset.Dataset) (*Result, error) {
+	start := time.Now()
+	oracle := pipeline.NewOracle(e.System)
+	rng := e.rng()
+
+	res := &Result{Discriminative: len(pvts)}
+	res.InitialScore = oracle.Exempt(fail)
+	res.FinalScore = res.InitialScore
+	if res.InitialScore <= e.Tau {
+		res.Found = true
+		res.Transformed = fail.Clone()
+		res.Runtime = time.Since(start)
+		return res, nil
+	}
+
+	// Line 5: PVT-attribute graph. Lines 7-8: initialization.
+	g := buildGraph(pvts)
+	d := fail
+	score := res.InitialScore
+	var expl []*PVT
+	chosen := make(map[*PVT]transform.Transformation)
+	calls := 0
+
+	// Line 9: iterate until the malfunction is acceptable.
+	for score > e.Tau && calls < e.maxInterventions() {
+		// Line 10: PVTs adjacent to the highest-degree attributes.
+		var candidates []int
+		if e.DisableGraphPriority {
+			candidates = g.Active()
+		} else {
+			candidates = g.PVTsOfAttrs(g.HighestDegreeAttrs())
+		}
+		if len(candidates) == 0 {
+			break
+		}
+		// Line 11: highest-benefit PVT among them.
+		best, bestB := -1, -1.0
+		for _, i := range candidates {
+			if b := e.benefit(pvts[i], d, rng); b > bestB {
+				bestB, best = b, i
+			}
+		}
+		p := pvts[best]
+		// Line 13: mark as explored.
+		g.Remove(best)
+
+		// Lines 12, 14-19: intervene and keep the transformation if it
+		// reduces the malfunction. Transformations modifying higher-degree
+		// attributes are tried first (Observation O1).
+		for _, t := range orderTransforms(p, g) {
+			out, err := t.Apply(d, rng)
+			if err != nil {
+				continue
+			}
+			if calls >= e.maxInterventions() {
+				break
+			}
+			s := oracle.MalfunctionScore(out)
+			calls++
+			accepted := s < score
+			res.Trace = append(res.Trace, Step{
+				PVTs:      []string{p.String()},
+				Transform: t.Name(),
+				Score:     s,
+				Accepted:  accepted,
+			})
+			if accepted {
+				d, score = out, s
+				chosen[p] = t
+				expl = append(expl, p)
+				break
+			}
+		}
+	}
+
+	res.Interventions = calls
+	if score > e.Tau {
+		res.FinalScore = score
+		res.Runtime = time.Since(start)
+		return res, ErrNoExplanation
+	}
+
+	// Line 20: minimality post-pass.
+	expl, d = e.makeMinimal(oracle, fail, d, expl, chosen, rng, &res.Trace, &calls)
+	res.Interventions = calls
+	res.Found = true
+	res.Explanation = expl
+	res.Transformed = d
+	res.FinalScore = oracle.Exempt(d)
+	res.Runtime = time.Since(start)
+	return res, nil
+}

@@ -1,0 +1,230 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/graph"
+	"repro/internal/pipeline"
+)
+
+// scoredDataset pairs a dataset with its (possibly not yet evaluated)
+// malfunction score, so Algorithm 3's line-5 re-evaluation only costs an
+// oracle call when the dataset actually changed since it was last scored.
+type scoredDataset struct {
+	d     *dataset.Dataset
+	score float64
+	known bool
+}
+
+// gtGroupState is the working state of Algorithm 3's recursion.
+type gtGroupState struct {
+	e      *Explainer
+	oracle *pipeline.Oracle
+	pvts   []*PVT
+	g      *graph.PVTAttr
+	rng    *rand.Rand
+	calls  int
+	trace  []Step
+}
+
+// ExplainGroupTest runs DataPrismGT (Algorithm 2): the discriminative PVTs
+// are recursively partitioned — by min-bisection of the PVT-dependency
+// graph, or uniformly at random when RandomBisection is set (the paper's
+// GrpTest baseline) — and intervened on as groups (Algorithm 3), followed
+// by the Make-Minimal post-pass.
+//
+// Group testing additionally requires assumption A3 (Section 4.4); when it
+// does not hold the final composed fix may fail verification, in which case
+// ErrNoExplanation is returned with the partial Result — the paper reports
+// exactly this as "NA" for the cardiovascular case study.
+func (e *Explainer) ExplainGroupTest(pass, fail *dataset.Dataset) (*Result, error) {
+	// Algorithm 2, lines 1-4: discriminative PVTs.
+	return e.ExplainGroupTestPVTs(DiscoverPVTs(pass, fail, e.options(), e.eps()), fail)
+}
+
+// ExplainGroupTestPVTs runs DataPrismGT on a pre-built discriminative PVT
+// set, bypassing profile discovery — used by the synthetic-pipeline
+// experiments that construct PVTs directly.
+func (e *Explainer) ExplainGroupTestPVTs(pvts []*PVT, fail *dataset.Dataset) (*Result, error) {
+	start := time.Now()
+	oracle := pipeline.NewOracle(e.System)
+	rng := e.rng()
+
+	res := &Result{Discriminative: len(pvts)}
+	res.InitialScore = oracle.Exempt(fail)
+	res.FinalScore = res.InitialScore
+	if res.InitialScore <= e.Tau {
+		res.Found = true
+		res.Transformed = fail.Clone()
+		res.Runtime = time.Since(start)
+		return res, nil
+	}
+
+	// Algorithm 2, lines 5-6: dependency graph and the Group-Test recursion.
+	st := &gtGroupState{
+		e:      e,
+		oracle: oracle,
+		pvts:   pvts,
+		g:      buildGraph(pvts),
+		rng:    rng,
+	}
+	all := make([]int, len(pvts))
+	for i := range all {
+		all[i] = i
+	}
+	final, explIdx := st.run(all, &scoredDataset{d: fail, score: res.InitialScore, known: true})
+	res.Trace = st.trace
+	res.Interventions = st.calls
+
+	finalScore := oracle.Exempt(final.d)
+	if finalScore > e.Tau {
+		res.FinalScore = finalScore
+		res.Runtime = time.Since(start)
+		return res, ErrNoExplanation
+	}
+
+	// Algorithm 2, line 7: minimality post-pass.
+	expl := make([]*PVT, len(explIdx))
+	for i, idx := range explIdx {
+		expl[i] = pvts[idx]
+	}
+	calls := st.calls
+	expl, d := e.makeMinimal(oracle, fail, final.d, expl, nil, rng, &res.Trace, &calls)
+	res.Interventions = calls
+	res.Found = true
+	res.Explanation = expl
+	res.Transformed = d
+	res.FinalScore = oracle.Exempt(d)
+	res.Runtime = time.Since(start)
+	return res, nil
+}
+
+// score lazily evaluates the dataset's malfunction, counting the call.
+func (st *gtGroupState) score(x *scoredDataset) float64 {
+	if !x.known {
+		if st.calls >= st.e.maxInterventions() {
+			return math.Inf(1)
+		}
+		x.score = st.oracle.MalfunctionScore(x.d)
+		x.known = true
+		st.calls++
+	}
+	return x.score
+}
+
+// applyGroup composes the transformations of all PVTs in X onto d —
+// the group intervention X_T(D) of Algorithm 3. d is never mutated: the
+// group works on one clone, using the in-place fast path where available.
+func (st *gtGroupState) applyGroup(d *dataset.Dataset, x []int) *dataset.Dataset {
+	cur := d.Clone()
+	for _, i := range x {
+		out, _, err := applyPVTOwned(cur, orderTransforms(st.pvts[i], st.g), st.rng)
+		if err == nil {
+			cur = out
+		}
+	}
+	return cur
+}
+
+// names renders a PVT index group for the trace.
+func (st *gtGroupState) names(x []int) []string {
+	out := make([]string, len(x))
+	for i, idx := range x {
+		out[i] = st.pvts[idx].String()
+	}
+	return out
+}
+
+// run is Algorithm 3 (Group-Test).
+func (st *gtGroupState) run(x []int, cur *scoredDataset) (*scoredDataset, []int) {
+	if len(x) == 0 || st.calls >= st.e.maxInterventions() {
+		return cur, nil
+	}
+	// Lines 2-3: a singleton candidate is transformed and returned without
+	// further evaluation; the surrounding recursion has already verified
+	// that this group reduces the malfunction.
+	if len(x) == 1 {
+		return &scoredDataset{d: st.applyGroup(cur.d, x)}, []int{x[0]}
+	}
+
+	// Line 4: partition the candidates.
+	var x1, x2 []int
+	if st.e.RandomBisection {
+		x1, x2 = graph.RandomBisection(x, st.rng)
+	} else {
+		x1, x2 = st.g.Dependency(x).MinBisection(st.rng)
+	}
+
+	// Line 5: malfunction of the entry dataset.
+	m := st.score(cur)
+
+	var (
+		d1, d2 *scoredDataset
+		s1     float64
+		s2     = math.Inf(1)
+	)
+	if st.e.SpeculativeParallel && st.calls+2 <= st.e.maxInterventions() {
+		// Speculative evaluation: both group interventions run
+		// concurrently; X2's result may go unused when X1 suffices.
+		d1 = &scoredDataset{d: st.applyGroup(cur.d, x1)}
+		d2 = &scoredDataset{d: st.applyGroup(cur.d, x2)}
+		done := make(chan struct{})
+		go func() {
+			d2.score = st.oracle.MalfunctionScore(d2.d)
+			d2.known = true
+			close(done)
+		}()
+		d1.score = st.oracle.MalfunctionScore(d1.d)
+		d1.known = true
+		<-done
+		st.calls += 2
+		s1, s2 = d1.score, d2.score
+		st.trace = append(st.trace, Step{PVTs: st.names(x1), Transform: "group", Score: s1, Accepted: s1 < m})
+		st.trace = append(st.trace, Step{PVTs: st.names(x2), Transform: "group (speculative)", Score: s2, Accepted: s2 < m})
+	} else {
+		// Line 6: group intervention on X1.
+		d1 = &scoredDataset{d: st.applyGroup(cur.d, x1)}
+		s1 = st.score(d1)
+		st.trace = append(st.trace, Step{PVTs: st.names(x1), Transform: "group", Score: s1, Accepted: s1 < m})
+
+		// Lines 7-8: try X2 only if X1 alone is insufficient.
+		if s1 > st.e.Tau {
+			d2 = &scoredDataset{d: st.applyGroup(cur.d, x2)}
+			s2 = st.score(d2)
+			st.trace = append(st.trace, Step{PVTs: st.names(x2), Transform: "group", Score: s2, Accepted: s2 < m})
+		}
+	}
+
+	var expl []int
+	entry := cur
+	// Lines 9-13: recurse into X1 when it suffices alone, or when it helps
+	// while X2 alone is insufficient.
+	if s1 <= st.e.Tau || (s1 < m && s2 > st.e.Tau) {
+		if len(x1) == 1 {
+			cur = d1 // reuse the already-applied singleton intervention
+			expl = append(expl, x1[0])
+		} else {
+			next, e1 := st.run(x1, cur)
+			cur = next
+			expl = append(expl, e1...)
+		}
+		if s1 <= st.e.Tau {
+			return cur, expl
+		}
+	}
+	// Lines 14-16: recurse into X2 when its group intervention helped.
+	if d2 != nil && s2 < m {
+		if len(x2) == 1 && cur == entry {
+			cur = d2
+			expl = append(expl, x2[0])
+		} else {
+			next, e2 := st.run(x2, cur)
+			cur = next
+			expl = append(expl, e2...)
+		}
+	}
+	return cur, expl
+}

@@ -1,0 +1,194 @@
+// Package core implements DataPrism's intervention algorithms — the paper's
+// primary contribution: greedy root-cause exploration (DataPrismGRD,
+// Algorithm 1), group-testing exploration over the PVT-dependency graph
+// (DataPrismGT, Algorithms 2–3), the Make-Minimal post-pass, and the
+// decision-tree extension for interacting PVTs (Appendix B, Algorithm 5).
+//
+// Given a black-box system, a passing and a failing dataset, and a
+// malfunction threshold τ, the algorithms return a minimal explanation: a
+// set of PVT triplets whose composed transformations bring the failing
+// dataset's malfunction score below τ (Definitions 10–11).
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"repro/internal/dataset"
+	"repro/internal/graph"
+	"repro/internal/profile"
+	"repro/internal/transform"
+)
+
+// PVT is a Profile-Violation-Transformation triplet: the profile carries its
+// violation function, and Transforms holds the candidate intervention
+// mechanisms (possibly several, per Figure 1).
+type PVT struct {
+	Profile    profile.Profile
+	Transforms []transform.Transformation
+}
+
+// Attributes returns the attributes the PVT's profile is defined over.
+func (p *PVT) Attributes() []string { return p.Profile.Attributes() }
+
+// String renders the PVT by its profile, matching the paper's shorthand.
+func (p *PVT) String() string { return p.Profile.String() }
+
+// BuildPVTs pairs each profile with its transformations, dropping profiles
+// that have no registered intervention mechanism.
+func BuildPVTs(profiles []profile.Profile) []*PVT {
+	var out []*PVT
+	for _, p := range profiles {
+		ts := transform.ForProfile(p)
+		if len(ts) == 0 {
+			continue
+		}
+		out = append(out, &PVT{Profile: p, Transforms: ts})
+	}
+	return out
+}
+
+// DiscoverPVTs returns the discriminative PVTs between a passing and a
+// failing dataset (Algorithm 1, lines 1–4): profiles discovered on the
+// passing dataset whose violation on the failing dataset exceeds eps,
+// paired with their transformations.
+func DiscoverPVTs(pass, fail *dataset.Dataset, opts profile.Options, eps float64) []*PVT {
+	return BuildPVTs(profile.Discriminative(pass, fail, opts, eps))
+}
+
+// Benefit is the likelihood proxy of Section 4.2: the product of the PVT's
+// violation score on d and the coverage of its transformation (the largest
+// coverage among its candidate transformations).
+func Benefit(p *PVT, d *dataset.Dataset) float64 {
+	v := p.Profile.Violation(d)
+	if v == 0 {
+		return 0
+	}
+	cov := 0.0
+	for _, t := range p.Transforms {
+		if c := t.Coverage(d); c > cov {
+			cov = c
+		}
+	}
+	return v * cov
+}
+
+// buildGraph constructs the PVT-attribute bipartite graph for a PVT slice.
+func buildGraph(pvts []*PVT) *graph.PVTAttr {
+	attrs := make([][]string, len(pvts))
+	for i, p := range pvts {
+		attrs[i] = p.Attributes()
+	}
+	return graph.NewPVTAttr(attrs)
+}
+
+// orderTransforms returns the PVT's transformations sorted so those
+// modifying higher-degree attributes (in the current PVT-attribute graph)
+// come first — the graph-guided choice of which side of an Indep profile to
+// intervene on (Observation O1).
+func orderTransforms(p *PVT, g *graph.PVTAttr) []transform.Transformation {
+	type scored struct {
+		t      transform.Transformation
+		degree int
+		pos    int
+	}
+	list := make([]scored, len(p.Transforms))
+	for i, t := range p.Transforms {
+		deg := 0
+		for _, a := range t.Modifies() {
+			if d := g.AttrDegree(a); d > deg {
+				deg = d
+			}
+		}
+		list[i] = scored{t: t, degree: deg, pos: i}
+	}
+	sort.SliceStable(list, func(i, j int) bool { return list[i].degree > list[j].degree })
+	out := make([]transform.Transformation, len(list))
+	for i, s := range list {
+		out[i] = s.t
+	}
+	return out
+}
+
+// inPlaceTransformation is an optional fast path: transformations that can
+// mutate a dataset the caller owns, letting group interventions over very
+// large PVT sets apply with a single clone instead of one clone per PVT.
+type inPlaceTransformation interface {
+	transform.Transformation
+	ApplyInPlace(d *dataset.Dataset) error
+}
+
+// applyPVT applies a PVT's best applicable transformation to d (trying the
+// candidates in the given order), returning the transformed dataset and the
+// transformation used. It fails only if every candidate errors.
+func applyPVT(d *dataset.Dataset, ts []transform.Transformation, rng *rand.Rand) (*dataset.Dataset, transform.Transformation, error) {
+	var firstErr error
+	for _, t := range ts {
+		out, err := t.Apply(d, rng)
+		if err == nil {
+			return out, t, nil
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	return nil, nil, fmt.Errorf("core: no applicable transformation: %w", firstErr)
+}
+
+// applyPVTOwned is applyPVT for a dataset the caller owns: in-place-capable
+// transformations mutate it directly and return it, others go through the
+// cloning Apply. The returned dataset replaces the caller's ownership.
+func applyPVTOwned(owned *dataset.Dataset, ts []transform.Transformation, rng *rand.Rand) (*dataset.Dataset, transform.Transformation, error) {
+	var firstErr error
+	for _, t := range ts {
+		if ip, ok := t.(inPlaceTransformation); ok {
+			if err := ip.ApplyInPlace(owned); err == nil {
+				return owned, t, nil
+			} else if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		out, err := t.Apply(owned, rng)
+		if err == nil {
+			return out, t, nil
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	return owned, nil, fmt.Errorf("core: no applicable transformation: %w", firstErr)
+}
+
+// composeAll applies one transformation per PVT in slice order (the ◦
+// composition of Definition 9), skipping PVTs whose transformations all
+// fail on the current dataset. d itself is never mutated: the composition
+// works on a single clone, using the in-place fast path where available.
+func composeAll(d *dataset.Dataset, pvts []*PVT, chosen map[*PVT]transform.Transformation, rng *rand.Rand) *dataset.Dataset {
+	cur := d.Clone()
+	for _, p := range pvts {
+		ts := p.Transforms
+		if chosen != nil {
+			if t, ok := chosen[p]; ok && t != nil {
+				ts = []transform.Transformation{t}
+			}
+		}
+		next, _, err := applyPVTOwned(cur, ts, rng)
+		if err != nil {
+			continue
+		}
+		cur = next
+	}
+	return cur
+}
+
+// pvtSetString renders an explanation set for reports.
+func pvtSetString(pvts []*PVT) string {
+	parts := make([]string, len(pvts))
+	for i, p := range pvts {
+		parts[i] = p.String()
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}

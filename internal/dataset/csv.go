@@ -1,0 +1,165 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// nullTokens are cell spellings interpreted as NULL on import.
+var nullTokens = map[string]bool{"": true, "null": true, "NULL": true, "NA": true, "n/a": true, "N/A": true}
+
+// InferOptions controls CSV type inference.
+type InferOptions struct {
+	// MaxCategorical is the largest distinct-value count (relative to rows)
+	// for which a string column is classified Categorical rather than Text.
+	// Expressed as an absolute cap; 0 means the default of 64.
+	MaxCategorical int
+	// TextColumns forces the named columns to Text regardless of inference.
+	TextColumns []string
+}
+
+// ReadCSV parses CSV data whose first record is the header, inferring column
+// kinds: a column is Numeric if every non-NULL cell parses as a float,
+// Categorical if it has few distinct values, and Text otherwise.
+func ReadCSV(r io.Reader, opts InferOptions) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading csv: %w", err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("dataset: csv has no header row")
+	}
+	header := records[0]
+	rows := records[1:]
+	for i, rec := range rows {
+		if len(rec) != len(header) {
+			return nil, fmt.Errorf("dataset: csv row %d has %d fields, want %d", i+2, len(rec), len(header))
+		}
+	}
+	maxCat := opts.MaxCategorical
+	if maxCat == 0 {
+		maxCat = 64
+	}
+	forcedText := make(map[string]bool, len(opts.TextColumns))
+	for _, n := range opts.TextColumns {
+		forcedText[n] = true
+	}
+
+	d := New()
+	for j, name := range header {
+		cells := make([]string, len(rows))
+		null := make([]bool, len(rows))
+		for i, rec := range rows {
+			cells[i] = rec[j]
+			null[i] = nullTokens[strings.TrimSpace(rec[j])]
+		}
+		if !forcedText[name] && allNumeric(cells, null) {
+			nums := make([]float64, len(cells))
+			for i, s := range cells {
+				if null[i] {
+					continue
+				}
+				v, perr := strconv.ParseFloat(strings.TrimSpace(s), 64)
+				if perr != nil {
+					return nil, fmt.Errorf("dataset: column %q row %d: %w", name, i+2, perr)
+				}
+				nums[i] = v
+			}
+			if err := d.AddNumericColumn(name, nums, null); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		kind := Categorical
+		if forcedText[name] || distinctCount(cells, null) > maxCat {
+			kind = Text
+		}
+		col := &Column{Name: name, Kind: kind, Strs: cells, Null: null}
+		if err := d.addColumn(col); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+// allNumeric reports whether every non-NULL cell parses as a float and at
+// least one non-NULL cell exists.
+func allNumeric(cells []string, null []bool) bool {
+	seenValue := false
+	for i, s := range cells {
+		if null[i] {
+			continue
+		}
+		if _, err := strconv.ParseFloat(strings.TrimSpace(s), 64); err != nil {
+			return false
+		}
+		seenValue = true
+	}
+	return seenValue
+}
+
+func distinctCount(cells []string, null []bool) int {
+	seen := make(map[string]struct{})
+	for i, s := range cells {
+		if !null[i] {
+			seen[s] = struct{}{}
+		}
+	}
+	return len(seen)
+}
+
+// ReadCSVFile opens and parses a CSV file. See ReadCSV.
+func ReadCSVFile(path string, opts InferOptions) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadCSV(f, opts)
+}
+
+// WriteCSV serializes the dataset with a header row. NULL cells are written
+// as empty strings; numeric cells use the shortest round-trip representation.
+func (d *Dataset) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(d.ColumnNames()); err != nil {
+		return err
+	}
+	rec := make([]string, d.NumCols())
+	for r := 0; r < d.NumRows(); r++ {
+		for j, c := range d.cols {
+			switch {
+			case c.Null[r]:
+				rec[j] = ""
+			case c.Kind == Numeric:
+				rec[j] = strconv.FormatFloat(c.Nums[r], 'g', -1, 64)
+			default:
+				rec[j] = c.Strs[r]
+			}
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSVFile writes the dataset to a CSV file at path.
+func (d *Dataset) WriteCSVFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := d.WriteCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

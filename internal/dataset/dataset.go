@@ -1,0 +1,489 @@
+// Package dataset implements the relational-table substrate that DataPrism
+// profiles, transforms, and feeds to the systems under test.
+//
+// A Dataset is a columnar table over a fixed schema. Every column has a name,
+// a Kind (Numeric, Categorical, or Text), a value vector, and a NULL mask.
+// Datasets are value-semantic at the API level: transformations operate on
+// deep copies obtained via Clone, so interventions never mutate the original
+// failing dataset.
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// Kind identifies the type of the values stored in a column.
+type Kind int
+
+const (
+	// Numeric columns store float64 values.
+	Numeric Kind = iota
+	// Categorical columns store string values drawn from a small domain.
+	Categorical
+	// Text columns store free-form strings (reviews, license plates, ...).
+	Text
+)
+
+// String returns the lowercase name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case Numeric:
+		return "numeric"
+	case Categorical:
+		return "categorical"
+	case Text:
+		return "text"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Column is a single named, typed column with a NULL mask.
+// Nums is populated for Numeric columns; Strs for Categorical and Text.
+// Null[i] reports whether row i is NULL; a NULL row's value slot is ignored.
+type Column struct {
+	Name string
+	Kind Kind
+	Nums []float64
+	Strs []string
+	Null []bool
+}
+
+// Len returns the number of rows in the column.
+func (c *Column) Len() int {
+	if c.Kind == Numeric {
+		return len(c.Nums)
+	}
+	return len(c.Strs)
+}
+
+// clone returns a deep copy of the column.
+func (c *Column) clone() *Column {
+	cp := &Column{Name: c.Name, Kind: c.Kind}
+	if c.Nums != nil {
+		cp.Nums = append([]float64(nil), c.Nums...)
+	}
+	if c.Strs != nil {
+		cp.Strs = append([]string(nil), c.Strs...)
+	}
+	if c.Null != nil {
+		cp.Null = append([]bool(nil), c.Null...)
+	}
+	return cp
+}
+
+// Dataset is a columnar relational table. The zero value is an empty table;
+// use New and the Add*Column methods to populate it.
+type Dataset struct {
+	cols   []*Column
+	byName map[string]int
+	rows   int
+}
+
+// New returns an empty dataset with no columns and no rows.
+func New() *Dataset {
+	return &Dataset{byName: make(map[string]int)}
+}
+
+// NumRows returns the number of tuples in the dataset.
+func (d *Dataset) NumRows() int { return d.rows }
+
+// NumCols returns the number of attributes in the dataset.
+func (d *Dataset) NumCols() int { return len(d.cols) }
+
+// ColumnNames returns the attribute names in schema order.
+func (d *Dataset) ColumnNames() []string {
+	names := make([]string, len(d.cols))
+	for i, c := range d.cols {
+		names[i] = c.Name
+	}
+	return names
+}
+
+// Columns returns the underlying columns in schema order. Callers must not
+// mutate the returned slices unless they own the dataset.
+func (d *Dataset) Columns() []*Column { return d.cols }
+
+// Column returns the column with the given name, or nil if absent.
+func (d *Dataset) Column(name string) *Column {
+	i, ok := d.byName[name]
+	if !ok {
+		return nil
+	}
+	return d.cols[i]
+}
+
+// HasColumn reports whether the dataset has an attribute with the given name.
+func (d *Dataset) HasColumn(name string) bool {
+	_, ok := d.byName[name]
+	return ok
+}
+
+// addColumn registers a column, enforcing unique names and consistent length.
+func (d *Dataset) addColumn(c *Column) error {
+	if c.Name == "" {
+		return fmt.Errorf("dataset: column name must not be empty")
+	}
+	if _, dup := d.byName[c.Name]; dup {
+		return fmt.Errorf("dataset: duplicate column %q", c.Name)
+	}
+	if len(d.cols) > 0 && c.Len() != d.rows {
+		return fmt.Errorf("dataset: column %q has %d rows, want %d", c.Name, c.Len(), d.rows)
+	}
+	if c.Null == nil {
+		c.Null = make([]bool, c.Len())
+	} else if len(c.Null) != c.Len() {
+		return fmt.Errorf("dataset: column %q null mask has %d entries, want %d", c.Name, len(c.Null), c.Len())
+	}
+	if len(d.cols) == 0 {
+		d.rows = c.Len()
+	}
+	d.byName[c.Name] = len(d.cols)
+	d.cols = append(d.cols, c)
+	return nil
+}
+
+// AddNumericColumn appends a numeric column. A nil null mask means no NULLs.
+func (d *Dataset) AddNumericColumn(name string, vals []float64, null []bool) error {
+	return d.addColumn(&Column{Name: name, Kind: Numeric, Nums: vals, Null: null})
+}
+
+// AddCategoricalColumn appends a categorical column. A nil null mask means no NULLs.
+func (d *Dataset) AddCategoricalColumn(name string, vals []string, null []bool) error {
+	return d.addColumn(&Column{Name: name, Kind: Categorical, Strs: vals, Null: null})
+}
+
+// AddTextColumn appends a free-text column. A nil null mask means no NULLs.
+func (d *Dataset) AddTextColumn(name string, vals []string, null []bool) error {
+	return d.addColumn(&Column{Name: name, Kind: Text, Strs: vals, Null: null})
+}
+
+// MustAddNumeric is AddNumericColumn that panics on error; for literals in
+// tests and generators where the schema is known to be valid.
+func (d *Dataset) MustAddNumeric(name string, vals []float64) *Dataset {
+	if err := d.AddNumericColumn(name, vals, nil); err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// MustAddCategorical is AddCategoricalColumn that panics on error.
+func (d *Dataset) MustAddCategorical(name string, vals []string) *Dataset {
+	if err := d.AddCategoricalColumn(name, vals, nil); err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// MustAddText is AddTextColumn that panics on error.
+func (d *Dataset) MustAddText(name string, vals []string) *Dataset {
+	if err := d.AddTextColumn(name, vals, nil); err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// IsNull reports whether the value at (attr, row) is NULL.
+func (d *Dataset) IsNull(attr string, row int) bool {
+	c := d.Column(attr)
+	return c != nil && c.Null[row]
+}
+
+// Num returns the numeric value at (attr, row). It panics if the column is
+// not numeric; a NULL slot returns NaN.
+func (d *Dataset) Num(attr string, row int) float64 {
+	c := d.Column(attr)
+	if c == nil || c.Kind != Numeric {
+		panic(fmt.Sprintf("dataset: %q is not a numeric column", attr))
+	}
+	if c.Null[row] {
+		return math.NaN()
+	}
+	return c.Nums[row]
+}
+
+// Str returns the string value at (attr, row). It panics if the column is
+// numeric; a NULL slot returns "".
+func (d *Dataset) Str(attr string, row int) string {
+	c := d.Column(attr)
+	if c == nil || c.Kind == Numeric {
+		panic(fmt.Sprintf("dataset: %q is not a string column", attr))
+	}
+	if c.Null[row] {
+		return ""
+	}
+	return c.Strs[row]
+}
+
+// SetNum stores a numeric value, clearing the NULL flag.
+func (d *Dataset) SetNum(attr string, row int, v float64) {
+	c := d.Column(attr)
+	if c == nil || c.Kind != Numeric {
+		panic(fmt.Sprintf("dataset: %q is not a numeric column", attr))
+	}
+	c.Nums[row] = v
+	c.Null[row] = false
+}
+
+// SetStr stores a string value, clearing the NULL flag.
+func (d *Dataset) SetStr(attr string, row int, v string) {
+	c := d.Column(attr)
+	if c == nil || c.Kind == Numeric {
+		panic(fmt.Sprintf("dataset: %q is not a string column", attr))
+	}
+	c.Strs[row] = v
+	c.Null[row] = false
+}
+
+// SetNull marks the value at (attr, row) as NULL.
+func (d *Dataset) SetNull(attr string, row int) {
+	c := d.Column(attr)
+	if c == nil {
+		panic(fmt.Sprintf("dataset: no column %q", attr))
+	}
+	c.Null[row] = true
+}
+
+// Clone returns a deep copy of the dataset. Transformations always clone
+// before mutating so the source dataset is never altered.
+func (d *Dataset) Clone() *Dataset {
+	cp := &Dataset{
+		cols:   make([]*Column, len(d.cols)),
+		byName: make(map[string]int, len(d.byName)),
+		rows:   d.rows,
+	}
+	for i, c := range d.cols {
+		cp.cols[i] = c.clone()
+		cp.byName[c.Name] = i
+	}
+	return cp
+}
+
+// SelectRows returns a new dataset containing the rows at the given indices,
+// in order. Indices may repeat (used by over-sampling transformations).
+func (d *Dataset) SelectRows(idx []int) *Dataset {
+	out := New()
+	for _, c := range d.cols {
+		nc := &Column{Name: c.Name, Kind: c.Kind, Null: make([]bool, len(idx))}
+		if c.Kind == Numeric {
+			nc.Nums = make([]float64, len(idx))
+			for j, i := range idx {
+				nc.Nums[j] = c.Nums[i]
+				nc.Null[j] = c.Null[i]
+			}
+		} else {
+			nc.Strs = make([]string, len(idx))
+			for j, i := range idx {
+				nc.Strs[j] = c.Strs[i]
+				nc.Null[j] = c.Null[i]
+			}
+		}
+		if err := out.addColumn(nc); err != nil {
+			panic(err) // cannot happen: schema mirrors a valid dataset
+		}
+	}
+	return out
+}
+
+// Filter returns a new dataset containing the rows for which keep returns true.
+func (d *Dataset) Filter(keep func(row int) bool) *Dataset {
+	idx := make([]int, 0, d.rows)
+	for i := 0; i < d.rows; i++ {
+		if keep(i) {
+			idx = append(idx, i)
+		}
+	}
+	return d.SelectRows(idx)
+}
+
+// Append concatenates other's rows onto d and returns the combined dataset.
+// The schemas must match exactly (names, order, kinds).
+func (d *Dataset) Append(other *Dataset) (*Dataset, error) {
+	if len(d.cols) != len(other.cols) {
+		return nil, fmt.Errorf("dataset: schema mismatch: %d vs %d columns", len(d.cols), len(other.cols))
+	}
+	out := d.Clone()
+	for i, c := range out.cols {
+		oc := other.cols[i]
+		if oc.Name != c.Name || oc.Kind != c.Kind {
+			return nil, fmt.Errorf("dataset: schema mismatch at column %d: %s/%s vs %s/%s",
+				i, c.Name, c.Kind, oc.Name, oc.Kind)
+		}
+		if c.Kind == Numeric {
+			c.Nums = append(c.Nums, oc.Nums...)
+		} else {
+			c.Strs = append(c.Strs, oc.Strs...)
+		}
+		c.Null = append(c.Null, oc.Null...)
+	}
+	out.rows += other.rows
+	return out, nil
+}
+
+// Shuffle returns a copy of the dataset with rows permuted by rng.
+func (d *Dataset) Shuffle(rng *rand.Rand) *Dataset {
+	idx := rng.Perm(d.rows)
+	return d.SelectRows(idx)
+}
+
+// Split partitions the dataset into a head of ⌈frac·n⌉ rows and the tail.
+func (d *Dataset) Split(frac float64) (head, tail *Dataset) {
+	n := int(math.Ceil(frac * float64(d.rows)))
+	if n > d.rows {
+		n = d.rows
+	}
+	hi := make([]int, n)
+	ti := make([]int, d.rows-n)
+	for i := range hi {
+		hi[i] = i
+	}
+	for i := range ti {
+		ti[i] = n + i
+	}
+	return d.SelectRows(hi), d.SelectRows(ti)
+}
+
+// Sample returns a uniform random sample (without replacement) of n rows.
+// If n exceeds the row count the whole dataset is returned (shuffled).
+func (d *Dataset) Sample(n int, rng *rand.Rand) *Dataset {
+	if n >= d.rows {
+		return d.Shuffle(rng)
+	}
+	idx := rng.Perm(d.rows)[:n]
+	return d.SelectRows(idx)
+}
+
+// NumericValues returns the non-NULL values of a numeric column.
+func (d *Dataset) NumericValues(attr string) []float64 {
+	c := d.Column(attr)
+	if c == nil || c.Kind != Numeric {
+		return nil
+	}
+	out := make([]float64, 0, len(c.Nums))
+	for i, v := range c.Nums {
+		if !c.Null[i] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// StringValues returns the non-NULL values of a categorical or text column.
+func (d *Dataset) StringValues(attr string) []string {
+	c := d.Column(attr)
+	if c == nil || c.Kind == Numeric {
+		return nil
+	}
+	out := make([]string, 0, len(c.Strs))
+	for i, v := range c.Strs {
+		if !c.Null[i] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// DistinctStrings returns the sorted distinct non-NULL values of a string column.
+func (d *Dataset) DistinctStrings(attr string) []string {
+	seen := make(map[string]struct{})
+	for _, v := range d.StringValues(attr) {
+		seen[v] = struct{}{}
+	}
+	out := make([]string, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NullCount returns the number of NULL slots in the column.
+func (d *Dataset) NullCount(attr string) int {
+	c := d.Column(attr)
+	if c == nil {
+		return 0
+	}
+	n := 0
+	for _, isNull := range c.Null {
+		if isNull {
+			n++
+		}
+	}
+	return n
+}
+
+// SchemaEqual reports whether two datasets share names, order, and kinds.
+func (d *Dataset) SchemaEqual(other *Dataset) bool {
+	if len(d.cols) != len(other.cols) {
+		return false
+	}
+	for i, c := range d.cols {
+		if other.cols[i].Name != c.Name || other.cols[i].Kind != c.Kind {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether two datasets have identical schema and cell values.
+// NaN numeric cells compare equal to NaN.
+func (d *Dataset) Equal(other *Dataset) bool {
+	if !d.SchemaEqual(other) || d.rows != other.rows {
+		return false
+	}
+	for i, c := range d.cols {
+		oc := other.cols[i]
+		for r := 0; r < d.rows; r++ {
+			if c.Null[r] != oc.Null[r] {
+				return false
+			}
+			if c.Null[r] {
+				continue
+			}
+			if c.Kind == Numeric {
+				a, b := c.Nums[r], oc.Nums[r]
+				if a != b && !(math.IsNaN(a) && math.IsNaN(b)) {
+					return false
+				}
+			} else if c.Strs[r] != oc.Strs[r] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// String renders a short human-readable preview (schema plus up to 5 rows).
+func (d *Dataset) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Dataset(%d rows, %d cols)\n", d.rows, d.NumCols())
+	for _, c := range d.cols {
+		fmt.Fprintf(&b, "  %s %s", c.Name, c.Kind)
+		n := c.Len()
+		if n > 5 {
+			n = 5
+		}
+		b.WriteString(" [")
+		for i := 0; i < n; i++ {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			if c.Null[i] {
+				b.WriteString("NULL")
+			} else if c.Kind == Numeric {
+				fmt.Fprintf(&b, "%g", c.Nums[i])
+			} else {
+				fmt.Fprintf(&b, "%q", c.Strs[i])
+			}
+		}
+		if c.Len() > 5 {
+			b.WriteString(", …")
+		}
+		b.WriteString("]\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,214 @@
+package dataset
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Op is a comparison operator inside a predicate clause.
+type Op int
+
+const (
+	// Eq matches cells equal to the clause value.
+	Eq Op = iota
+	// Ne matches cells different from the clause value.
+	Ne
+	// Lt matches numeric cells strictly below the clause value.
+	Lt
+	// Le matches numeric cells at or below the clause value.
+	Le
+	// Gt matches numeric cells strictly above the clause value.
+	Gt
+	// Ge matches numeric cells at or above the clause value.
+	Ge
+	// IsNull matches NULL cells regardless of value.
+	IsNull
+	// NotNull matches non-NULL cells regardless of value.
+	NotNull
+)
+
+// String returns the SQL-ish spelling of the operator.
+func (o Op) String() string {
+	switch o {
+	case Eq:
+		return "="
+	case Ne:
+		return "!="
+	case Lt:
+		return "<"
+	case Le:
+		return "<="
+	case Gt:
+		return ">"
+	case Ge:
+		return ">="
+	case IsNull:
+		return "IS NULL"
+	case NotNull:
+		return "IS NOT NULL"
+	default:
+		return fmt.Sprintf("op(%d)", int(o))
+	}
+}
+
+// Clause is a single comparison Attr Op Value. For string columns only
+// Eq/Ne/IsNull/NotNull are meaningful; numeric columns support all operators.
+type Clause struct {
+	Attr   string
+	Op     Op
+	StrVal string
+	NumVal float64
+	IsNum  bool
+}
+
+// EqStr builds an equality clause on a string column.
+func EqStr(attr, val string) Clause { return Clause{Attr: attr, Op: Eq, StrVal: val} }
+
+// EqNum builds an equality clause on a numeric column.
+func EqNum(attr string, val float64) Clause {
+	return Clause{Attr: attr, Op: Eq, NumVal: val, IsNum: true}
+}
+
+// CmpNum builds a numeric comparison clause.
+func CmpNum(attr string, op Op, val float64) Clause {
+	return Clause{Attr: attr, Op: op, NumVal: val, IsNum: true}
+}
+
+// Eval reports whether the clause holds for row r of d.
+func (c Clause) Eval(d *Dataset, r int) bool {
+	col := d.Column(c.Attr)
+	if col == nil {
+		return false
+	}
+	switch c.Op {
+	case IsNull:
+		return col.Null[r]
+	case NotNull:
+		return !col.Null[r]
+	}
+	if col.Null[r] {
+		return false
+	}
+	if col.Kind == Numeric {
+		v := col.Nums[r]
+		switch c.Op {
+		case Eq:
+			return v == c.NumVal
+		case Ne:
+			return v != c.NumVal
+		case Lt:
+			return v < c.NumVal
+		case Le:
+			return v <= c.NumVal
+		case Gt:
+			return v > c.NumVal
+		case Ge:
+			return v >= c.NumVal
+		}
+		return false
+	}
+	v := col.Strs[r]
+	switch c.Op {
+	case Eq:
+		return v == c.StrVal
+	case Ne:
+		return v != c.StrVal
+	}
+	return false
+}
+
+// String renders the clause, e.g. `gender = "F"` or `age >= 30`.
+func (c Clause) String() string {
+	switch c.Op {
+	case IsNull, NotNull:
+		return fmt.Sprintf("%s %s", c.Attr, c.Op)
+	}
+	if c.IsNum {
+		return fmt.Sprintf("%s %s %s", c.Attr, c.Op, strconv.FormatFloat(c.NumVal, 'g', -1, 64))
+	}
+	return fmt.Sprintf("%s %s %q", c.Attr, c.Op, c.StrVal)
+}
+
+// Predicate is a conjunction of clauses — the selection predicate P used by
+// Selectivity profiles (Figure 1 row 6 of the paper).
+type Predicate struct {
+	Clauses []Clause
+}
+
+// And builds a predicate from the given clauses.
+func And(clauses ...Clause) Predicate { return Predicate{Clauses: clauses} }
+
+// Eval reports whether all clauses hold for row r.
+func (p Predicate) Eval(d *Dataset, r int) bool {
+	for _, c := range p.Clauses {
+		if !c.Eval(d, r) {
+			return false
+		}
+	}
+	return true
+}
+
+// Attributes returns the sorted distinct attributes the predicate mentions.
+func (p Predicate) Attributes() []string {
+	seen := make(map[string]struct{})
+	for _, c := range p.Clauses {
+		seen[c.Attr] = struct{}{}
+	}
+	out := make([]string, 0, len(seen))
+	for a := range seen {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Selectivity returns the fraction of rows satisfying the predicate.
+// An empty dataset has selectivity 0.
+func (p Predicate) Selectivity(d *Dataset) float64 {
+	if d.NumRows() == 0 {
+		return 0
+	}
+	n := 0
+	for r := 0; r < d.NumRows(); r++ {
+		if p.Eval(d, r) {
+			n++
+		}
+	}
+	return float64(n) / float64(d.NumRows())
+}
+
+// MatchingRows returns the indices of rows satisfying the predicate.
+func (p Predicate) MatchingRows(d *Dataset) []int {
+	var idx []int
+	for r := 0; r < d.NumRows(); r++ {
+		if p.Eval(d, r) {
+			idx = append(idx, r)
+		}
+	}
+	return idx
+}
+
+// String renders the predicate as clause ∧ clause ∧ …
+func (p Predicate) String() string {
+	if len(p.Clauses) == 0 {
+		return "TRUE"
+	}
+	parts := make([]string, len(p.Clauses))
+	for i, c := range p.Clauses {
+		parts[i] = c.String()
+	}
+	return strings.Join(parts, " AND ")
+}
+
+// Key returns a canonical identity string: clauses sorted so that logically
+// identical predicates built in different orders compare equal.
+func (p Predicate) Key() string {
+	parts := make([]string, len(p.Clauses))
+	for i, c := range p.Clauses {
+		parts[i] = c.String()
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, " AND ")
+}

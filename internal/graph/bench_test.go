@@ -1,0 +1,53 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func randomGraph(n, attrs int, seed int64) *Dependency {
+	rng := rand.New(rand.NewSource(seed))
+	perPVT := make([][]string, n)
+	for i := range perPVT {
+		perPVT[i] = []string{fmt.Sprintf("a%d", rng.Intn(attrs))}
+	}
+	g := NewPVTAttr(perPVT)
+	nodes := make([]int, n)
+	for i := range nodes {
+		nodes[i] = i
+	}
+	return g.Dependency(nodes)
+}
+
+func BenchmarkMinBisection(b *testing.B) {
+	for _, n := range []int{16, 128, 1024} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			d := randomGraph(n, n/4+1, 1)
+			rng := rand.New(rand.NewSource(2))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				a, c := d.MinBisection(rng)
+				if len(a)+len(c) != n {
+					b.Fatal("lost nodes")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkDependencyConstruction(b *testing.B) {
+	perPVT := make([][]string, 2000)
+	for i := range perPVT {
+		perPVT[i] = []string{fmt.Sprintf("a%d", i%50)}
+	}
+	g := NewPVTAttr(perPVT)
+	nodes := make([]int, 2000)
+	for i := range nodes {
+		nodes[i] = i
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.Dependency(nodes)
+	}
+}

@@ -1,0 +1,280 @@
+// Package graph implements the graph machinery behind DataPrism's
+// intervention ordering: the PVT-attribute bipartite graph used to
+// prioritize interventions (Observation O1, Section 4.2), the PVT-dependency
+// graph derived from it, and the anytime local-search minimum-bisection
+// algorithm (Appendix A, Algorithm 4) that DataPrismGT uses to partition
+// candidate PVTs for group testing.
+package graph
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// PVTAttr is the bipartite PVT-attribute graph: PVTs (identified by dense
+// indices) on one side, attribute names on the other. A PVT is connected to
+// every attribute its profile is defined over. PVTs can be removed as the
+// greedy algorithm explores them (Algorithm 1, line 13).
+type PVTAttr struct {
+	attrsOf [][]string       // pvt index -> attribute names
+	pvtsOf  map[string][]int // attribute -> pvt indices (static)
+	removed []bool           // pvt index -> explored flag
+}
+
+// NewPVTAttr builds the bipartite graph from each PVT's attribute list.
+func NewPVTAttr(attrsPerPVT [][]string) *PVTAttr {
+	g := &PVTAttr{
+		attrsOf: attrsPerPVT,
+		pvtsOf:  make(map[string][]int),
+		removed: make([]bool, len(attrsPerPVT)),
+	}
+	for i, attrs := range attrsPerPVT {
+		for _, a := range attrs {
+			g.pvtsOf[a] = append(g.pvtsOf[a], i)
+		}
+	}
+	return g
+}
+
+// NumPVTs returns the total number of PVTs (including removed ones).
+func (g *PVTAttr) NumPVTs() int { return len(g.attrsOf) }
+
+// Remove marks a PVT as explored so it no longer contributes to degrees.
+func (g *PVTAttr) Remove(pvt int) {
+	if pvt >= 0 && pvt < len(g.removed) {
+		g.removed[pvt] = true
+	}
+}
+
+// Removed reports whether the PVT has been removed.
+func (g *PVTAttr) Removed(pvt int) bool {
+	return pvt >= 0 && pvt < len(g.removed) && g.removed[pvt]
+}
+
+// Active returns the indices of the PVTs not yet removed, ascending.
+func (g *PVTAttr) Active() []int {
+	var out []int
+	for i, r := range g.removed {
+		if !r {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// AttrsOf returns the attributes a PVT's profile is defined over.
+func (g *PVTAttr) AttrsOf(pvt int) []string {
+	if pvt < 0 || pvt >= len(g.attrsOf) {
+		return nil
+	}
+	return g.attrsOf[pvt]
+}
+
+// AttrDegree returns the number of active PVTs connected to attr.
+func (g *PVTAttr) AttrDegree(attr string) int {
+	n := 0
+	for _, p := range g.pvtsOf[attr] {
+		if !g.removed[p] {
+			n++
+		}
+	}
+	return n
+}
+
+// HighestDegreeAttrs returns the attributes with the maximal active degree,
+// sorted for determinism. Attributes with zero degree are never returned.
+func (g *PVTAttr) HighestDegreeAttrs() []string {
+	best := 0
+	for attr := range g.pvtsOf {
+		if d := g.AttrDegree(attr); d > best {
+			best = d
+		}
+	}
+	if best == 0 {
+		return nil
+	}
+	var out []string
+	for attr := range g.pvtsOf {
+		if g.AttrDegree(attr) == best {
+			out = append(out, attr)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PVTsOfAttrs returns the active PVTs adjacent to at least one of the given
+// attributes — the Xhda set of Algorithm 1, line 10.
+func (g *PVTAttr) PVTsOfAttrs(attrs []string) []int {
+	seen := make(map[int]bool)
+	for _, a := range attrs {
+		for _, p := range g.pvtsOf[a] {
+			if !g.removed[p] {
+				seen[p] = true
+			}
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for p := range seen {
+		out = append(out, p)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Dependency builds the PVT-dependency graph G_PD over the given PVT subset:
+// two PVTs are adjacent iff they share an attribute in the bipartite graph
+// (G²_PA restricted to PVT nodes, Section 4.4).
+func (g *PVTAttr) Dependency(pvts []int) *Dependency {
+	d := &Dependency{adj: make(map[int]map[int]bool, len(pvts))}
+	inSet := make(map[int]bool, len(pvts))
+	for _, p := range pvts {
+		inSet[p] = true
+		d.adj[p] = make(map[int]bool)
+	}
+	for _, members := range g.pvtsOf {
+		var present []int
+		seen := make(map[int]bool, len(members))
+		for _, p := range members {
+			// Dedupe: a PVT may list the same attribute more than once;
+			// self-loops would corrupt the bisection gain function.
+			if inSet[p] && !seen[p] {
+				seen[p] = true
+				present = append(present, p)
+			}
+		}
+		for i := 0; i < len(present); i++ {
+			for j := i + 1; j < len(present); j++ {
+				d.adj[present[i]][present[j]] = true
+				d.adj[present[j]][present[i]] = true
+			}
+		}
+	}
+	d.nodes = append([]int(nil), pvts...)
+	sort.Ints(d.nodes)
+	return d
+}
+
+// Dependency is the PVT-dependency graph used for min-bisection partitioning.
+type Dependency struct {
+	nodes []int
+	adj   map[int]map[int]bool
+}
+
+// Nodes returns the PVT indices in the graph, ascending.
+func (d *Dependency) Nodes() []int { return d.nodes }
+
+// HasEdge reports whether two PVTs share an attribute.
+func (d *Dependency) HasEdge(a, b int) bool { return d.adj[a][b] }
+
+// NumEdges returns the undirected edge count.
+func (d *Dependency) NumEdges() int {
+	n := 0
+	for _, nbrs := range d.adj {
+		n += len(nbrs)
+	}
+	return n / 2
+}
+
+// CutSize counts edges crossing between the two partitions.
+func (d *Dependency) CutSize(a, b []int) int {
+	inA := make(map[int]bool, len(a))
+	for _, x := range a {
+		inA[x] = true
+	}
+	cut := 0
+	for _, y := range b {
+		for nbr := range d.adj[y] {
+			if inA[nbr] {
+				cut++
+			}
+		}
+	}
+	return cut
+}
+
+// RandomBisection splits nodes into two halves uniformly at random
+// (sizes differ by at most one) — the partitioning of the traditional
+// adaptive group-testing baseline.
+func RandomBisection(nodes []int, rng *rand.Rand) (a, b []int) {
+	perm := rng.Perm(len(nodes))
+	half := (len(nodes) + 1) / 2
+	a = make([]int, 0, half)
+	b = make([]int, 0, len(nodes)-half)
+	for i, pi := range perm {
+		if i < half {
+			a = append(a, nodes[pi])
+		} else {
+			b = append(b, nodes[pi])
+		}
+	}
+	sort.Ints(a)
+	sort.Ints(b)
+	return a, b
+}
+
+// maxSwapScans bounds the pair scans per improvement pass so MinBisection
+// stays anytime on very large PVT sets (Appendix A notes the local search
+// is an anytime algorithm).
+const maxSwapScans = 1 << 18
+
+// MinBisection partitions the dependency graph's node set into two
+// almost-equal halves minimizing the crossing edges, via the local-search
+// swap algorithm of Appendix A (Algorithm 4): starting from a random
+// bisection, repeatedly swap a node pair across the partitions whenever the
+// swap reduces the cut, until no improving swap exists or the scan budget
+// is exhausted.
+func (d *Dependency) MinBisection(rng *rand.Rand) (a, b []int) {
+	a, b = RandomBisection(d.nodes, rng)
+	if len(a) == 0 || len(b) == 0 {
+		return a, b
+	}
+	side := make(map[int]int, len(d.nodes)) // node -> 0 (a) or 1 (b)
+	for _, x := range a {
+		side[x] = 0
+	}
+	for _, y := range b {
+		side[y] = 1
+	}
+	// ext[x] − int[x]: gain of moving x to the other side, maintained lazily.
+	gain := func(x int) int {
+		g := 0
+		for nbr := range d.adj[x] {
+			if side[nbr] == side[x] {
+				g-- // internal edge becomes cut
+			} else {
+				g++ // cut edge becomes internal
+			}
+		}
+		return g
+	}
+	scans := 0
+	improved := true
+	for improved && scans < maxSwapScans {
+		improved = false
+	pairs:
+		for i := range a {
+			gi := gain(a[i])
+			for j := range b {
+				scans++
+				if scans >= maxSwapScans {
+					break pairs
+				}
+				delta := gi + gain(b[j])
+				if d.adj[a[i]][b[j]] {
+					delta -= 2 // the pair's own edge stays cut after the swap
+				}
+				if delta > 0 {
+					a[i], b[j] = b[j], a[i]
+					side[a[i]] = 0
+					side[b[j]] = 1
+					improved = true
+					break pairs
+				}
+			}
+		}
+	}
+	sort.Ints(a)
+	sort.Ints(b)
+	return a, b
+}

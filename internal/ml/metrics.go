@@ -1,0 +1,115 @@
+package ml
+
+import "repro/internal/dataset"
+
+// Accuracy returns the fraction of predictions matching the labels, or 0
+// for empty input.
+func Accuracy(pred, y []int) float64 {
+	if len(pred) == 0 || len(pred) != len(y) {
+		return 0
+	}
+	ok := 0
+	for i := range pred {
+		if pred[i] == y[i] {
+			ok++
+		}
+	}
+	return float64(ok) / float64(len(pred))
+}
+
+// Recall returns the recall of class cls: TP / (TP + FN). It returns 1 when
+// the class never occurs (nothing to recall).
+func Recall(pred, y []int, cls int) float64 {
+	tp, fn := 0, 0
+	for i := range y {
+		if y[i] != cls {
+			continue
+		}
+		if pred[i] == cls {
+			tp++
+		} else {
+			fn++
+		}
+	}
+	if tp+fn == 0 {
+		return 1
+	}
+	return float64(tp) / float64(tp+fn)
+}
+
+// Precision returns the precision of class cls: TP / (TP + FP). It returns
+// 1 when the class is never predicted.
+func Precision(pred, y []int, cls int) float64 {
+	tp, fp := 0, 0
+	for i := range pred {
+		if pred[i] != cls {
+			continue
+		}
+		if y[i] == cls {
+			tp++
+		} else {
+			fp++
+		}
+	}
+	if tp+fp == 0 {
+		return 1
+	}
+	return float64(tp) / float64(tp+fp)
+}
+
+// F1 returns the harmonic mean of precision and recall for class cls.
+func F1(pred, y []int, cls int) float64 {
+	p, r := Precision(pred, y, cls), Recall(pred, y, cls)
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// DisparateImpact returns the ratio of favorable-outcome rates between the
+// unprivileged and privileged groups [39 in the paper]: values near 1 are
+// fair, values near 0 indicate discrimination against the unprivileged
+// group. rows[i] identifies the dataset row behind prediction i (so callers
+// can predict on encoded subsets); protected/unprivileged name the group.
+// A group with no members or a privileged rate of zero yields a DI of 1
+// (no evidence of disparity).
+func DisparateImpact(d *dataset.Dataset, rows []int, pred []int, protected, unprivileged string) float64 {
+	c := d.Column(protected)
+	if c == nil || c.Kind == dataset.Numeric {
+		return 1
+	}
+	var unprivFav, unprivN, privFav, privN float64
+	for i, r := range rows {
+		if c.Null[r] {
+			continue
+		}
+		if c.Strs[r] == unprivileged {
+			unprivN++
+			if pred[i] == 1 {
+				unprivFav++
+			}
+		} else {
+			privN++
+			if pred[i] == 1 {
+				privFav++
+			}
+		}
+	}
+	if unprivN == 0 || privN == 0 || privFav == 0 {
+		return 1
+	}
+	return (unprivFav / unprivN) / (privFav / privN)
+}
+
+// NormalizedDisparateImpact folds a DI ratio into a malfunction score in
+// [0,1]: 0 for perfect parity (DI = 1), approaching 1 for extreme disparity
+// in either direction.
+func NormalizedDisparateImpact(di float64) float64 {
+	if di <= 0 {
+		return 1
+	}
+	if di > 1 {
+		di = 1 / di
+	}
+	return 1 - di
+}

@@ -1,0 +1,85 @@
+package ml
+
+import "strings"
+
+// SentimentLexicon is a word-list sentiment scorer standing in for the
+// pre-trained flair classifier of the Sentiment Prediction case study. It
+// scores text by counting positive and negative lexicon hits, with simple
+// negation flipping ("not good" counts as negative).
+type SentimentLexicon struct {
+	positive map[string]bool
+	negative map[string]bool
+}
+
+// NewSentimentLexicon builds the scorer with its built-in lexicon.
+func NewSentimentLexicon() *SentimentLexicon {
+	pos := []string{
+		"good", "great", "excellent", "amazing", "wonderful", "fantastic",
+		"love", "loved", "lovely", "best", "brilliant", "superb", "enjoyed",
+		"enjoyable", "perfect", "awesome", "delightful", "masterpiece",
+		"beautiful", "charming", "refreshing", "stunning", "happy",
+		"pleasant", "satisfying", "terrific", "outstanding", "favorite",
+		"fun", "funny", "gem", "remarkable", "impressive", "solid",
+	}
+	neg := []string{
+		"bad", "terrible", "awful", "horrible", "worst", "hate", "hated",
+		"boring", "dull", "poor", "disappointing", "disappointed", "waste",
+		"mess", "weak", "annoying", "stupid", "lame", "mediocre", "bland",
+		"dreadful", "painful", "unwatchable", "fails", "failed", "flawed",
+		"pathetic", "tedious", "forgettable", "atrocious", "garbage",
+		"slow", "broken", "ugly", "sad",
+	}
+	s := &SentimentLexicon{
+		positive: make(map[string]bool, len(pos)),
+		negative: make(map[string]bool, len(neg)),
+	}
+	for _, w := range pos {
+		s.positive[w] = true
+	}
+	for _, w := range neg {
+		s.negative[w] = true
+	}
+	return s
+}
+
+// negators are tokens that flip the polarity of the following lexicon hit.
+var negators = map[string]bool{"not": true, "no": true, "never": true, "hardly": true, "isnt": true, "wasnt": true, "dont": true, "didnt": true}
+
+// Score returns a signed sentiment score for text: positive values indicate
+// positive sentiment.
+func (s *SentimentLexicon) Score(text string) float64 {
+	score := 0.0
+	negate := false
+	for _, raw := range strings.Fields(strings.ToLower(text)) {
+		tok := strings.Trim(raw, ".,!?;:'\"()-")
+		tok = strings.ReplaceAll(tok, "'", "")
+		switch {
+		case negators[tok]:
+			negate = true
+			continue
+		case s.positive[tok]:
+			if negate {
+				score--
+			} else {
+				score++
+			}
+		case s.negative[tok]:
+			if negate {
+				score++
+			} else {
+				score--
+			}
+		}
+		negate = false
+	}
+	return score
+}
+
+// Classify returns +1 for positive sentiment and -1 for negative. Ties
+// break negative, matching the pessimistic bias of review scoring.
+func (s *SentimentLexicon) Classify(text string) int {
+	if s.Score(text) > 0 {
+		return 1
+	}
+	return -1
+}

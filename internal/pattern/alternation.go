@@ -1,0 +1,136 @@
+package pattern
+
+import (
+	"sort"
+	"strings"
+)
+
+// Alternation is a disjunction of structured patterns, learned by grouping
+// examples with the same character-class run signature: e.g. phone numbers
+// recorded as both `(555) 123-4567` and `555-123-4567` learn two branches.
+// It upgrades DomainText profiles on heterogeneous-format attributes, where
+// a single Pattern would degrade to its unstructured fallback.
+type Alternation struct {
+	// Branches are the structured patterns, most frequent first.
+	Branches []*Pattern
+	// counts[i] is the number of training examples behind Branches[i].
+	counts []int
+}
+
+// signature canonicalizes a string's run structure: the class sequence
+// (lengths ignored), e.g. "AB-12" → "UL-D" style tokens.
+func signature(s string) string {
+	runs := tokenize(s)
+	var b strings.Builder
+	for _, r := range runs {
+		b.WriteByte(byte('A' + int(r.Class)))
+	}
+	return b.String()
+}
+
+// LearnAlternation groups the examples by run signature and learns one
+// structured Pattern per group. maxBranches caps the number of branches
+// (0 means 8); less frequent structures beyond the cap are folded into the
+// largest group's pattern learning (so they still count toward lengths) —
+// in practice they simply don't match and will be Conformed.
+func LearnAlternation(examples []string, maxBranches int) *Alternation {
+	if maxBranches <= 0 {
+		maxBranches = 8
+	}
+	groups := make(map[string][]string)
+	for _, ex := range examples {
+		sig := signature(ex)
+		groups[sig] = append(groups[sig], ex)
+	}
+	type sized struct {
+		sig string
+		n   int
+	}
+	order := make([]sized, 0, len(groups))
+	for sig, members := range groups {
+		order = append(order, sized{sig, len(members)})
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].n != order[j].n {
+			return order[i].n > order[j].n
+		}
+		return order[i].sig < order[j].sig
+	})
+	a := &Alternation{}
+	for i, g := range order {
+		if i >= maxBranches {
+			break
+		}
+		a.Branches = append(a.Branches, Learn(groups[g.sig]))
+		a.counts = append(a.counts, g.n)
+	}
+	if len(a.Branches) == 0 {
+		a.Branches = []*Pattern{Learn(nil)}
+		a.counts = []int{0}
+	}
+	return a
+}
+
+// Matches reports whether s conforms to any branch.
+func (a *Alternation) Matches(s string) bool {
+	for _, p := range a.Branches {
+		if p.Matches(s) {
+			return true
+		}
+	}
+	return false
+}
+
+// Conform minimally edits s to match the alternation: the branch with the
+// same run signature is preferred, falling back to the most frequent one.
+func (a *Alternation) Conform(s string) string {
+	if a.Matches(s) {
+		return s
+	}
+	sig := signature(s)
+	for _, p := range a.Branches {
+		if p.Structured && branchSignature(p) == sig {
+			return p.Conform(s)
+		}
+	}
+	return a.Branches[0].Conform(s)
+}
+
+// branchSignature recovers the class signature of a structured pattern.
+func branchSignature(p *Pattern) string {
+	var b strings.Builder
+	for _, r := range p.Runs {
+		b.WriteByte(byte('A' + int(r.Class)))
+	}
+	return b.String()
+}
+
+// String renders the alternation as branch|branch|…
+func (a *Alternation) String() string {
+	parts := make([]string, len(a.Branches))
+	for i, p := range a.Branches {
+		parts[i] = p.String()
+	}
+	return strings.Join(parts, " | ")
+}
+
+// Equal reports whether two alternations describe the same format set.
+func (a *Alternation) Equal(b *Alternation) bool {
+	if len(a.Branches) != len(b.Branches) {
+		return false
+	}
+	// Branch order is frequency-dependent; compare as sets by rendered form.
+	seen := make(map[string]int)
+	for _, p := range a.Branches {
+		seen[p.String()]++
+	}
+	for _, p := range b.Branches {
+		seen[p.String()]--
+	}
+	for _, n := range seen {
+		if n != 0 {
+			return false
+		}
+	}
+	return true
+}

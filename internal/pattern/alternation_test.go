@@ -1,0 +1,110 @@
+package pattern
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestLearnAlternationPhones(t *testing.T) {
+	examples := []string{
+		"555-123-4567", "662-987-6543", // plain format
+		"(555) 123-4567", "(816) 765-4321", // parenthesized format
+	}
+	a := LearnAlternation(examples, 0)
+	if len(a.Branches) != 2 {
+		t.Fatalf("branches = %d, want 2", len(a.Branches))
+	}
+	for _, ex := range examples {
+		if !a.Matches(ex) {
+			t.Errorf("should match training example %q", ex)
+		}
+	}
+	if !a.Matches("999-888-7777") || !a.Matches("(111) 222-3333") {
+		t.Error("should match fresh strings of either format")
+	}
+	if a.Matches("not a phone") || a.Matches("5551234567") {
+		t.Error("should reject other formats")
+	}
+}
+
+func TestAlternationConformPrefersSameSignature(t *testing.T) {
+	a := LearnAlternation([]string{
+		"555-123-4567", "662-987-6543",
+		"(555) 123-4567", "(816) 765-4321",
+	}, 0)
+	// A malformed parenthesized number should stay parenthesized.
+	got := a.Conform("(555) 123-456")
+	if !a.Matches(got) {
+		t.Fatalf("Conform result %q does not match", got)
+	}
+	if !strings.HasPrefix(got, "(") {
+		t.Errorf("Conform switched formats: %q", got)
+	}
+	// A completely foreign string conforms to the most frequent branch.
+	if !a.Matches(a.Conform("zzz")) {
+		t.Error("foreign string not conformed")
+	}
+	// Matching input is a fixed point.
+	if a.Conform("555-111-2222") != "555-111-2222" {
+		t.Error("matching input should be unchanged")
+	}
+}
+
+func TestAlternationBranchCap(t *testing.T) {
+	var examples []string
+	for i := 0; i < 12; i++ {
+		examples = append(examples, strings.Repeat("a", i+1)+strings.Repeat("-", i%3+1))
+	}
+	a := LearnAlternation(examples, 3)
+	if len(a.Branches) > 3 {
+		t.Errorf("branches = %d, want ≤ 3", len(a.Branches))
+	}
+}
+
+func TestAlternationEmpty(t *testing.T) {
+	a := LearnAlternation(nil, 0)
+	if !a.Matches("") || a.Matches("x") {
+		t.Error("empty alternation should match only the empty string")
+	}
+}
+
+func TestAlternationEqual(t *testing.T) {
+	a := LearnAlternation([]string{"12-34", "56-78", "ab", "cd"}, 0)
+	b := LearnAlternation([]string{"ab", "cd", "12-34", "56-78"}, 0)
+	if !a.Equal(b) {
+		t.Error("order-insensitive equality failed")
+	}
+	c := LearnAlternation([]string{"12-34", "56-78"}, 0)
+	if a.Equal(c) {
+		t.Error("different branch sets should differ")
+	}
+}
+
+// Property: alternation always matches its training set and Conform output.
+func TestAlternationProperty(t *testing.T) {
+	formats := []func(*rand.Rand) string{
+		func(r *rand.Rand) string { return strings.Repeat("a", 1+r.Intn(5)) },
+		func(r *rand.Rand) string { return "ID-" + strings.Repeat("7", 1+r.Intn(4)) },
+		func(r *rand.Rand) string { return "(" + strings.Repeat("3", 3) + ")" },
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var examples []string
+		for i := 0; i < 2+rng.Intn(10); i++ {
+			examples = append(examples, formats[rng.Intn(len(formats))](rng))
+		}
+		a := LearnAlternation(examples, 0)
+		for _, ex := range examples {
+			if !a.Matches(ex) {
+				return false
+			}
+		}
+		probe := strings.Repeat("x-", rng.Intn(6)) + "q"
+		return a.Matches(a.Conform(probe))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

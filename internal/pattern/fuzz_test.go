@@ -1,0 +1,30 @@
+package pattern
+
+import "testing"
+
+// FuzzLearnConform asserts the pattern learner's core contract on arbitrary
+// input: Learn never panics, the pattern matches its training strings, and
+// Conform always produces a matching string.
+func FuzzLearnConform(f *testing.F) {
+	f.Add("01004", "abc-12")
+	f.Add("", "x")
+	f.Add("日本語", "mixed 日本 text")
+	f.Add("(555) 123", "555123")
+	f.Fuzz(func(t *testing.T, a, b string) {
+		p := Learn([]string{a, b})
+		if !p.Matches(a) || !p.Matches(b) {
+			t.Fatalf("pattern %s does not match its training strings %q, %q", p, a, b)
+		}
+		probe := a + b
+		if got := p.Conform(probe); !p.Matches(got) {
+			t.Fatalf("Conform(%q) = %q does not match %s", probe, got, p)
+		}
+		alt := LearnAlternation([]string{a, b}, 0)
+		if !alt.Matches(a) || !alt.Matches(b) {
+			t.Fatalf("alternation does not match training strings")
+		}
+		if got := alt.Conform(probe); !alt.Matches(got) {
+			t.Fatalf("alternation Conform(%q) = %q does not match", probe, got)
+		}
+	})
+}

@@ -1,0 +1,337 @@
+// Package pattern implements lightweight regular-expression discovery for
+// text attributes, standing in for the rexpy library the paper uses for
+// Figure 1 row 3 (text Domain profiles).
+//
+// Learn generalizes a set of example strings into a Pattern: a sequence of
+// character-class runs with length bounds (e.g. [A-Z][a-z]{2,8}-[0-9]{3,3}).
+// When the examples do not share a common run structure, the pattern degrades
+// gracefully to per-class alphabet plus global length bounds, which still
+// discriminates datasets with different formats. Conform minimally edits a
+// string so that it matches the pattern — the transformation function for
+// text Domain PVTs.
+package pattern
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Class is a character class used in pattern runs.
+type Class int
+
+const (
+	// Upper is the class of uppercase letters.
+	Upper Class = iota
+	// Lower is the class of lowercase letters.
+	Lower
+	// Digit is the class of decimal digits.
+	Digit
+	// Space is the class of whitespace runes.
+	Space
+	// Punct is the class of all remaining runes (punctuation, symbols).
+	Punct
+)
+
+// classOf buckets a rune into its character class.
+func classOf(r rune) Class {
+	switch {
+	case unicode.IsUpper(r):
+		return Upper
+	case unicode.IsLower(r):
+		return Lower
+	case unicode.IsDigit(r):
+		return Digit
+	case unicode.IsSpace(r):
+		return Space
+	default:
+		return Punct
+	}
+}
+
+// regex spelling and canonical representative of each class.
+func (c Class) regex() string {
+	switch c {
+	case Upper:
+		return "[A-Z]"
+	case Lower:
+		return "[a-z]"
+	case Digit:
+		return "[0-9]"
+	case Space:
+		return `\s`
+	default:
+		return `\p{P}`
+	}
+}
+
+// canonical returns a representative rune used when Conform must synthesize
+// characters of this class.
+func (c Class) canonical() rune {
+	switch c {
+	case Upper:
+		return 'A'
+	case Lower:
+		return 'a'
+	case Digit:
+		return '0'
+	case Space:
+		return ' '
+	default:
+		return '-'
+	}
+}
+
+// Run is one maximal same-class segment with inclusive length bounds.
+// If Literal is non-zero every rune in the run is that exact rune
+// (learned when all examples agree, e.g. a fixed '-' separator).
+type Run struct {
+	Class   Class
+	Min     int
+	Max     int
+	Literal rune
+}
+
+// Pattern is a learned text-format profile.
+type Pattern struct {
+	// Runs is the shared run structure; nil when Structured is false.
+	Runs []Run
+	// Structured reports whether all examples shared one run structure.
+	Structured bool
+	// MinLen and MaxLen bound the total string length (always learned).
+	MinLen, MaxLen int
+	// Classes holds the distinct classes observed anywhere in the examples;
+	// used by the unstructured fallback.
+	Classes map[Class]bool
+}
+
+// tokenize splits s into maximal same-class runs.
+func tokenize(s string) []Run {
+	var runs []Run
+	var cur *Run
+	for _, r := range s {
+		c := classOf(r)
+		if cur != nil && cur.Class == c {
+			cur.Min++
+			cur.Max++
+			if cur.Literal != r {
+				cur.Literal = 0
+			}
+			continue
+		}
+		runs = append(runs, Run{Class: c, Min: 1, Max: 1, Literal: r})
+		cur = &runs[len(runs)-1]
+	}
+	return runs
+}
+
+// Learn induces a Pattern from non-empty example strings. Empty example
+// slices yield a degenerate pattern that matches only the empty string.
+func Learn(examples []string) *Pattern {
+	p := &Pattern{Classes: make(map[Class]bool)}
+	if len(examples) == 0 {
+		p.Structured = true
+		return p
+	}
+	p.MinLen = len([]rune(examples[0]))
+	p.MaxLen = p.MinLen
+	var shared []Run
+	structured := true
+	for i, ex := range examples {
+		n := len([]rune(ex))
+		if n < p.MinLen {
+			p.MinLen = n
+		}
+		if n > p.MaxLen {
+			p.MaxLen = n
+		}
+		runs := tokenize(ex)
+		for _, r := range runs {
+			p.Classes[r.Class] = true
+		}
+		if i == 0 {
+			shared = runs
+			continue
+		}
+		if !structured {
+			continue
+		}
+		if len(runs) != len(shared) {
+			structured = false
+			continue
+		}
+		for j := range runs {
+			if runs[j].Class != shared[j].Class {
+				structured = false
+				break
+			}
+			if runs[j].Min < shared[j].Min {
+				shared[j].Min = runs[j].Min
+			}
+			if runs[j].Max > shared[j].Max {
+				shared[j].Max = runs[j].Max
+			}
+			if runs[j].Literal != shared[j].Literal {
+				shared[j].Literal = 0
+			}
+		}
+	}
+	p.Structured = structured
+	if structured {
+		p.Runs = shared
+	}
+	return p
+}
+
+// Matches reports whether s conforms to the pattern.
+func (p *Pattern) Matches(s string) bool {
+	n := len([]rune(s))
+	if n < p.MinLen || n > p.MaxLen {
+		return false
+	}
+	if !p.Structured {
+		// Fallback: every rune must belong to an observed class.
+		for _, r := range s {
+			if !p.Classes[classOf(r)] {
+				return false
+			}
+		}
+		return true
+	}
+	runs := tokenize(s)
+	if len(runs) != len(p.Runs) {
+		return false
+	}
+	for i, r := range runs {
+		want := p.Runs[i]
+		if r.Class != want.Class || r.Min < want.Min || r.Max > want.Max {
+			return false
+		}
+		if want.Literal != 0 && r.Literal != want.Literal {
+			return false
+		}
+	}
+	return true
+}
+
+// Conform minimally edits s so that it matches the pattern: characters are
+// reused where their class already agrees, substituted by the class canonical
+// otherwise, and runs are padded or truncated into their length bounds.
+// For unstructured patterns only the length bounds and alphabet are enforced.
+func (p *Pattern) Conform(s string) string {
+	if p.Matches(s) {
+		return s
+	}
+	src := []rune(s)
+	if !p.Structured {
+		out := make([]rune, 0, len(src))
+		for _, r := range src {
+			if p.Classes[classOf(r)] {
+				out = append(out, r)
+			} else {
+				out = append(out, fallbackRune(p.Classes))
+			}
+		}
+		for len(out) < p.MinLen {
+			out = append(out, fallbackRune(p.Classes))
+		}
+		if len(out) > p.MaxLen {
+			out = out[:p.MaxLen]
+		}
+		return string(out)
+	}
+	var out []rune
+	pos := 0
+	for _, run := range p.Runs {
+		length := run.Min
+		// Greedily consume matching source runes up to Max.
+		var chunk []rune
+		for pos < len(src) && len(chunk) < run.Max && classOf(src[pos]) == run.Class {
+			if run.Literal != 0 && src[pos] != run.Literal {
+				chunk = append(chunk, run.Literal)
+			} else {
+				chunk = append(chunk, src[pos])
+			}
+			pos++
+		}
+		if len(chunk) > length {
+			length = len(chunk)
+		}
+		for len(chunk) < length {
+			if run.Literal != 0 {
+				chunk = append(chunk, run.Literal)
+			} else {
+				chunk = append(chunk, run.Class.canonical())
+			}
+		}
+		out = append(out, chunk...)
+	}
+	return string(out)
+}
+
+// fallbackRune picks a deterministic representative from the observed classes.
+func fallbackRune(classes map[Class]bool) rune {
+	for _, c := range []Class{Lower, Digit, Upper, Space, Punct} {
+		if classes[c] {
+			return c.canonical()
+		}
+	}
+	return 'a'
+}
+
+// String renders the pattern regex-style, e.g. `[0-9]{5,5}` or
+// `[A-Z]{1,1}[a-z]{2,8}`. Unstructured patterns render as a class union
+// with a length bound.
+func (p *Pattern) String() string {
+	var b strings.Builder
+	if p.Structured {
+		for _, r := range p.Runs {
+			if r.Literal != 0 {
+				fmt.Fprintf(&b, "%q{%d,%d}", string(r.Literal), r.Min, r.Max)
+			} else {
+				fmt.Fprintf(&b, "%s{%d,%d}", r.Class.regex(), r.Min, r.Max)
+			}
+		}
+		return b.String()
+	}
+	first := true
+	b.WriteString("[")
+	for _, c := range []Class{Upper, Lower, Digit, Space, Punct} {
+		if p.Classes[c] {
+			if !first {
+				b.WriteString("|")
+			}
+			b.WriteString(c.regex())
+			first = false
+		}
+	}
+	fmt.Fprintf(&b, "]{%d,%d}", p.MinLen, p.MaxLen)
+	return b.String()
+}
+
+// Equal reports whether two patterns describe the same format.
+func (p *Pattern) Equal(q *Pattern) bool {
+	if p.Structured != q.Structured || p.MinLen != q.MinLen || p.MaxLen != q.MaxLen {
+		return false
+	}
+	if p.Structured {
+		if len(p.Runs) != len(q.Runs) {
+			return false
+		}
+		for i := range p.Runs {
+			if p.Runs[i] != q.Runs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if len(p.Classes) != len(q.Classes) {
+		return false
+	}
+	for c := range p.Classes {
+		if !q.Classes[c] {
+			return false
+		}
+	}
+	return true
+}

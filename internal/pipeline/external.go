@@ -1,0 +1,60 @@
+package pipeline
+
+import (
+	"bytes"
+	"context"
+	"os/exec"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/dataset"
+)
+
+// External treats an external program as the black-box system: each
+// malfunction evaluation pipes the candidate dataset to the program as CSV
+// on stdin and parses a single float in [0,1] from its stdout. Any
+// execution, timeout, or parse failure scores 1 — the system crashed on the
+// data, which is the extreme malfunction of Definition 3 (e.g. the paper's
+// "system crash due to invalid input combination" failure class).
+type External struct {
+	// Command is the program and its arguments.
+	Command []string
+	// Timeout bounds one evaluation; zero means 30 seconds. A timeout
+	// scores 1, modeling the paper's Example 2 (process timeout).
+	Timeout time.Duration
+}
+
+// Name implements System.
+func (s *External) Name() string { return strings.Join(s.Command, " ") }
+
+// MalfunctionScore implements System.
+func (s *External) MalfunctionScore(d *dataset.Dataset) float64 {
+	if len(s.Command) == 0 {
+		return 1
+	}
+	var input bytes.Buffer
+	if err := d.WriteCSV(&input); err != nil {
+		return 1
+	}
+	timeout := s.Timeout
+	if timeout == 0 {
+		timeout = 30 * time.Second
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	cmd := exec.CommandContext(ctx, s.Command[0], s.Command[1:]...)
+	cmd.Stdin = &input
+	out, err := cmd.Output()
+	if err != nil {
+		return 1
+	}
+	score, err := strconv.ParseFloat(strings.TrimSpace(string(out)), 64)
+	if err != nil || score < 0 {
+		return 1
+	}
+	if score > 1 {
+		return 1
+	}
+	return score
+}

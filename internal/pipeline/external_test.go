@@ -1,0 +1,60 @@
+package pipeline
+
+import (
+	"os/exec"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+)
+
+func requireSh(t *testing.T) {
+	t.Helper()
+	if _, err := exec.LookPath("sh"); err != nil {
+		t.Skip("sh not available")
+	}
+}
+
+func extData() *dataset.Dataset {
+	d := dataset.New()
+	d.MustAddNumeric("x", []float64{1, 2, 3})
+	return d
+}
+
+func TestExternalScore(t *testing.T) {
+	requireSh(t)
+	sys := &External{Command: []string{"sh", "-c", "cat > /dev/null; echo 0.25"}}
+	if got := sys.MalfunctionScore(extData()); got != 0.25 {
+		t.Errorf("score = %g, want 0.25", got)
+	}
+	if sys.Name() == "" {
+		t.Error("Name empty")
+	}
+}
+
+func TestExternalReceivesCSV(t *testing.T) {
+	requireSh(t)
+	// The command counts input lines (header + 3 rows = 4) and maps the
+	// count to a score, proving the dataset actually reaches stdin.
+	sys := &External{Command: []string{"sh", "-c", `n=$(wc -l); if [ "$n" -eq 4 ]; then echo 0; else echo 1; fi`}}
+	if got := sys.MalfunctionScore(extData()); got != 0 {
+		t.Errorf("score = %g, want 0 (4 CSV lines seen)", got)
+	}
+}
+
+func TestExternalFailureModes(t *testing.T) {
+	requireSh(t)
+	cases := map[string]*External{
+		"nonzero exit":  {Command: []string{"sh", "-c", "exit 3"}},
+		"garbage":       {Command: []string{"sh", "-c", "echo not-a-number"}},
+		"negative":      {Command: []string{"sh", "-c", "echo -0.5"}},
+		"above one":     {Command: []string{"sh", "-c", "echo 7"}},
+		"empty command": {Command: nil},
+		"timeout":       {Command: []string{"sh", "-c", "sleep 5; echo 0"}, Timeout: 50 * time.Millisecond},
+	}
+	for name, sys := range cases {
+		if got := sys.MalfunctionScore(extData()); got != 1 {
+			t.Errorf("%s: score = %g, want 1", name, got)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+// Package pipeline defines the black-box system abstraction DataPrism
+// debugs: a System exposes only a malfunction score over datasets
+// (Definition 3 of the paper). The Oracle wrapper counts score evaluations,
+// which is how the paper measures intervention cost across techniques.
+package pipeline
+
+import (
+	"sync"
+
+	"repro/internal/dataset"
+)
+
+// System is a data-driven system under debugging. DataPrism treats it as a
+// black box: the only observable is the malfunction score in [0,1], where 0
+// means the system functions properly on the dataset (Definition 3).
+type System interface {
+	// Name identifies the system in reports.
+	Name() string
+	// MalfunctionScore quantifies how much the system malfunctions on d.
+	MalfunctionScore(d *dataset.Dataset) float64
+}
+
+// Func adapts a plain function into a System.
+type Func struct {
+	SystemName string
+	Score      func(d *dataset.Dataset) float64
+}
+
+// Name implements System.
+func (f *Func) Name() string { return f.SystemName }
+
+// MalfunctionScore implements System.
+func (f *Func) MalfunctionScore(d *dataset.Dataset) float64 { return f.Score(d) }
+
+// Oracle wraps a System and counts malfunction-score evaluations. Every
+// evaluation of a transformed dataset is one intervention in the paper's
+// cost model; baseline evaluations can be excluded via Exempt.
+type Oracle struct {
+	sys System
+
+	mu    sync.Mutex
+	calls int
+}
+
+// NewOracle wraps a system in a counting oracle.
+func NewOracle(sys System) *Oracle { return &Oracle{sys: sys} }
+
+// Name implements System.
+func (o *Oracle) Name() string { return o.sys.Name() }
+
+// MalfunctionScore implements System, counting the call.
+func (o *Oracle) MalfunctionScore(d *dataset.Dataset) float64 {
+	o.mu.Lock()
+	o.calls++
+	o.mu.Unlock()
+	return o.sys.MalfunctionScore(d)
+}
+
+// Exempt evaluates the score without counting — for the baseline
+// m_S(D_pass) / m_S(D_fail) measurements that precede any intervention.
+func (o *Oracle) Exempt(d *dataset.Dataset) float64 {
+	return o.sys.MalfunctionScore(d)
+}
+
+// Calls returns the number of counted evaluations so far.
+func (o *Oracle) Calls() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.calls
+}
+
+// Reset zeroes the call counter.
+func (o *Oracle) Reset() {
+	o.mu.Lock()
+	o.calls = 0
+	o.mu.Unlock()
+}

@@ -1,0 +1,83 @@
+package profile
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func benchTable(rows, attrs int) *dataset.Dataset {
+	rng := rand.New(rand.NewSource(1))
+	d := dataset.New()
+	for a := 0; a < attrs; a++ {
+		if a%2 == 0 {
+			vals := make([]float64, rows)
+			for i := range vals {
+				vals[i] = rng.NormFloat64()
+			}
+			d.MustAddNumeric(fmt.Sprintf("n%d", a), vals)
+		} else {
+			vals := make([]string, rows)
+			for i := range vals {
+				vals[i] = []string{"x", "y", "z"}[rng.Intn(3)]
+			}
+			d.MustAddCategorical(fmt.Sprintf("c%d", a), vals)
+		}
+	}
+	return d
+}
+
+func BenchmarkDiscover(b *testing.B) {
+	d := benchTable(2000, 10)
+	opts := DefaultOptions()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := Discover(d, opts); len(got) == 0 {
+			b.Fatal("no profiles")
+		}
+	}
+}
+
+func BenchmarkDiscoverExtended(b *testing.B) {
+	d := benchTable(2000, 10)
+	opts := DefaultOptions()
+	opts.EnableDistribution = true
+	opts.EnableFD = true
+	opts.EnableCausal = true
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := Discover(d, opts); len(got) == 0 {
+			b.Fatal("no profiles")
+		}
+	}
+}
+
+func BenchmarkDiscriminative(b *testing.B) {
+	pass := benchTable(2000, 10)
+	fail := pass.Clone()
+	// Shift one numeric attribute and corrupt one categorical domain.
+	c := fail.Column("n0")
+	for i := range c.Nums {
+		c.Nums[i] = c.Nums[i]*3 + 10
+	}
+	fail.SetStr("c1", 0, "CORRUPT")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := Discriminative(pass, fail, DefaultOptions(), 1e-9); len(got) == 0 {
+			b.Fatal("nothing discriminative")
+		}
+	}
+}
+
+func BenchmarkViolationIndepChi(b *testing.B) {
+	d := benchTable(5000, 4)
+	p := &IndepChi{AttrA: "c1", AttrB: "c3", Alpha: 0.1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = p.Violation(d)
+	}
+}

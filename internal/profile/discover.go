@@ -1,0 +1,288 @@
+package profile
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/causal"
+	"repro/internal/dataset"
+	"repro/internal/pattern"
+	"repro/internal/stats"
+)
+
+// Options configures profile discovery.
+type Options struct {
+	// OutlierK is the standard-deviation multiplier of the outlier detector
+	// (the paper's example uses 1.5). Zero means 1.5.
+	OutlierK float64
+	// MaxCategoricalDomain bounds the distinct-value count for which
+	// categorical Domain and Selectivity profiles are enumerated. Zero
+	// means 20.
+	MaxCategoricalDomain int
+	// MaxSelectivityClauses is the largest conjunction size for Selectivity
+	// predicates (0 disables Selectivity discovery entirely; the default
+	// used by DefaultOptions is 2).
+	MaxSelectivityClauses int
+	// MaxSelectivityProfiles caps the number of enumerated Selectivity
+	// profiles. Zero means 1000.
+	MaxSelectivityProfiles int
+	// EnableCausal additionally discovers causal Indep profiles
+	// (Figure 1, row 9) for mixed categorical/numeric attribute pairs.
+	EnableCausal bool
+	// EnableDistribution additionally discovers Distribution (drift)
+	// profiles for numeric attributes — an extension beyond Figure 1.
+	EnableDistribution bool
+	// EnableFD additionally discovers approximate functional dependencies
+	// between categorical attribute pairs — an extension beyond Figure 1.
+	EnableFD bool
+	// TextAlternations, when above 1, learns text Domain profiles as
+	// alternations of up to that many structured formats instead of a
+	// single pattern — handling attributes that legitimately mix formats.
+	TextAlternations int
+	// EnableUnique additionally discovers key-ness (Unique) profiles for
+	// attributes that are near-keys — an extension beyond Figure 1.
+	EnableUnique bool
+	// EnableInclusion additionally discovers inclusion dependencies between
+	// small-domain string attribute pairs — an extension beyond Figure 1.
+	EnableInclusion bool
+	// EnableConditional additionally discovers conditional Domain and
+	// Missing profiles, scoped to single-attribute equality conditions —
+	// the Section 3 extension analogous to conditional FDs.
+	EnableConditional bool
+	// EnableFrequency additionally discovers sampling-cadence profiles for
+	// numeric attributes — the weekly-vs-daily feed example of the paper's
+	// introduction.
+	EnableFrequency bool
+	// Disable suppresses discovery of entire profile classes by Type name
+	// ("domain", "outlier", "missing", "selectivity", "indep").
+	Disable map[string]bool
+}
+
+// DefaultOptions returns the discovery configuration used in the paper's
+// case studies: 1.5σ outliers, selectivity conjunctions up to size 2.
+func DefaultOptions() Options {
+	return Options{
+		OutlierK:               1.5,
+		MaxCategoricalDomain:   20,
+		MaxSelectivityClauses:  2,
+		MaxSelectivityProfiles: 1000,
+	}
+}
+
+func (o *Options) fill() {
+	if o.OutlierK == 0 {
+		o.OutlierK = 1.5
+	}
+	if o.MaxCategoricalDomain == 0 {
+		o.MaxCategoricalDomain = 20
+	}
+	if o.MaxSelectivityProfiles == 0 {
+		o.MaxSelectivityProfiles = 1000
+	}
+}
+
+func (o *Options) enabled(class string) bool { return !o.Disable[class] }
+
+// Discover learns the exhaustive set of minimal profiles that d satisfies,
+// per the discovery column of Figure 1. The result is deterministic: sorted
+// by profile Key.
+func Discover(d *dataset.Dataset, opts Options) []Profile {
+	opts.fill()
+	var out []Profile
+
+	for _, c := range d.Columns() {
+		if opts.enabled("domain") {
+			if p := discoverDomain(d, c, opts); p != nil {
+				out = append(out, p)
+			}
+		}
+		if opts.enabled("missing") {
+			theta := float64(d.NullCount(c.Name))
+			if d.NumRows() > 0 {
+				theta /= float64(d.NumRows())
+			}
+			out = append(out, &Missing{Attr: c.Name, Theta: theta})
+		}
+		if opts.enabled("outlier") && c.Kind == dataset.Numeric {
+			p := &Outlier{Attr: c.Name, K: opts.OutlierK}
+			p.Theta = p.OutlierFraction(d)
+			out = append(out, p)
+		}
+		if opts.EnableDistribution && opts.enabled("distribution") && c.Kind == dataset.Numeric {
+			if p := DiscoverDistribution(d, c.Name); p != nil {
+				out = append(out, p)
+			}
+		}
+		if opts.EnableFrequency && opts.enabled("frequency") && c.Kind == dataset.Numeric {
+			if p := DiscoverFrequency(d, c.Name); p != nil {
+				out = append(out, p)
+			}
+		}
+	}
+
+	if opts.EnableFD && opts.enabled("fd") {
+		out = append(out, discoverFDs(d, opts)...)
+	}
+	if opts.EnableUnique && opts.enabled("unique") {
+		out = append(out, discoverUnique(d, opts)...)
+	}
+	if opts.EnableInclusion && opts.enabled("inclusion") {
+		out = append(out, discoverInclusions(d, opts)...)
+	}
+	if opts.EnableConditional && opts.enabled("conditional") {
+		out = append(out, DiscoverConditional(d, opts)...)
+	}
+
+	if opts.enabled("selectivity") && opts.MaxSelectivityClauses > 0 {
+		out = append(out, discoverSelectivity(d, opts)...)
+	}
+	if opts.enabled("indep") {
+		out = append(out, discoverIndep(d, opts)...)
+	}
+
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	return out
+}
+
+// discoverDomain learns the Domain profile appropriate for the column kind.
+func discoverDomain(d *dataset.Dataset, c *dataset.Column, opts Options) Profile {
+	switch c.Kind {
+	case dataset.Numeric:
+		vals := d.NumericValues(c.Name)
+		if len(vals) == 0 {
+			return nil
+		}
+		lo, hi := stats.MinMax(vals)
+		return &DomainNumeric{Attr: c.Name, Lo: lo, Hi: hi}
+	case dataset.Categorical:
+		distinct := d.DistinctStrings(c.Name)
+		if len(distinct) == 0 || len(distinct) > opts.MaxCategoricalDomain {
+			return nil
+		}
+		values := make(map[string]bool, len(distinct))
+		for _, v := range distinct {
+			values[v] = true
+		}
+		return &DomainCategorical{Attr: c.Name, Values: values}
+	case dataset.Text:
+		vals := d.StringValues(c.Name)
+		if len(vals) == 0 {
+			return nil
+		}
+		if opts.TextAlternations > 1 {
+			return &DomainTextMulti{Attr: c.Name, Alt: pattern.LearnAlternation(vals, opts.TextAlternations)}
+		}
+		return &DomainText{Attr: c.Name, Pattern: pattern.Learn(vals)}
+	default:
+		return nil
+	}
+}
+
+// discoverSelectivity enumerates Selectivity profiles over equality clauses
+// on small-domain categorical attributes: all single clauses, plus all
+// two-clause conjunctions across distinct attributes when configured.
+func discoverSelectivity(d *dataset.Dataset, opts Options) []Profile {
+	type attrValue struct {
+		attr string
+		val  string
+	}
+	var singles []attrValue
+	for _, c := range d.Columns() {
+		if c.Kind != dataset.Categorical {
+			continue
+		}
+		distinct := d.DistinctStrings(c.Name)
+		if len(distinct) == 0 || len(distinct) > opts.MaxCategoricalDomain {
+			continue
+		}
+		for _, v := range distinct {
+			singles = append(singles, attrValue{c.Name, v})
+		}
+	}
+	var out []Profile
+	add := func(pred dataset.Predicate) bool {
+		if len(out) >= opts.MaxSelectivityProfiles {
+			return false
+		}
+		out = append(out, &Selectivity{Pred: pred, Theta: pred.Selectivity(d)})
+		return true
+	}
+	for _, s := range singles {
+		if !add(dataset.And(dataset.EqStr(s.attr, s.val))) {
+			return out
+		}
+	}
+	if opts.MaxSelectivityClauses >= 2 {
+		for i := 0; i < len(singles); i++ {
+			for j := i + 1; j < len(singles); j++ {
+				if singles[i].attr == singles[j].attr {
+					continue
+				}
+				pred := dataset.And(
+					dataset.EqStr(singles[i].attr, singles[i].val),
+					dataset.EqStr(singles[j].attr, singles[j].val),
+				)
+				if !add(pred) {
+					return out
+				}
+			}
+		}
+	}
+	return out
+}
+
+// discoverIndep enumerates Indep profiles: chi-squared for categorical
+// pairs, Pearson for numeric pairs, and (optionally) causal coefficients
+// for mixed pairs.
+func discoverIndep(d *dataset.Dataset, opts Options) []Profile {
+	cols := d.Columns()
+	var out []Profile
+	for i := 0; i < len(cols); i++ {
+		for j := i + 1; j < len(cols); j++ {
+			a, b := cols[i], cols[j]
+			switch {
+			case a.Kind == dataset.Categorical && b.Kind == dataset.Categorical:
+				p := &IndepChi{AttrA: a.Name, AttrB: b.Name}
+				chi2, _ := p.Statistic(d)
+				p.Alpha = chi2
+				out = append(out, p)
+			case a.Kind == dataset.Numeric && b.Kind == dataset.Numeric:
+				p := &IndepPearson{AttrA: a.Name, AttrB: b.Name}
+				r, _ := p.Statistic(d)
+				p.Alpha = math.Abs(r)
+				out = append(out, p)
+			case opts.EnableCausal &&
+				(a.Kind != dataset.Text && b.Kind != dataset.Text):
+				p := &IndepCausal{AttrA: a.Name, AttrB: b.Name}
+				p.Alpha = causal.PairCoefficient(d, a.Name, b.Name)
+				out = append(out, p)
+			}
+		}
+	}
+	return out
+}
+
+// Discriminative returns the profiles discovered on pass whose violation on
+// fail exceeds eps — the discriminative PVT candidates of Definition 10
+// (X_V(D_pass, X_P) = 0 by construction, X_V(D_fail, X_P) > 0 by the filter).
+// Profiles are returned in discovery (Key) order.
+func Discriminative(pass, fail *dataset.Dataset, opts Options, eps float64) []Profile {
+	passProfiles := Discover(pass, opts)
+	failProfiles := Discover(fail, opts)
+	failByKey := make(map[string]Profile, len(failProfiles))
+	for _, p := range failProfiles {
+		failByKey[p.Key()] = p
+	}
+	var out []Profile
+	for _, p := range passProfiles {
+		// Fast path of Algorithm 1 lines 3-4: identical parameter values on
+		// both datasets cannot be discriminative.
+		if fp, ok := failByKey[p.Key()]; ok && p.SameParams(fp) {
+			continue
+		}
+		if p.Violation(fail) > eps {
+			out = append(out, p)
+		}
+	}
+	return out
+}

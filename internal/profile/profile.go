@@ -1,0 +1,523 @@
+// Package profile implements DataPrism's data profiles: the P and V of the
+// PVT triplets in Figure 1 of the paper. A Profile is a parameterized
+// property of a dataset (domain, outlier rate, missing rate, selectivity,
+// independence); its Violation function scores how much another dataset
+// violates it on a [0,1] scale, with 0 meaning full compliance.
+//
+// Profiles are discovered on a dataset (typically the passing dataset) via
+// Discover; the violation of the failing dataset against those profiles
+// identifies the discriminative PVTs that drive DataPrism's interventions.
+package profile
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/causal"
+	"repro/internal/dataset"
+	"repro/internal/pattern"
+	"repro/internal/stats"
+)
+
+// Profile is a parameterized data property with a violation semantics.
+type Profile interface {
+	// Type returns the profile class name, e.g. "domain" or "indep".
+	Type() string
+	// Attributes returns the attributes the profile is defined over.
+	Attributes() []string
+	// Key identifies the profile template instance (type + attributes, not
+	// parameters); the same Key discovered on two datasets refers to the
+	// same profile whose parameters may differ.
+	Key() string
+	// Violation returns how much d violates the profile in [0,1].
+	Violation(d *dataset.Dataset) float64
+	// SameParams reports whether other is the same profile with
+	// (approximately) equal parameters.
+	SameParams(other Profile) bool
+	// String renders the profile in the paper's ⟨Type, params⟩ notation.
+	String() string
+}
+
+// paramEps is the tolerance when comparing learned numeric parameters.
+const paramEps = 1e-9
+
+// ---------------------------------------------------------------------------
+// Row 1: ⟨Domain, A, S⟩ for categorical attributes.
+
+// DomainCategorical asserts that all values of Attr are drawn from Values.
+type DomainCategorical struct {
+	Attr   string
+	Values map[string]bool
+}
+
+// Type implements Profile.
+func (p *DomainCategorical) Type() string { return "domain" }
+
+// Attributes implements Profile.
+func (p *DomainCategorical) Attributes() []string { return []string{p.Attr} }
+
+// Key implements Profile.
+func (p *DomainCategorical) Key() string { return "domain:" + p.Attr }
+
+// Violation returns the fraction of non-NULL tuples outside the domain.
+func (p *DomainCategorical) Violation(d *dataset.Dataset) float64 {
+	c := d.Column(p.Attr)
+	if c == nil || c.Kind == dataset.Numeric || d.NumRows() == 0 {
+		return 0
+	}
+	bad := 0
+	for i := 0; i < d.NumRows(); i++ {
+		if !c.Null[i] && !p.Values[c.Strs[i]] {
+			bad++
+		}
+	}
+	return float64(bad) / float64(d.NumRows())
+}
+
+// SameParams implements Profile.
+func (p *DomainCategorical) SameParams(other Profile) bool {
+	o, ok := other.(*DomainCategorical)
+	if !ok || o.Attr != p.Attr || len(o.Values) != len(p.Values) {
+		return false
+	}
+	for v := range p.Values {
+		if !o.Values[v] {
+			return false
+		}
+	}
+	return true
+}
+
+// SortedValues returns the domain in deterministic order.
+func (p *DomainCategorical) SortedValues() []string {
+	out := make([]string, 0, len(p.Values))
+	for v := range p.Values {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (p *DomainCategorical) String() string {
+	return fmt.Sprintf("⟨Domain, %s, {%s}⟩", p.Attr, strings.Join(p.SortedValues(), ","))
+}
+
+// ---------------------------------------------------------------------------
+// Row 2: ⟨Domain, A, [lb, ub]⟩ for numeric attributes.
+
+// DomainNumeric asserts that all values of Attr lie within [Lo, Hi].
+type DomainNumeric struct {
+	Attr   string
+	Lo, Hi float64
+}
+
+// Type implements Profile.
+func (p *DomainNumeric) Type() string { return "domain" }
+
+// Attributes implements Profile.
+func (p *DomainNumeric) Attributes() []string { return []string{p.Attr} }
+
+// Key implements Profile.
+func (p *DomainNumeric) Key() string { return "domain:" + p.Attr }
+
+// Violation returns the fraction of non-NULL tuples outside [Lo, Hi].
+func (p *DomainNumeric) Violation(d *dataset.Dataset) float64 {
+	c := d.Column(p.Attr)
+	if c == nil || c.Kind != dataset.Numeric || d.NumRows() == 0 {
+		return 0
+	}
+	bad := 0
+	for i := 0; i < d.NumRows(); i++ {
+		if !c.Null[i] && (c.Nums[i] < p.Lo || c.Nums[i] > p.Hi) {
+			bad++
+		}
+	}
+	return float64(bad) / float64(d.NumRows())
+}
+
+// SameParams implements Profile.
+func (p *DomainNumeric) SameParams(other Profile) bool {
+	o, ok := other.(*DomainNumeric)
+	return ok && o.Attr == p.Attr &&
+		math.Abs(o.Lo-p.Lo) < paramEps && math.Abs(o.Hi-p.Hi) < paramEps
+}
+
+func (p *DomainNumeric) String() string {
+	return fmt.Sprintf("⟨Domain, %s, [%g, %g]⟩", p.Attr, p.Lo, p.Hi)
+}
+
+// ---------------------------------------------------------------------------
+// Row 3: ⟨Domain, A, regex⟩ for text attributes.
+
+// DomainText asserts that all values of Attr match a learned pattern.
+type DomainText struct {
+	Attr    string
+	Pattern *pattern.Pattern
+}
+
+// Type implements Profile.
+func (p *DomainText) Type() string { return "domain" }
+
+// Attributes implements Profile.
+func (p *DomainText) Attributes() []string { return []string{p.Attr} }
+
+// Key implements Profile.
+func (p *DomainText) Key() string { return "domain:" + p.Attr }
+
+// Violation returns the fraction of non-NULL tuples not matching the pattern.
+func (p *DomainText) Violation(d *dataset.Dataset) float64 {
+	c := d.Column(p.Attr)
+	if c == nil || c.Kind == dataset.Numeric || d.NumRows() == 0 {
+		return 0
+	}
+	bad := 0
+	for i := 0; i < d.NumRows(); i++ {
+		if !c.Null[i] && !p.Pattern.Matches(c.Strs[i]) {
+			bad++
+		}
+	}
+	return float64(bad) / float64(d.NumRows())
+}
+
+// SameParams implements Profile.
+func (p *DomainText) SameParams(other Profile) bool {
+	o, ok := other.(*DomainText)
+	return ok && o.Attr == p.Attr && p.Pattern.Equal(o.Pattern)
+}
+
+func (p *DomainText) String() string {
+	return fmt.Sprintf("⟨Domain, %s, %s⟩", p.Attr, p.Pattern)
+}
+
+// ---------------------------------------------------------------------------
+// Row 4: ⟨Outlier, A, O, θ⟩.
+
+// Outlier asserts that the fraction of values of Attr flagged by the K-sigma
+// outlier detector (relative to the evaluated dataset's own distribution)
+// does not exceed Theta.
+type Outlier struct {
+	Attr  string
+	K     float64 // standard-deviation multiplier of the detector O
+	Theta float64 // allowed outlier fraction, learned at discovery
+}
+
+// Type implements Profile.
+func (p *Outlier) Type() string { return "outlier" }
+
+// Attributes implements Profile.
+func (p *Outlier) Attributes() []string { return []string{p.Attr} }
+
+// Key implements Profile.
+func (p *Outlier) Key() string { return "outlier:" + p.Attr }
+
+// OutlierFraction returns the fraction of non-NULL values more than K
+// standard deviations from the attribute mean of d.
+func (p *Outlier) OutlierFraction(d *dataset.Dataset) float64 {
+	vals := d.NumericValues(p.Attr)
+	if len(vals) == 0 || d.NumRows() == 0 {
+		return 0
+	}
+	m, s := stats.Mean(vals), stats.StdDev(vals)
+	if s == 0 {
+		return 0
+	}
+	n := 0
+	for _, v := range vals {
+		if math.Abs(v-m) > p.K*s {
+			n++
+		}
+	}
+	return float64(n) / float64(d.NumRows())
+}
+
+// Violation follows Figure 1 row 4: max(0, (frac − θ)/(1 − θ)).
+func (p *Outlier) Violation(d *dataset.Dataset) float64 {
+	frac := p.OutlierFraction(d)
+	if p.Theta >= 1 {
+		return 0
+	}
+	return math.Max(0, (frac-p.Theta)/(1-p.Theta))
+}
+
+// SameParams implements Profile.
+func (p *Outlier) SameParams(other Profile) bool {
+	o, ok := other.(*Outlier)
+	return ok && o.Attr == p.Attr && math.Abs(o.K-p.K) < paramEps &&
+		math.Abs(o.Theta-p.Theta) < paramEps
+}
+
+func (p *Outlier) String() string {
+	return fmt.Sprintf("⟨Outlier, %s, O%.1f, %.3f⟩", p.Attr, p.K, p.Theta)
+}
+
+// ---------------------------------------------------------------------------
+// Row 5: ⟨Missing, A, θ⟩.
+
+// Missing asserts the fraction of NULLs in Attr does not exceed Theta.
+type Missing struct {
+	Attr  string
+	Theta float64
+}
+
+// Type implements Profile.
+func (p *Missing) Type() string { return "missing" }
+
+// Attributes implements Profile.
+func (p *Missing) Attributes() []string { return []string{p.Attr} }
+
+// Key implements Profile.
+func (p *Missing) Key() string { return "missing:" + p.Attr }
+
+// MissingFraction returns the NULL fraction of Attr in d.
+func (p *Missing) MissingFraction(d *dataset.Dataset) float64 {
+	if d.NumRows() == 0 {
+		return 0
+	}
+	return float64(d.NullCount(p.Attr)) / float64(d.NumRows())
+}
+
+// Violation follows Figure 1 row 5: max(0, (frac − θ)/(1 − θ)).
+func (p *Missing) Violation(d *dataset.Dataset) float64 {
+	frac := p.MissingFraction(d)
+	if p.Theta >= 1 {
+		return 0
+	}
+	return math.Max(0, (frac-p.Theta)/(1-p.Theta))
+}
+
+// SameParams implements Profile.
+func (p *Missing) SameParams(other Profile) bool {
+	o, ok := other.(*Missing)
+	return ok && o.Attr == p.Attr && math.Abs(o.Theta-p.Theta) < paramEps
+}
+
+func (p *Missing) String() string {
+	return fmt.Sprintf("⟨Missing, %s, %.3f⟩", p.Attr, p.Theta)
+}
+
+// ---------------------------------------------------------------------------
+// Row 6: ⟨Selectivity, P, θ⟩.
+
+// Selectivity asserts the fraction of tuples satisfying Pred equals Theta.
+//
+// Note on semantics: Figure 1's violation formula is one-sided (penalizing
+// only selectivity above θ), but the paper's running example (Section 4.1)
+// treats a *drop* in selectivity as discriminative and repairs it by
+// over-sampling. We therefore score deviation two-sidedly, normalizing each
+// side by its available headroom.
+type Selectivity struct {
+	Pred  dataset.Predicate
+	Theta float64
+}
+
+// Type implements Profile.
+func (p *Selectivity) Type() string { return "selectivity" }
+
+// Attributes implements Profile.
+func (p *Selectivity) Attributes() []string { return p.Pred.Attributes() }
+
+// Key implements Profile.
+func (p *Selectivity) Key() string { return "selectivity:" + p.Pred.Key() }
+
+// Violation returns the normalized two-sided deviation of the selectivity
+// of Pred in d from Theta.
+func (p *Selectivity) Violation(d *dataset.Dataset) float64 {
+	sel := p.Pred.Selectivity(d)
+	switch {
+	case sel > p.Theta && p.Theta < 1:
+		return (sel - p.Theta) / (1 - p.Theta)
+	case sel < p.Theta && p.Theta > 0:
+		return (p.Theta - sel) / p.Theta
+	default:
+		return 0
+	}
+}
+
+// SameParams implements Profile.
+func (p *Selectivity) SameParams(other Profile) bool {
+	o, ok := other.(*Selectivity)
+	return ok && o.Pred.Key() == p.Pred.Key() && math.Abs(o.Theta-p.Theta) < paramEps
+}
+
+func (p *Selectivity) String() string {
+	return fmt.Sprintf("⟨Selectivity, %s, %.3f⟩", p.Pred, p.Theta)
+}
+
+// ---------------------------------------------------------------------------
+// Row 7: ⟨Indep, A, B, α⟩ with the chi-squared statistic (categorical pairs).
+
+// IndepChi asserts that the chi-squared statistic between AttrA and AttrB
+// does not exceed Alpha (at significance 0.05).
+type IndepChi struct {
+	AttrA, AttrB string
+	Alpha        float64
+}
+
+// Type implements Profile.
+func (p *IndepChi) Type() string { return "indep" }
+
+// Attributes implements Profile.
+func (p *IndepChi) Attributes() []string { return []string{p.AttrA, p.AttrB} }
+
+// Key implements Profile.
+func (p *IndepChi) Key() string { return "indep-chi:" + p.AttrA + ":" + p.AttrB }
+
+// Statistic returns the chi-squared statistic of the pair in d, and whether
+// it is significant at p ≤ 0.05.
+func (p *IndepChi) Statistic(d *dataset.Dataset) (chi2 float64, significant bool) {
+	a := pairedStrings(d, p.AttrA, p.AttrB)
+	if a[0] == nil {
+		return 0, false
+	}
+	table, _, _ := stats.ContingencyTable(a[0], a[1])
+	chi2, df := stats.ChiSquared(table)
+	return chi2, stats.ChiSquaredPValue(chi2, df) <= 0.05
+}
+
+// Violation follows Figure 1 row 7: 1 − exp(−max(0, χ² − α)), gated on
+// statistical significance.
+func (p *IndepChi) Violation(d *dataset.Dataset) float64 {
+	chi2, significant := p.Statistic(d)
+	if !significant {
+		return 0
+	}
+	return 1 - math.Exp(-math.Max(0, chi2-p.Alpha))
+}
+
+// SameParams implements Profile.
+func (p *IndepChi) SameParams(other Profile) bool {
+	o, ok := other.(*IndepChi)
+	return ok && o.AttrA == p.AttrA && o.AttrB == p.AttrB &&
+		math.Abs(o.Alpha-p.Alpha) < 1e-6
+}
+
+func (p *IndepChi) String() string {
+	return fmt.Sprintf("⟨Indep, %s, %s, χ²=%.3f⟩", p.AttrA, p.AttrB, p.Alpha)
+}
+
+// pairedStrings extracts the rows where both string attributes are non-NULL.
+func pairedStrings(d *dataset.Dataset, a, b string) [2][]string {
+	ca, cb := d.Column(a), d.Column(b)
+	if ca == nil || cb == nil || ca.Kind == dataset.Numeric || cb.Kind == dataset.Numeric {
+		return [2][]string{}
+	}
+	var xs, ys []string
+	for i := 0; i < d.NumRows(); i++ {
+		if !ca.Null[i] && !cb.Null[i] {
+			xs = append(xs, ca.Strs[i])
+			ys = append(ys, cb.Strs[i])
+		}
+	}
+	if xs == nil {
+		return [2][]string{}
+	}
+	return [2][]string{xs, ys}
+}
+
+// ---------------------------------------------------------------------------
+// Row 8: ⟨Indep, A, B, α⟩ with Pearson correlation (numeric pairs).
+
+// IndepPearson asserts |corr(AttrA, AttrB)| ≤ |Alpha| (at significance 0.05).
+type IndepPearson struct {
+	AttrA, AttrB string
+	Alpha        float64
+}
+
+// Type implements Profile.
+func (p *IndepPearson) Type() string { return "indep" }
+
+// Attributes implements Profile.
+func (p *IndepPearson) Attributes() []string { return []string{p.AttrA, p.AttrB} }
+
+// Key implements Profile.
+func (p *IndepPearson) Key() string { return "indep-pearson:" + p.AttrA + ":" + p.AttrB }
+
+// Statistic returns the correlation of the pair in d and its significance.
+func (p *IndepPearson) Statistic(d *dataset.Dataset) (r float64, significant bool) {
+	xs, ys := pairedNums(d, p.AttrA, p.AttrB)
+	if xs == nil {
+		return 0, false
+	}
+	r = stats.Pearson(xs, ys)
+	return r, stats.PearsonPValue(r, len(xs)) <= 0.05
+}
+
+// Violation follows Figure 1 row 8: max(0, (|r| − |α|)/(1 − |α|)).
+func (p *IndepPearson) Violation(d *dataset.Dataset) float64 {
+	r, significant := p.Statistic(d)
+	if !significant {
+		return 0
+	}
+	a := math.Abs(p.Alpha)
+	if a >= 1 {
+		return 0
+	}
+	return math.Max(0, (math.Abs(r)-a)/(1-a))
+}
+
+// SameParams implements Profile.
+func (p *IndepPearson) SameParams(other Profile) bool {
+	o, ok := other.(*IndepPearson)
+	return ok && o.AttrA == p.AttrA && o.AttrB == p.AttrB &&
+		math.Abs(o.Alpha-p.Alpha) < 1e-6
+}
+
+func (p *IndepPearson) String() string {
+	return fmt.Sprintf("⟨Indep, %s, %s, r=%.3f⟩", p.AttrA, p.AttrB, p.Alpha)
+}
+
+// pairedNums extracts the rows where both numeric attributes are non-NULL.
+func pairedNums(d *dataset.Dataset, a, b string) (xs, ys []float64) {
+	ca, cb := d.Column(a), d.Column(b)
+	if ca == nil || cb == nil || ca.Kind != dataset.Numeric || cb.Kind != dataset.Numeric {
+		return nil, nil
+	}
+	for i := 0; i < d.NumRows(); i++ {
+		if !ca.Null[i] && !cb.Null[i] {
+			xs = append(xs, ca.Nums[i])
+			ys = append(ys, cb.Nums[i])
+		}
+	}
+	return xs, ys
+}
+
+// ---------------------------------------------------------------------------
+// Row 9: ⟨Indep, A, B, α⟩ with a causal coefficient (mixed pairs).
+
+// IndepCausal asserts the pairwise causal coefficient between AttrA and
+// AttrB does not exceed Alpha.
+type IndepCausal struct {
+	AttrA, AttrB string
+	Alpha        float64
+}
+
+// Type implements Profile.
+func (p *IndepCausal) Type() string { return "indep" }
+
+// Attributes implements Profile.
+func (p *IndepCausal) Attributes() []string { return []string{p.AttrA, p.AttrB} }
+
+// Key implements Profile.
+func (p *IndepCausal) Key() string { return "indep-causal:" + p.AttrA + ":" + p.AttrB }
+
+// Violation follows Figure 1 row 9: max(0, (|coeff| − α)/(1 − α)).
+func (p *IndepCausal) Violation(d *dataset.Dataset) float64 {
+	coeff := causal.PairCoefficient(d, p.AttrA, p.AttrB)
+	if p.Alpha >= 1 {
+		return 0
+	}
+	return math.Max(0, (coeff-p.Alpha)/(1-p.Alpha))
+}
+
+// SameParams implements Profile.
+func (p *IndepCausal) SameParams(other Profile) bool {
+	o, ok := other.(*IndepCausal)
+	return ok && o.AttrA == p.AttrA && o.AttrB == p.AttrB &&
+		math.Abs(o.Alpha-p.Alpha) < 1e-6
+}
+
+func (p *IndepCausal) String() string {
+	return fmt.Sprintf("⟨Indep, %s, %s, coeff=%.3f⟩", p.AttrA, p.AttrB, p.Alpha)
+}

@@ -1,0 +1,239 @@
+package profile
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/pattern"
+)
+
+func approx(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %v, want %v (±%v)", name, got, want, tol)
+	}
+}
+
+func TestDomainCategorical(t *testing.T) {
+	p := &DomainCategorical{Attr: "g", Values: map[string]bool{"F": true, "M": true}}
+	d := dataset.New().MustAddCategorical("g", []string{"F", "M", "X", "F", "Y"})
+	approx(t, "violation", p.Violation(d), 0.4, 1e-12)
+
+	clean := dataset.New().MustAddCategorical("g", []string{"F", "M"})
+	approx(t, "clean violation", p.Violation(clean), 0, 0)
+
+	if p.Violation(dataset.New()) != 0 {
+		t.Error("empty dataset should not violate")
+	}
+	q := &DomainCategorical{Attr: "g", Values: map[string]bool{"F": true, "M": true}}
+	if !p.SameParams(q) {
+		t.Error("identical domains should be SameParams")
+	}
+	q.Values["Z"] = true
+	if p.SameParams(q) {
+		t.Error("different domains should not be SameParams")
+	}
+	if p.Key() != "domain:g" {
+		t.Errorf("Key = %q", p.Key())
+	}
+}
+
+func TestDomainCategoricalNulls(t *testing.T) {
+	p := &DomainCategorical{Attr: "g", Values: map[string]bool{"F": true}}
+	d := dataset.New()
+	if err := d.AddCategoricalColumn("g", []string{"F", "", "X"}, []bool{false, true, false}); err != nil {
+		t.Fatal(err)
+	}
+	// NULL is not a domain violation (Missing covers it).
+	approx(t, "violation with null", p.Violation(d), 1.0/3, 1e-12)
+}
+
+func TestDomainNumeric(t *testing.T) {
+	p := &DomainNumeric{Attr: "age", Lo: 22, Hi: 51}
+	d := dataset.New().MustAddNumeric("age", []float64{45, 40, 60, 22, 20})
+	approx(t, "violation", p.Violation(d), 0.4, 1e-12)
+	if !p.SameParams(&DomainNumeric{Attr: "age", Lo: 22, Hi: 51}) {
+		t.Error("SameParams")
+	}
+	if p.SameParams(&DomainNumeric{Attr: "age", Lo: 20, Hi: 60}) {
+		t.Error("different bounds SameParams")
+	}
+	// Wrong-kind column does not violate.
+	s := dataset.New().MustAddCategorical("age", []string{"x"})
+	if p.Violation(s) != 0 {
+		t.Error("kind mismatch should yield 0")
+	}
+}
+
+func TestDomainText(t *testing.T) {
+	p := &DomainText{Attr: "zip", Pattern: pattern.Learn([]string{"01004", "94107"})}
+	d := dataset.New().MustAddText("zip", []string{"01009", "1234", "abcde", "55555"})
+	approx(t, "violation", p.Violation(d), 0.5, 1e-12)
+	q := &DomainText{Attr: "zip", Pattern: pattern.Learn([]string{"11111", "22222"})}
+	if !p.SameParams(q) {
+		t.Error("same format should be SameParams")
+	}
+}
+
+func TestOutlier(t *testing.T) {
+	// Example 14 from the paper: Peoplefail ages, O1.5 flags only t3 (60).
+	ages := []float64{45, 40, 60, 22, 41, 32, 25, 35, 25, 20}
+	d := dataset.New().MustAddNumeric("age", ages)
+	p := &Outlier{Attr: "age", K: 1.5, Theta: 0.1}
+	approx(t, "fraction", p.OutlierFraction(d), 0.1, 1e-12)
+	approx(t, "violation at theta", p.Violation(d), 0, 1e-12)
+
+	// Lowering theta exposes a violation.
+	p2 := &Outlier{Attr: "age", K: 1.5, Theta: 0.0}
+	approx(t, "violation theta=0", p2.Violation(d), 0.1, 1e-12)
+
+	// Constant column has no outliers.
+	c := dataset.New().MustAddNumeric("x", []float64{5, 5, 5})
+	if (&Outlier{Attr: "x", K: 1.5}).OutlierFraction(c) != 0 {
+		t.Error("constant column should have no outliers")
+	}
+	// Theta = 1 never violates.
+	if (&Outlier{Attr: "age", K: 1.5, Theta: 1}).Violation(d) != 0 {
+		t.Error("theta=1 should never violate")
+	}
+}
+
+func TestMissing(t *testing.T) {
+	d := dataset.New()
+	if err := d.AddCategoricalColumn("zip", []string{"a", "", "", "b", "c"},
+		[]bool{false, true, true, false, false}); err != nil {
+		t.Fatal(err)
+	}
+	p := &Missing{Attr: "zip", Theta: 0.2}
+	approx(t, "fraction", p.MissingFraction(d), 0.4, 1e-12)
+	approx(t, "violation", p.Violation(d), (0.4-0.2)/0.8, 1e-12)
+	ok := &Missing{Attr: "zip", Theta: 0.5}
+	approx(t, "within budget", ok.Violation(d), 0, 0)
+}
+
+func TestSelectivityTwoSided(t *testing.T) {
+	d := dataset.New().
+		MustAddCategorical("gender", []string{"F", "F", "M", "M", "M", "M", "M", "M", "M", "M"})
+	pred := dataset.And(dataset.EqStr("gender", "F"))
+	// Observed selectivity 0.2.
+	over := &Selectivity{Pred: pred, Theta: 0.1}
+	approx(t, "above theta", over.Violation(d), (0.2-0.1)/0.9, 1e-12)
+	under := &Selectivity{Pred: pred, Theta: 0.44}
+	approx(t, "below theta", under.Violation(d), (0.44-0.2)/0.44, 1e-12)
+	exact := &Selectivity{Pred: pred, Theta: 0.2}
+	approx(t, "exact", exact.Violation(d), 0, 0)
+}
+
+func makeDependentCat(n int, rng *rand.Rand, flip float64) *dataset.Dataset {
+	a := make([]string, n)
+	b := make([]string, n)
+	for i := range a {
+		if rng.Float64() < 0.5 {
+			a[i] = "x"
+		} else {
+			a[i] = "y"
+		}
+		b[i] = a[i] // perfectly dependent...
+		if rng.Float64() < flip {
+			if b[i] == "x" { // ...except for flipped rows
+				b[i] = "y"
+			} else {
+				b[i] = "x"
+			}
+		}
+	}
+	return dataset.New().MustAddCategorical("a", a).MustAddCategorical("b", b)
+}
+
+func TestIndepChi(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	dep := makeDependentCat(500, rng, 0.05)
+	ind := makeDependentCat(500, rng, 0.5)
+
+	p := &IndepChi{AttrA: "a", AttrB: "b", Alpha: 1}
+	if v := p.Violation(dep); v < 0.9 {
+		t.Errorf("dependent pair violation = %g, want ≈1", v)
+	}
+	if v := p.Violation(ind); v != 0 {
+		t.Errorf("independent pair violation = %g, want 0 (insignificant)", v)
+	}
+	// Alpha at the observed statistic → violation 0.
+	chi2, _ := p.Statistic(dep)
+	pAt := &IndepChi{AttrA: "a", AttrB: "b", Alpha: chi2}
+	approx(t, "alpha at statistic", pAt.Violation(dep), 0, 1e-9)
+}
+
+func TestIndepChiMissingColumn(t *testing.T) {
+	d := dataset.New().MustAddCategorical("a", []string{"x"})
+	p := &IndepChi{AttrA: "a", AttrB: "nope", Alpha: 0}
+	if p.Violation(d) != 0 {
+		t.Error("missing column should yield 0")
+	}
+}
+
+func TestIndepPearson(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	n := 400
+	x := make([]float64, n)
+	yDep := make([]float64, n)
+	yInd := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+		yDep[i] = x[i] + 0.1*rng.NormFloat64()
+		yInd[i] = rng.NormFloat64()
+	}
+	dep := dataset.New().MustAddNumeric("x", x).MustAddNumeric("y", yDep)
+	ind := dataset.New().MustAddNumeric("x", x).MustAddNumeric("y", yInd)
+
+	p := &IndepPearson{AttrA: "x", AttrB: "y", Alpha: 0.1}
+	if v := p.Violation(dep); v < 0.8 {
+		t.Errorf("dependent violation = %g, want ≈1", v)
+	}
+	if v := p.Violation(ind); v > 0.1 {
+		t.Errorf("independent violation = %g, want ≈0", v)
+	}
+}
+
+func TestIndepCausal(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 400
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = rng.Float64()
+		y[i] = x[i]*2 + 0.05*rng.Float64()
+	}
+	d := dataset.New().MustAddNumeric("x", x).MustAddNumeric("y", y)
+	p := &IndepCausal{AttrA: "x", AttrB: "y", Alpha: 0.2}
+	if v := p.Violation(d); v < 0.5 {
+		t.Errorf("causal violation = %g, want large", v)
+	}
+	if (&IndepCausal{AttrA: "x", AttrB: "y", Alpha: 1}).Violation(d) != 0 {
+		t.Error("alpha=1 should never violate")
+	}
+}
+
+func TestConditionalProfile(t *testing.T) {
+	d := dataset.New().
+		MustAddCategorical("g", []string{"F", "F", "M", "M"}).
+		MustAddNumeric("v", []float64{10, 20, 100, 200})
+	inner := &DomainNumeric{Attr: "v", Lo: 0, Hi: 50}
+	cond := &Conditional{Cond: dataset.And(dataset.EqStr("g", "M")), Inner: inner}
+	// Both M rows violate the inner domain.
+	approx(t, "conditional violation", cond.Violation(d), 1, 1e-12)
+	condF := &Conditional{Cond: dataset.And(dataset.EqStr("g", "F")), Inner: inner}
+	approx(t, "satisfied condition", condF.Violation(d), 0, 0)
+	condNone := &Conditional{Cond: dataset.And(dataset.EqStr("g", "Z")), Inner: inner}
+	if condNone.Violation(d) != 0 {
+		t.Error("empty selection should not violate")
+	}
+	attrs := cond.Attributes()
+	if len(attrs) != 2 {
+		t.Errorf("Attributes = %v", attrs)
+	}
+	if !cond.SameParams(&Conditional{Cond: dataset.And(dataset.EqStr("g", "M")), Inner: &DomainNumeric{Attr: "v", Lo: 0, Hi: 50}}) {
+		t.Error("SameParams")
+	}
+}

@@ -1,0 +1,91 @@
+package profile
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+
+	"repro/internal/dataset"
+)
+
+// Unique asserts that an attribute is (nearly) a key: the fraction of
+// tuples sharing their value with an earlier tuple stays within Theta.
+// Duplicate keys are a classic data/system disconnect — joins fan out,
+// upserts clobber, aggregations double-count — so key-ness is a natural
+// profile class beyond Figure 1. The repair drops later duplicates.
+type Unique struct {
+	Attr  string
+	Theta float64
+}
+
+// Type implements Profile.
+func (p *Unique) Type() string { return "unique" }
+
+// Attributes implements Profile.
+func (p *Unique) Attributes() []string { return []string{p.Attr} }
+
+// Key implements Profile.
+func (p *Unique) Key() string { return "unique:" + p.Attr }
+
+// DuplicateFraction returns the fraction of non-NULL tuples whose value
+// already occurred in an earlier tuple.
+func (p *Unique) DuplicateFraction(d *dataset.Dataset) float64 {
+	c := d.Column(p.Attr)
+	if c == nil || d.NumRows() == 0 {
+		return 0
+	}
+	seen := make(map[string]bool, d.NumRows())
+	dups := 0
+	for i := 0; i < d.NumRows(); i++ {
+		if c.Null[i] {
+			continue
+		}
+		var key string
+		if c.Kind == dataset.Numeric {
+			key = strconv.FormatFloat(c.Nums[i], 'g', -1, 64)
+		} else {
+			key = c.Strs[i]
+		}
+		if seen[key] {
+			dups++
+		}
+		seen[key] = true
+	}
+	return float64(dups) / float64(d.NumRows())
+}
+
+// Violation implements Profile: max(0, (dupFrac − θ)/(1 − θ)).
+func (p *Unique) Violation(d *dataset.Dataset) float64 {
+	if p.Theta >= 1 {
+		return 0
+	}
+	return math.Max(0, (p.DuplicateFraction(d)-p.Theta)/(1-p.Theta))
+}
+
+// SameParams implements Profile.
+func (p *Unique) SameParams(other Profile) bool {
+	o, ok := other.(*Unique)
+	return ok && o.Attr == p.Attr && math.Abs(o.Theta-p.Theta) < paramEps
+}
+
+func (p *Unique) String() string {
+	return fmt.Sprintf("⟨Unique, %s, %.3f⟩", p.Attr, p.Theta)
+}
+
+// discoverUnique learns Unique profiles for attributes that are near-keys
+// on the discovery dataset (duplicate fraction at most maxDup — a column
+// full of repeats is not a key and carries no key-ness intent).
+func discoverUnique(d *dataset.Dataset, opts Options) []Profile {
+	const maxDup = 0.05
+	var out []Profile
+	for _, c := range d.Columns() {
+		p := &Unique{Attr: c.Name}
+		frac := p.DuplicateFraction(d)
+		if frac > maxDup {
+			continue
+		}
+		p.Theta = frac
+		out = append(out, p)
+	}
+	return out
+}

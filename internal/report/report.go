@@ -1,0 +1,92 @@
+// Package report renders root-cause search results for humans: a compact
+// text report for terminals and a Markdown report for issue trackers and
+// docs. Both include the verdict, the minimal explanation, and the
+// intervention trace.
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// Summary bundles a Result with the run's context for rendering.
+type Summary struct {
+	SystemName string
+	Tau        float64
+	PassScore  float64
+	FailScore  float64
+	Result     *core.Result
+}
+
+// Text renders a terminal-oriented report.
+func (s Summary) Text() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "system: %s\n", s.SystemName)
+	fmt.Fprintf(&b, "malfunction(pass) = %.3f, malfunction(fail) = %.3f, tau = %.2f\n",
+		s.PassScore, s.FailScore, s.Tau)
+	r := s.Result
+	if r == nil {
+		b.WriteString("no result\n")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "discriminative PVT candidates: %d\n", r.Discriminative)
+	fmt.Fprintf(&b, "interventions: %d, runtime: %v\n", r.Interventions, r.Runtime.Round(1000000))
+	if len(r.Trace) > 0 {
+		b.WriteString("trace:\n")
+		for _, step := range r.Trace {
+			status := "rejected"
+			if step.Accepted {
+				status = "ACCEPTED"
+			}
+			fmt.Fprintf(&b, "  [%s] %s via %s → %.3f\n",
+				status, strings.Join(step.PVTs, " + "), step.Transform, step.Score)
+		}
+	}
+	if r.Found {
+		fmt.Fprintf(&b, "minimal explanation: %s\n", r.ExplanationString())
+		fmt.Fprintf(&b, "malfunction after repair: %.3f\n", r.FinalScore)
+	} else {
+		fmt.Fprintf(&b, "no explanation found (final score %.3f)\n", r.FinalScore)
+	}
+	return b.String()
+}
+
+// Markdown renders an issue-tracker-oriented report.
+func (s Summary) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "## DataPrism report: %s\n\n", s.SystemName)
+	fmt.Fprintf(&b, "| metric | value |\n|---|---|\n")
+	fmt.Fprintf(&b, "| malfunction (passing) | %.3f |\n", s.PassScore)
+	fmt.Fprintf(&b, "| malfunction (failing) | %.3f |\n", s.FailScore)
+	fmt.Fprintf(&b, "| threshold τ | %.2f |\n", s.Tau)
+	r := s.Result
+	if r == nil {
+		return b.String()
+	}
+	fmt.Fprintf(&b, "| discriminative PVTs | %d |\n", r.Discriminative)
+	fmt.Fprintf(&b, "| interventions | %d |\n", r.Interventions)
+	fmt.Fprintf(&b, "| final score | %.3f |\n\n", r.FinalScore)
+	if r.Found {
+		b.WriteString("### Root causes (minimal explanation)\n\n")
+		for _, p := range r.Explanation {
+			fmt.Fprintf(&b, "- `%s`\n", p.String())
+		}
+	} else {
+		b.WriteString("**No explanation found** among the discriminative profiles.\n")
+	}
+	if len(r.Trace) > 0 {
+		b.WriteString("\n### Intervention trace\n\n")
+		b.WriteString("| # | profiles | transform | score | kept |\n|---|---|---|---|---|\n")
+		for i, step := range r.Trace {
+			kept := ""
+			if step.Accepted {
+				kept = "✓"
+			}
+			fmt.Fprintf(&b, "| %d | %s | %s | %.3f | %s |\n",
+				i+1, strings.Join(step.PVTs, " + "), step.Transform, step.Score, kept)
+		}
+	}
+	return b.String()
+}

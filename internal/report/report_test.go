@@ -1,0 +1,79 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/synth"
+)
+
+func sampleSummary(t *testing.T) Summary {
+	t.Helper()
+	sc := synth.New(synth.Options{NumPVTs: 10, NumAttrs: 3, Conjunction: 2, Seed: 61})
+	e := &core.Explainer{System: sc.System, Tau: 0.05, Seed: 61}
+	res, err := e.ExplainGreedyPVTs(sc.PVTs, sc.Fail)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Summary{
+		SystemName: sc.System.Name(),
+		Tau:        0.05,
+		PassScore:  0,
+		FailScore:  1,
+		Result:     res,
+	}
+}
+
+func TestTextReport(t *testing.T) {
+	s := sampleSummary(t)
+	text := s.Text()
+	for _, want := range []string{
+		"system: synthetic-dnf",
+		"malfunction(pass) = 0.000",
+		"minimal explanation:",
+		"ACCEPTED",
+		"interventions:",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("text report missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestMarkdownReport(t *testing.T) {
+	s := sampleSummary(t)
+	md := s.Markdown()
+	for _, want := range []string{
+		"## DataPrism report: synthetic-dnf",
+		"| discriminative PVTs | 10 |",
+		"### Root causes (minimal explanation)",
+		"### Intervention trace",
+		"| 1 |",
+	} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown report missing %q:\n%s", want, md)
+		}
+	}
+}
+
+func TestReportsWithoutResult(t *testing.T) {
+	s := Summary{SystemName: "x", Tau: 0.3, PassScore: 0.1, FailScore: 0.9}
+	if !strings.Contains(s.Text(), "no result") {
+		t.Error("nil result text wrong")
+	}
+	if !strings.Contains(s.Markdown(), "malfunction (failing) | 0.900") {
+		t.Error("nil result markdown wrong")
+	}
+}
+
+func TestReportNotFound(t *testing.T) {
+	s := sampleSummary(t)
+	s.Result = &core.Result{Found: false, FinalScore: 0.8, Discriminative: 3}
+	if !strings.Contains(s.Text(), "no explanation found") {
+		t.Error("not-found text wrong")
+	}
+	if !strings.Contains(s.Markdown(), "**No explanation found**") {
+		t.Error("not-found markdown wrong")
+	}
+}

@@ -1,0 +1,194 @@
+package synth
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFailingDataset(t *testing.T) {
+	d := FailingDataset(5)
+	if d.NumRows() != 5 {
+		t.Fatalf("rows = %d", d.NumRows())
+	}
+	for i := 0; i < 5; i++ {
+		if d.Num(FlagColumn, i) != 1 {
+			t.Errorf("flag %d not raised", i)
+		}
+	}
+}
+
+func TestProfileViolationAndTransform(t *testing.T) {
+	p := &Profile{Index: 2, Attrs: []string{"a"}, Cov: 0.7}
+	d := FailingDataset(4)
+	if p.Violation(d) != 1 {
+		t.Error("raised flag should violate")
+	}
+	tr := &Transform{P: p}
+	if tr.Coverage(d) != 0.7 {
+		t.Errorf("Coverage = %g", tr.Coverage(d))
+	}
+	out, err := tr.Apply(d, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Violation(out) != 0 {
+		t.Error("transform did not clear the flag")
+	}
+	if p.Violation(d) != 1 {
+		t.Error("Apply mutated the input")
+	}
+	if tr.Coverage(out) != 0 {
+		t.Error("cleared flag should report zero coverage")
+	}
+	// Out-of-range slot errors.
+	bad := &Transform{P: &Profile{Index: 99}}
+	if _, err := bad.Apply(d, nil); err == nil {
+		t.Error("out-of-range flag should error")
+	}
+}
+
+func TestApplyInPlace(t *testing.T) {
+	p := &Profile{Index: 1, Attrs: []string{"a"}}
+	tr := &Transform{P: p}
+	d := FailingDataset(3)
+	if err := tr.ApplyInPlace(d); err != nil {
+		t.Fatal(err)
+	}
+	if p.Violation(d) != 0 {
+		t.Error("ApplyInPlace should clear the flag in the given dataset")
+	}
+	if err := (&Transform{P: &Profile{Index: 9}}).ApplyInPlace(d); err == nil {
+		t.Error("out-of-range in-place should error")
+	}
+}
+
+func TestDNFSystemSemantics(t *testing.T) {
+	profiles := []*Profile{
+		{Index: 0}, {Index: 1}, {Index: 2}, {Index: 3},
+	}
+	sys := &DNFSystem{Label: "s", Disjuncts: [][]int{{0, 1}, {2}}, Profiles: profiles}
+	d := FailingDataset(4)
+	if got := sys.MalfunctionScore(d); got != 1 {
+		t.Errorf("all violated score = %g, want 1", got)
+	}
+	// Fixing half of a conjunct reduces its mean (assumption A2).
+	d2 := d.Clone()
+	d2.Column(FlagColumn).Nums[0] = 0
+	if got := sys.MalfunctionScore(d2); got != 0.5 {
+		t.Errorf("half-fixed conjunct = %g, want 0.5", got)
+	}
+	// Fixing a singleton disjunct clears the malfunction entirely.
+	d3 := d.Clone()
+	d3.Column(FlagColumn).Nums[2] = 0
+	if got := sys.MalfunctionScore(d3); got != 0 {
+		t.Errorf("fixed singleton disjunct = %g, want 0", got)
+	}
+	if sys.Name() != "s" {
+		t.Error("Name")
+	}
+}
+
+func TestNewScenarioShape(t *testing.T) {
+	sc := New(Options{NumPVTs: 30, NumAttrs: 6, Conjunction: 2, Seed: 3})
+	if len(sc.PVTs) != 30 || sc.Fail.NumRows() != 30 {
+		t.Fatalf("shape wrong: %d pvts, %d rows", len(sc.PVTs), sc.Fail.NumRows())
+	}
+	if len(sc.GroundTruth) != 1 || len(sc.GroundTruth[0]) != 2 {
+		t.Fatalf("ground truth = %v", sc.GroundTruth)
+	}
+	if sc.System.MalfunctionScore(sc.Fail) != 1 {
+		t.Error("failing dataset should score 1")
+	}
+	// Defaults apply.
+	def := New(Options{})
+	if len(def.PVTs) != 16 {
+		t.Errorf("default NumPVTs = %d", len(def.PVTs))
+	}
+}
+
+func TestNewScenarioDisjunction(t *testing.T) {
+	sc := New(Options{NumPVTs: 20, NumAttrs: 4, Disjunction: 3, Seed: 5})
+	if len(sc.GroundTruth) != 3 {
+		t.Fatalf("disjuncts = %d", len(sc.GroundTruth))
+	}
+	for _, disj := range sc.GroundTruth {
+		if len(disj) != 1 {
+			t.Errorf("disjunct size = %d, want 1", len(disj))
+		}
+	}
+}
+
+func TestCauseCoverageRank(t *testing.T) {
+	for _, rank := range []int{1, 10, 54} {
+		sc := New(Options{NumPVTs: 60, NumAttrs: 1, Conjunction: 1, Seed: 7, CauseCoverageRank: rank})
+		cause := sc.GroundTruth[0][0]
+		causeCov := sc.PVTs[cause].Profile.(*Profile).Cov
+		higher := 0
+		for i, p := range sc.PVTs {
+			if i != cause && p.Profile.(*Profile).Cov > causeCov {
+				higher++
+			}
+		}
+		if higher != rank-1 {
+			t.Errorf("rank %d: %d PVTs have higher coverage, want %d", rank, higher, rank-1)
+		}
+	}
+}
+
+func TestCauseTopBenefit(t *testing.T) {
+	sc := New(Options{NumPVTs: 40, NumAttrs: 8, Conjunction: 3, Seed: 9, CauseTopBenefit: true})
+	for _, idx := range sc.GroundTruth[0] {
+		if cov := sc.PVTs[idx].Profile.(*Profile).Cov; cov != 1 {
+			t.Errorf("cause X%d coverage = %g, want 1", idx+1, cov)
+		}
+	}
+}
+
+func TestFigure6ScenarioStructure(t *testing.T) {
+	sc := Figure6Scenario()
+	if len(sc.PVTs) != 8 {
+		t.Fatalf("pvts = %d", len(sc.PVTs))
+	}
+	// Ground truth {X1,X6} ∨ {X4,X8} (0-indexed {0,5}, {3,7}).
+	if sc.GroundTruth[0][0] != 0 || sc.GroundTruth[0][1] != 5 {
+		t.Errorf("first disjunct = %v", sc.GroundTruth[0])
+	}
+	// Fixing {X4, X8} clears the malfunction.
+	d := sc.Fail.Clone()
+	d.Column(FlagColumn).Nums[3] = 0
+	d.Column(FlagColumn).Nums[7] = 0
+	if sc.System.MalfunctionScore(d) != 0 {
+		t.Error("fixing the second disjunct should clear the malfunction")
+	}
+}
+
+// Property: scenario generation is deterministic per seed and the system
+// score is always within [0, 1].
+func TestScenarioProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		a := New(Options{NumPVTs: 12, NumAttrs: 3, Conjunction: 2, Seed: seed})
+		b := New(Options{NumPVTs: 12, NumAttrs: 3, Conjunction: 2, Seed: seed})
+		if len(a.GroundTruth[0]) != len(b.GroundTruth[0]) {
+			return false
+		}
+		for i := range a.GroundTruth[0] {
+			if a.GroundTruth[0][i] != b.GroundTruth[0][i] {
+				return false
+			}
+		}
+		// Random partial repairs keep the score in [0,1].
+		rng := rand.New(rand.NewSource(seed))
+		d := a.Fail.Clone()
+		for i := 0; i < 12; i++ {
+			if rng.Float64() < 0.5 {
+				d.Column(FlagColumn).Nums[i] = 0
+			}
+		}
+		s := a.System.MalfunctionScore(d)
+		return s >= 0 && s <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

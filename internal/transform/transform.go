@@ -1,0 +1,492 @@
+// Package transform implements DataPrism's transformation functions — the T
+// of the PVT triplets (rightmost column of Figure 1 in the paper). A
+// Transformation alters a (cloned) dataset so that it no longer violates its
+// target profile, providing both the intervention mechanism for causal
+// verification and the suggested fix reported in explanations.
+//
+// ForProfile builds the candidate transformations for a profile discovered
+// on the passing dataset; transformations compute everything they need from
+// the dataset they are applied to, so they compose under the ◦ operator of
+// Definition 9.
+package transform
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strconv"
+
+	"repro/internal/dataset"
+	"repro/internal/profile"
+	"repro/internal/stats"
+)
+
+// Transformation alters a dataset so it satisfies a target profile.
+type Transformation interface {
+	// Name identifies the transformation strategy, e.g. "linear-map".
+	Name() string
+	// Target returns the profile this transformation repairs.
+	Target() profile.Profile
+	// Modifies returns the attributes the transformation alters.
+	Modifies() []string
+	// Apply returns a transformed copy of d; d itself is never mutated.
+	Apply(d *dataset.Dataset, rng *rand.Rand) (*dataset.Dataset, error)
+	// Coverage returns the fraction of tuples of d the transformation
+	// would modify — the coverage term of the benefit score (Section 4.2).
+	Coverage(d *dataset.Dataset) float64
+}
+
+// ForProfile returns the candidate transformations for a profile, in the
+// order the paper lists them in Figure 1. The returned slice is empty for
+// profile classes with no registered intervention.
+func ForProfile(p profile.Profile) []Transformation {
+	switch q := p.(type) {
+	case *profile.DomainCategorical:
+		return []Transformation{&MapToDomain{Profile: q}}
+	case *profile.DomainNumeric:
+		return []Transformation{
+			&LinearMap{Profile: q},
+			&Winsorize{Profile: q},
+		}
+	case *profile.DomainText:
+		return []Transformation{&ConformText{Profile: q}}
+	case *profile.DomainTextMulti:
+		return []Transformation{&ConformTextMulti{Profile: q}}
+	case *profile.Outlier:
+		return []Transformation{
+			&ReplaceOutliers{Profile: q, Stat: "mean"},
+			&ClampOutliers{Profile: q},
+		}
+	case *profile.Missing:
+		return []Transformation{&Impute{Profile: q}}
+	case *profile.Selectivity:
+		return []Transformation{&Resample{Profile: q}}
+	case *profile.IndepChi:
+		return []Transformation{
+			&ShuffleBreak{Prof: q, Attr: q.AttrB},
+			&ShuffleBreak{Prof: q, Attr: q.AttrA},
+		}
+	case *profile.IndepPearson:
+		return []Transformation{
+			&NoiseBreak{Prof: q, Attr: q.AttrB},
+			&NoiseBreak{Prof: q, Attr: q.AttrA},
+		}
+	case *profile.IndepCausal:
+		return []Transformation{&CausalBreak{Prof: q}}
+	case *profile.Distribution:
+		return []Transformation{
+			&QuantileMap{Profile: q},
+			&MedianShift{Profile: q},
+		}
+	case *profile.FuncDep:
+		return []Transformation{&FDRepair{Profile: q}}
+	case *profile.Unique:
+		return []Transformation{&Deduplicate{Profile: q}}
+	case *profile.Inclusion:
+		return []Transformation{&RepairInclusion{Profile: q}}
+	case *profile.Frequency:
+		return []Transformation{&Recadence{Profile: q}}
+	case *profile.Conditional:
+		return forConditional(q)
+	default:
+		return nil
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Domain (categorical): map values outside S onto S by rank correspondence.
+
+// MapToDomain repairs a categorical Domain violation by mapping each value
+// outside the domain to a domain value. Values are aligned by order
+// statistics (numeric-aware), the closest stand-in for the paper's "map
+// using domain knowledge": e.g. the failing sentiment labels {0, 4} map onto
+// the passing domain {-1, 1} as 0→-1, 4→1.
+type MapToDomain struct {
+	Profile *profile.DomainCategorical
+}
+
+// Name implements Transformation.
+func (t *MapToDomain) Name() string { return "map-to-domain" }
+
+// Target implements Transformation.
+func (t *MapToDomain) Target() profile.Profile { return t.Profile }
+
+// Modifies implements Transformation.
+func (t *MapToDomain) Modifies() []string { return []string{t.Profile.Attr} }
+
+// invalidValues returns the sorted distinct out-of-domain values in d.
+func (t *MapToDomain) invalidValues(d *dataset.Dataset) []string {
+	var out []string
+	for _, v := range d.DistinctStrings(t.Profile.Attr) {
+		if !t.Profile.Values[v] {
+			out = append(out, v)
+		}
+	}
+	sortValueAware(out)
+	return out
+}
+
+// sortValueAware sorts numerically when every string parses as a number,
+// lexicographically otherwise.
+func sortValueAware(xs []string) {
+	numeric := true
+	nums := make([]float64, len(xs))
+	for i, s := range xs {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			numeric = false
+			break
+		}
+		nums[i] = v
+	}
+	if numeric {
+		sort.Slice(xs, func(i, j int) bool {
+			a, _ := strconv.ParseFloat(xs[i], 64)
+			b, _ := strconv.ParseFloat(xs[j], 64)
+			return a < b
+		})
+		return
+	}
+	sort.Strings(xs)
+}
+
+// Apply implements Transformation.
+func (t *MapToDomain) Apply(d *dataset.Dataset, _ *rand.Rand) (*dataset.Dataset, error) {
+	c := d.Column(t.Profile.Attr)
+	if c == nil || c.Kind == dataset.Numeric {
+		return nil, fmt.Errorf("transform: no categorical column %q", t.Profile.Attr)
+	}
+	invalid := t.invalidValues(d)
+	if len(invalid) == 0 {
+		return d.Clone(), nil
+	}
+	domain := t.Profile.SortedValues()
+	if len(domain) == 0 {
+		return nil, fmt.Errorf("transform: empty target domain for %q", t.Profile.Attr)
+	}
+	sortValueAware(domain)
+	mapping := make(map[string]string, len(invalid))
+	for i, v := range invalid {
+		// Proportional rank alignment between the two sorted value lists.
+		j := i * len(domain) / len(invalid)
+		if len(invalid) > 1 {
+			j = i * (len(domain) - 1) / (len(invalid) - 1)
+		}
+		mapping[v] = domain[j]
+	}
+	out := d.Clone()
+	oc := out.Column(t.Profile.Attr)
+	for i := 0; i < out.NumRows(); i++ {
+		if oc.Null[i] {
+			continue
+		}
+		if repl, ok := mapping[oc.Strs[i]]; ok {
+			oc.Strs[i] = repl
+		}
+	}
+	return out, nil
+}
+
+// Coverage implements Transformation.
+func (t *MapToDomain) Coverage(d *dataset.Dataset) float64 {
+	return t.Profile.Violation(d)
+}
+
+// ---------------------------------------------------------------------------
+// Domain (numeric): monotonic linear transformation of all values.
+
+// LinearMap repairs a numeric Domain violation by linearly mapping the
+// observed value range onto the profile's [Lo, Hi] — the transformation for
+// unit mismatches, where all values (not only the violating ones) must move
+// (Figure 1 row 2, transformation 1).
+type LinearMap struct {
+	Profile *profile.DomainNumeric
+}
+
+// Name implements Transformation.
+func (t *LinearMap) Name() string { return "linear-map" }
+
+// Target implements Transformation.
+func (t *LinearMap) Target() profile.Profile { return t.Profile }
+
+// Modifies implements Transformation.
+func (t *LinearMap) Modifies() []string { return []string{t.Profile.Attr} }
+
+// Apply implements Transformation.
+func (t *LinearMap) Apply(d *dataset.Dataset, _ *rand.Rand) (*dataset.Dataset, error) {
+	vals := d.NumericValues(t.Profile.Attr)
+	if len(vals) == 0 {
+		return nil, fmt.Errorf("transform: no numeric values in %q", t.Profile.Attr)
+	}
+	lo, hi := stats.MinMax(vals)
+	out := d.Clone()
+	c := out.Column(t.Profile.Attr)
+	scale := 0.0
+	if hi > lo {
+		scale = (t.Profile.Hi - t.Profile.Lo) / (hi - lo)
+	}
+	for i := range c.Nums {
+		if c.Null[i] {
+			continue
+		}
+		if hi == lo {
+			c.Nums[i] = t.Profile.Lo
+		} else {
+			v := t.Profile.Lo + (c.Nums[i]-lo)*scale
+			// Absorb floating-point drift at the boundary values.
+			if v < t.Profile.Lo {
+				v = t.Profile.Lo
+			} else if v > t.Profile.Hi {
+				v = t.Profile.Hi
+			}
+			c.Nums[i] = v
+		}
+	}
+	return out, nil
+}
+
+// Coverage implements Transformation: a linear map touches every non-NULL
+// value as soon as the range is off.
+func (t *LinearMap) Coverage(d *dataset.Dataset) float64 {
+	if t.Profile.Violation(d) == 0 {
+		return 0
+	}
+	if d.NumRows() == 0 {
+		return 0
+	}
+	return float64(len(d.NumericValues(t.Profile.Attr))) / float64(d.NumRows())
+}
+
+// Winsorize repairs a numeric Domain violation by clamping only the
+// violating values into [Lo, Hi] (Figure 1 row 2, transformation 2).
+type Winsorize struct {
+	Profile *profile.DomainNumeric
+}
+
+// Name implements Transformation.
+func (t *Winsorize) Name() string { return "winsorize" }
+
+// Target implements Transformation.
+func (t *Winsorize) Target() profile.Profile { return t.Profile }
+
+// Modifies implements Transformation.
+func (t *Winsorize) Modifies() []string { return []string{t.Profile.Attr} }
+
+// Apply implements Transformation.
+func (t *Winsorize) Apply(d *dataset.Dataset, _ *rand.Rand) (*dataset.Dataset, error) {
+	out := d.Clone()
+	c := out.Column(t.Profile.Attr)
+	if c == nil || c.Kind != dataset.Numeric {
+		return nil, fmt.Errorf("transform: no numeric column %q", t.Profile.Attr)
+	}
+	for i := range c.Nums {
+		if c.Null[i] {
+			continue
+		}
+		if c.Nums[i] < t.Profile.Lo {
+			c.Nums[i] = t.Profile.Lo
+		} else if c.Nums[i] > t.Profile.Hi {
+			c.Nums[i] = t.Profile.Hi
+		}
+	}
+	return out, nil
+}
+
+// Coverage implements Transformation: only the violating fraction moves.
+func (t *Winsorize) Coverage(d *dataset.Dataset) float64 {
+	return t.Profile.Violation(d)
+}
+
+// ---------------------------------------------------------------------------
+// Domain (text): minimally edit values to satisfy the learned pattern.
+
+// ConformText repairs a text Domain violation by minimally editing each
+// non-matching value to satisfy the learned pattern (Figure 1 row 3).
+type ConformText struct {
+	Profile *profile.DomainText
+}
+
+// Name implements Transformation.
+func (t *ConformText) Name() string { return "conform-pattern" }
+
+// Target implements Transformation.
+func (t *ConformText) Target() profile.Profile { return t.Profile }
+
+// Modifies implements Transformation.
+func (t *ConformText) Modifies() []string { return []string{t.Profile.Attr} }
+
+// Apply implements Transformation.
+func (t *ConformText) Apply(d *dataset.Dataset, _ *rand.Rand) (*dataset.Dataset, error) {
+	out := d.Clone()
+	c := out.Column(t.Profile.Attr)
+	if c == nil || c.Kind == dataset.Numeric {
+		return nil, fmt.Errorf("transform: no text column %q", t.Profile.Attr)
+	}
+	for i := range c.Strs {
+		if c.Null[i] {
+			continue
+		}
+		if !t.Profile.Pattern.Matches(c.Strs[i]) {
+			c.Strs[i] = t.Profile.Pattern.Conform(c.Strs[i])
+		}
+	}
+	return out, nil
+}
+
+// Coverage implements Transformation.
+func (t *ConformText) Coverage(d *dataset.Dataset) float64 {
+	return t.Profile.Violation(d)
+}
+
+// ---------------------------------------------------------------------------
+// Outlier: replace or clamp detected outliers.
+
+// ReplaceOutliers repairs an Outlier violation by replacing each outlier
+// with the attribute's expected value: its mean, median, or mode
+// (Figure 1 row 4, transformation 1).
+type ReplaceOutliers struct {
+	Profile *profile.Outlier
+	// Stat selects the replacement statistic: "mean", "median", or "mode".
+	Stat string
+}
+
+// Name implements Transformation.
+func (t *ReplaceOutliers) Name() string { return "replace-outliers-" + t.Stat }
+
+// Target implements Transformation.
+func (t *ReplaceOutliers) Target() profile.Profile { return t.Profile }
+
+// Modifies implements Transformation.
+func (t *ReplaceOutliers) Modifies() []string { return []string{t.Profile.Attr} }
+
+// Apply implements Transformation.
+func (t *ReplaceOutliers) Apply(d *dataset.Dataset, _ *rand.Rand) (*dataset.Dataset, error) {
+	vals := d.NumericValues(t.Profile.Attr)
+	if len(vals) == 0 {
+		return nil, fmt.Errorf("transform: no numeric values in %q", t.Profile.Attr)
+	}
+	var repl float64
+	switch t.Stat {
+	case "median":
+		repl = stats.Median(vals)
+	case "mode":
+		repl = stats.Mode(vals)
+	default:
+		repl = stats.Mean(vals)
+	}
+	m, s := stats.Mean(vals), stats.StdDev(vals)
+	out := d.Clone()
+	c := out.Column(t.Profile.Attr)
+	for i := range c.Nums {
+		if c.Null[i] {
+			continue
+		}
+		if s > 0 && math.Abs(c.Nums[i]-m) > t.Profile.K*s {
+			c.Nums[i] = repl
+		}
+	}
+	return out, nil
+}
+
+// Coverage implements Transformation.
+func (t *ReplaceOutliers) Coverage(d *dataset.Dataset) float64 {
+	return t.Profile.OutlierFraction(d)
+}
+
+// ClampOutliers repairs an Outlier violation by mapping values above
+// (below) the valid limit to the highest (lowest) valid value
+// (Figure 1 row 4, transformation 2).
+type ClampOutliers struct {
+	Profile *profile.Outlier
+}
+
+// Name implements Transformation.
+func (t *ClampOutliers) Name() string { return "clamp-outliers" }
+
+// Target implements Transformation.
+func (t *ClampOutliers) Target() profile.Profile { return t.Profile }
+
+// Modifies implements Transformation.
+func (t *ClampOutliers) Modifies() []string { return []string{t.Profile.Attr} }
+
+// Apply implements Transformation.
+func (t *ClampOutliers) Apply(d *dataset.Dataset, _ *rand.Rand) (*dataset.Dataset, error) {
+	vals := d.NumericValues(t.Profile.Attr)
+	if len(vals) == 0 {
+		return nil, fmt.Errorf("transform: no numeric values in %q", t.Profile.Attr)
+	}
+	m, s := stats.Mean(vals), stats.StdDev(vals)
+	lo, hi := m-t.Profile.K*s, m+t.Profile.K*s
+	out := d.Clone()
+	c := out.Column(t.Profile.Attr)
+	for i := range c.Nums {
+		if c.Null[i] {
+			continue
+		}
+		if c.Nums[i] < lo {
+			c.Nums[i] = lo
+		} else if c.Nums[i] > hi {
+			c.Nums[i] = hi
+		}
+	}
+	return out, nil
+}
+
+// Coverage implements Transformation.
+func (t *ClampOutliers) Coverage(d *dataset.Dataset) float64 {
+	return t.Profile.OutlierFraction(d)
+}
+
+// ---------------------------------------------------------------------------
+// Missing: impute NULL values.
+
+// Impute repairs a Missing violation by filling NULLs with the attribute's
+// mean (numeric) or mode (categorical/text) — Figure 1 row 5.
+type Impute struct {
+	Profile *profile.Missing
+}
+
+// Name implements Transformation.
+func (t *Impute) Name() string { return "impute" }
+
+// Target implements Transformation.
+func (t *Impute) Target() profile.Profile { return t.Profile }
+
+// Modifies implements Transformation.
+func (t *Impute) Modifies() []string { return []string{t.Profile.Attr} }
+
+// Apply implements Transformation.
+func (t *Impute) Apply(d *dataset.Dataset, _ *rand.Rand) (*dataset.Dataset, error) {
+	out := d.Clone()
+	c := out.Column(t.Profile.Attr)
+	if c == nil {
+		return nil, fmt.Errorf("transform: no column %q", t.Profile.Attr)
+	}
+	if c.Kind == dataset.Numeric {
+		repl := stats.Mean(out.NumericValues(t.Profile.Attr))
+		if math.IsNaN(repl) {
+			repl = 0
+		}
+		for i := range c.Nums {
+			if c.Null[i] {
+				c.Nums[i] = repl
+				c.Null[i] = false
+			}
+		}
+		return out, nil
+	}
+	repl := stats.ModeString(out.StringValues(t.Profile.Attr))
+	for i := range c.Strs {
+		if c.Null[i] {
+			c.Strs[i] = repl
+			c.Null[i] = false
+		}
+	}
+	return out, nil
+}
+
+// Coverage implements Transformation.
+func (t *Impute) Coverage(d *dataset.Dataset) float64 {
+	return t.Profile.MissingFraction(d)
+}
