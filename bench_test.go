@@ -5,9 +5,16 @@
 package dataprism_test
 
 import (
+	"context"
 	"testing"
+	"time"
 
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/engine"
 	"repro/internal/experiments"
+	"repro/internal/pipeline"
+	"repro/internal/synth"
 )
 
 // benchFigure7 runs one Figure 7 case-study row and reports each
@@ -186,3 +193,119 @@ func BenchmarkAblationBisection(b *testing.B) {
 	b.ReportMetric(minBis, "min-bisection-interventions")
 	b.ReportMetric(randBis, "random-bisection-interventions")
 }
+
+// --- Intervention-engine benchmarks ------------------------------------
+//
+// These measure the engine substrate itself on a system with ~2 ms oracle
+// latency (the regime where parallel evaluation and memoization pay off;
+// real external scorers are slower still).
+
+// slowCtxSystem returns a ContextSystem with the given artificial oracle
+// latency wrapped around a constant score.
+func slowCtxSystem(delay time.Duration) pipeline.ContextSystem {
+	return &pipeline.CtxFunc{SystemName: "slow-oracle", Score: func(ctx context.Context, d *dataset.Dataset) float64 {
+		time.Sleep(delay)
+		return 0.5
+	}}
+}
+
+// engineBatchCandidates builds n distinct single-row candidate datasets.
+func engineBatchCandidates(n int) []*dataset.Dataset {
+	out := make([]*dataset.Dataset, n)
+	for i := range out {
+		out[i] = dataset.New().MustAddNumeric("x", []float64{float64(i)})
+	}
+	return out
+}
+
+// benchEngineBatch times one EvalBatch of 16 distinct candidates.
+func benchEngineBatch(b *testing.B, workers int) {
+	cands := engineBatchCandidates(16)
+	sys := slowCtxSystem(2 * time.Millisecond)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev := engine.New(sys, engine.Config{Workers: workers})
+		if _, err := ev.EvalBatch(ctx, cands); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineBatchSequential evaluates 16 independent interventions one
+// at a time (Workers=1) on the 2 ms system.
+func BenchmarkEngineBatchSequential(b *testing.B) { benchEngineBatch(b, 1) }
+
+// BenchmarkEngineBatchPooled evaluates the same batch on an 8-worker pool;
+// the contract is an identical result ≥2× faster.
+func BenchmarkEngineBatchPooled(b *testing.B) { benchEngineBatch(b, 8) }
+
+// BenchmarkEngineMemoCold scores 16 candidates with a fresh engine each
+// time — every evaluation pays the oracle.
+func BenchmarkEngineMemoCold(b *testing.B) {
+	cands := engineBatchCandidates(16)
+	sys := slowCtxSystem(2 * time.Millisecond)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev := engine.New(sys, engine.Config{Workers: 1})
+		if _, err := ev.EvalBatch(ctx, cands); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineMemoWarm scores the same 16 candidates against a primed
+// engine — every evaluation is a fingerprint-cache hit, no oracle calls.
+func BenchmarkEngineMemoWarm(b *testing.B) {
+	cands := engineBatchCandidates(16)
+	sys := slowCtxSystem(2 * time.Millisecond)
+	ctx := context.Background()
+	ev := engine.New(sys, engine.Config{Workers: 1})
+	if _, err := ev.EvalBatch(ctx, cands); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ev.EvalBatch(ctx, cands); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if hits := ev.Stats().CacheHits; hits < 16*b.N {
+		b.Fatalf("cache hits = %d, want ≥ %d", hits, 16*b.N)
+	}
+}
+
+// benchEngineGroupTest runs the full DataPrismGT search on a synthetic
+// scenario whose oracle sleeps 2 ms, for a given worker count. GT's batches
+// are the two bisection halves plus the make-minimal drop set, so the
+// end-to-end speedup is bounded by those widths (≈2×), while the search
+// outcome stays bit-identical.
+func benchEngineGroupTest(b *testing.B, workers int) {
+	sc := synth.New(synth.Options{NumPVTs: 32, NumAttrs: 8, Conjunction: 2, CauseTopBenefit: true, Seed: 1})
+	cs := &pipeline.CtxFunc{SystemName: "slow-synth", Score: func(ctx context.Context, d *dataset.Dataset) float64 {
+		time.Sleep(2 * time.Millisecond)
+		return sc.System.MalfunctionScore(d)
+	}}
+	var res *core.Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := &core.Explainer{ContextSystem: cs, Tau: 0.05, Seed: 1, Workers: workers}
+		r, err := e.ExplainGroupTestPVTs(sc.PVTs, sc.Fail)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res = r
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(res.Interventions), "interventions")
+	b.ReportMetric(float64(res.Stats.CacheHits), "cache-hits")
+}
+
+// BenchmarkEngineGroupTestWorkers1 is the sequential end-to-end GT search.
+func BenchmarkEngineGroupTestWorkers1(b *testing.B) { benchEngineGroupTest(b, 1) }
+
+// BenchmarkEngineGroupTestWorkers8 is the pooled end-to-end GT search; the
+// reported interventions must match Workers1 exactly.
+func BenchmarkEngineGroupTestWorkers8(b *testing.B) { benchEngineGroupTest(b, 8) }

@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -43,6 +44,8 @@ func main() {
 		verbose   = flag.Bool("v", false, "print the intervention trace")
 		jsonOut   = flag.Bool("json", false, "emit the result as JSON instead of text")
 		mdOut     = flag.Bool("markdown", false, "emit the result as a Markdown report")
+		workers   = flag.Int("workers", 0, "goroutines evaluating independent interventions (0 = GOMAXPROCS)")
+		timeout   = flag.Duration("timeout", 0, "abort the search after this long (0 = no limit)")
 	)
 	flag.Parse()
 
@@ -71,28 +74,46 @@ func main() {
 		if fail, err = dataprism.ReadCSVFile(*failPath, inferOpts); err != nil {
 			fatal(err)
 		}
-		sys = &pipeline.External{Command: strings.Fields(*systemCmd)}
+		ext := &pipeline.External{Command: strings.Fields(*systemCmd)}
+		if *verbose {
+			ext.Logf = func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "dataprism: "+format+"\n", args...)
+			}
+		}
+		sys = ext
 	default:
 		fmt.Fprintln(os.Stderr, "usage: dataprism -scenario <name> | -pass <csv> -fail <csv> -system-cmd <cmd>")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
 
-	passScore := sys.MalfunctionScore(pass)
-	failScore := sys.MalfunctionScore(fail)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
-	e := &dataprism.Explainer{System: sys, Tau: threshold, Options: &opts, Seed: *seed}
+	cs := dataprism.AsContextSystem(sys)
+	passScore := cs.MalfunctionScore(ctx, pass)
+	failScore := cs.MalfunctionScore(ctx, fail)
+
+	e := &dataprism.Explainer{System: sys, Tau: threshold, Options: &opts, Seed: *seed, Workers: *workers}
 	var (
 		res *dataprism.Result
 		err error
 	)
 	switch *algo {
 	case "grd":
-		res, err = e.ExplainGreedy(pass, fail)
+		res, err = e.ExplainGreedyContext(ctx, pass, fail)
 	case "gt":
-		res, err = e.ExplainGroupTest(pass, fail)
+		res, err = e.ExplainGroupTestContext(ctx, pass, fail)
 	default:
 		fatal(fmt.Errorf("unknown algorithm %q (want grd or gt)", *algo))
+	}
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		fmt.Fprintf(os.Stderr, "dataprism: search aborted (%v) after %d interventions\n", err, res.Interventions)
+		os.Exit(1)
 	}
 	if errors.Is(err, dataprism.ErrNoExplanation) {
 		if *jsonOut {
@@ -165,6 +186,9 @@ type jsonResult struct {
 	Found          bool            `json:"found"`
 	Discriminative int             `json:"discriminative_pvts"`
 	Interventions  int             `json:"interventions"`
+	CacheHits      int             `json:"cache_hits"`
+	ParallelBatch  int             `json:"parallel_batches"`
+	MeanOracleSecs float64         `json:"mean_oracle_seconds"`
 	FinalScore     float64         `json:"final_score"`
 	RuntimeSecs    float64         `json:"runtime_seconds"`
 	Explanation    []string        `json:"explanation"`
@@ -187,6 +211,9 @@ func emitJSON(sys dataprism.System, tau, passScore, failScore float64, res *data
 		Found:          found,
 		Discriminative: res.Discriminative,
 		Interventions:  res.Interventions,
+		CacheHits:      res.Stats.CacheHits,
+		ParallelBatch:  res.Stats.Batches,
+		MeanOracleSecs: res.Stats.Latency.Mean().Seconds(),
 		FinalScore:     res.FinalScore,
 		RuntimeSecs:    res.Runtime.Seconds(),
 	}

@@ -33,9 +33,12 @@
 package dataprism
 
 import (
+	"context"
+
 	"repro/internal/baselines"
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/engine"
 	"repro/internal/pipeline"
 	"repro/internal/profile"
 	"repro/internal/transform"
@@ -78,11 +81,22 @@ type (
 	System = pipeline.System
 	// SystemFunc adapts a plain scoring function into a System.
 	SystemFunc = pipeline.Func
+	// ContextSystem is a black-box system whose malfunction score honors a
+	// context (cancellation, deadlines, tracing values).
+	ContextSystem = pipeline.ContextSystem
+	// ContextSystemFunc adapts a context-aware scoring function into a
+	// ContextSystem.
+	ContextSystemFunc = pipeline.CtxFunc
 	// ExternalSystem treats an external program (CSV on stdin, score on
 	// stdout) as the black-box system.
 	ExternalSystem = pipeline.External
 	// Oracle wraps a System and counts score evaluations.
 	Oracle = pipeline.Oracle
+
+	// EngineStats reports the intervention engine's counters for a search:
+	// interventions, memo-cache hits/misses, parallel batches, and the
+	// oracle-latency histogram.
+	EngineStats = engine.Stats
 
 	// BaselineConfig parameterizes the BugDoc / Anchor / GrpTest baselines.
 	BaselineConfig = baselines.Config
@@ -106,6 +120,16 @@ const (
 // ErrNoExplanation is returned when no combination of discriminative PVT
 // transformations brings the malfunction score below τ.
 var ErrNoExplanation = core.ErrNoExplanation
+
+// ErrBudgetExhausted is returned (possibly wrapped) when a search stops
+// because it hit its MaxInterventions budget.
+var ErrBudgetExhausted = engine.ErrBudgetExhausted
+
+// AsContextSystem adapts a legacy System into a ContextSystem. Systems that
+// additionally implement MalfunctionScoreCtx (like ExternalSystem) keep
+// their context-aware path; plain Systems are wrapped with the context
+// ignored during scoring.
+func AsContextSystem(sys System) ContextSystem { return pipeline.AsContext(sys) }
 
 // NewDataset returns an empty dataset.
 func NewDataset() *Dataset { return dataset.New() }
@@ -146,6 +170,14 @@ func DiscoverPVTs(pass, fail *Dataset, opts DiscoveryOptions, eps float64) []*PV
 func Explain(sys System, tau float64, pass, fail *Dataset) (*Result, error) {
 	e := &Explainer{System: sys, Tau: tau}
 	return e.ExplainGreedy(pass, fail)
+}
+
+// ExplainContext is Explain honoring the caller's context and running
+// independent interventions on workers goroutines (0 means GOMAXPROCS).
+// The search outcome is identical for any worker count.
+func ExplainContext(ctx context.Context, sys ContextSystem, tau float64, workers int, pass, fail *Dataset) (*Result, error) {
+	e := &Explainer{ContextSystem: sys, Tau: tau, Workers: workers}
+	return e.ExplainGreedyContext(ctx, pass, fail)
 }
 
 // VerifyExplanation independently re-verifies a reported explanation: the

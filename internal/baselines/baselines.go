@@ -14,17 +14,25 @@
 //     by core.Explainer's RandomBisection flag and re-exported here for a
 //     uniform interface.
 //
-// All baselines consume the same discriminative PVT candidates and counting
-// oracle as DataPrism, so intervention counts are directly comparable.
+// All baselines consume the same discriminative PVT candidates and
+// evaluate through the same intervention engine as DataPrism — one
+// context-aware oracle, worker pool, memo cache, and budget — so
+// intervention counts are directly comparable. Configuration generation
+// and application stay on the caller's goroutine in a fixed rng order;
+// only the pure scoring step is batched, so results are identical for any
+// Workers setting.
 package baselines
 
 import (
+	"context"
 	"errors"
+	"math"
 	"math/rand"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/engine"
 	"repro/internal/pipeline"
 )
 
@@ -32,12 +40,17 @@ import (
 type Config struct {
 	// System is the black box under debugging.
 	System pipeline.System
+	// ContextSystem, when set, takes precedence over System and receives
+	// the search's context on every evaluation.
+	ContextSystem pipeline.ContextSystem
 	// Tau is the allowable malfunction threshold.
 	Tau float64
 	// Seed drives the randomized exploration.
 	Seed int64
 	// MaxInterventions caps oracle calls (default 100000).
 	MaxInterventions int
+	// Workers bounds concurrent oracle evaluations (default GOMAXPROCS).
+	Workers int
 }
 
 func (c *Config) maxInterventions() int {
@@ -45,6 +58,28 @@ func (c *Config) maxInterventions() int {
 		return 100000
 	}
 	return c.MaxInterventions
+}
+
+// newEval builds the evaluation substrate for one baseline run.
+func (c *Config) newEval() (*engine.Eval, error) {
+	cs := c.ContextSystem
+	if cs == nil {
+		if c.System == nil {
+			return nil, errors.New("baselines: Config requires a System or ContextSystem")
+		}
+		cs = pipeline.AsContext(c.System)
+	}
+	return engine.New(cs, engine.Config{
+		Workers:          c.Workers,
+		MaxInterventions: c.maxInterventions(),
+	}), nil
+}
+
+// finish stamps the engine's counters and the wall clock onto the result.
+func finish(res *core.Result, ev *engine.Eval, start time.Time) {
+	res.Stats = ev.Stats()
+	res.Interventions = res.Stats.Interventions
+	res.Runtime = time.Since(start)
 }
 
 // inPlaceTransformation mirrors core's optional fast path for
@@ -83,31 +118,47 @@ func applyConfig(fail *dataset.Dataset, pvts []*core.PVT, on []bool, rng *rand.R
 // enabled in every passing configuration, and a linear shrink then verifies
 // each remaining candidate's necessity.
 func BugDoc(cfg Config, pvts []*core.PVT, fail *dataset.Dataset) (*core.Result, error) {
+	return BugDocContext(context.Background(), cfg, pvts, fail)
+}
+
+// BugDocContext is BugDoc honoring the caller's context. The sampling
+// phase's configurations are generated serially (fixed rng order) and
+// scored as one engine batch; the shrink phase is inherently sequential.
+func BugDocContext(ctx context.Context, cfg Config, pvts []*core.PVT, fail *dataset.Dataset) (*core.Result, error) {
 	start := time.Now()
-	oracle := pipeline.NewOracle(cfg.System)
+	ev, err := cfg.newEval()
+	if err != nil {
+		return nil, err
+	}
 	rng := rand.New(rand.NewSource(cfg.Seed + 101))
 	res := &core.Result{Discriminative: len(pvts)}
-	res.InitialScore = oracle.Exempt(fail)
+	res.InitialScore = ev.Baseline(ctx, fail)
 	res.FinalScore = res.InitialScore
 	if res.InitialScore <= cfg.Tau {
 		res.Found = true
 		res.Transformed = fail.Clone()
-		res.Runtime = time.Since(start)
+		finish(res, ev, start)
 		return res, nil
 	}
 	k := len(pvts)
 	if k == 0 {
-		res.Runtime = time.Since(start)
+		finish(res, ev, start)
 		return res, core.ErrNoExplanation
 	}
-	calls := 0
+
+	var ctxErr error
+	// eval scores one configuration through the engine; ok is false when
+	// the budget is exhausted (further evaluation is pointless), and any
+	// context error is latched for the caller.
 	eval := func(on []bool) (float64, bool) {
-		if calls >= cfg.maxInterventions() {
+		d := applyConfig(fail, pvts, on, rng)
+		s, err := ev.Score(ctx, d)
+		if err != nil {
+			if !errors.Is(err, engine.ErrBudgetExhausted) && ctxErr == nil {
+				ctxErr = err
+			}
 			return 1, false
 		}
-		d := applyConfig(fail, pvts, on, rng)
-		s := oracle.MalfunctionScore(d)
-		calls++
 		res.Trace = append(res.Trace, core.Step{PVTs: onNames(pvts, on), Transform: "bugdoc config", Score: s, Accepted: s <= cfg.Tau})
 		return s, true
 	}
@@ -126,35 +177,52 @@ func BugDoc(cfg Config, pvts []*core.PVT, fail *dataset.Dataset) (*core.Result, 
 	}
 
 	// Sampling phase: random configurations, tracking which PVTs are on in
-	// every passing configuration.
+	// every passing configuration. The configurations are generated and
+	// applied up front in rng order, then scored as one batch.
 	inAllPassing := make([]bool, k)
 	copy(inAllPassing, allOn)
 	rounds := 2 * ceilLog2(k)
 	if bestPassing == nil {
 		rounds += 8 // extra exploration when the full repair is harmful
 	}
-	for r := 0; r < rounds; r++ {
-		on := make([]bool, k)
-		for i := range on {
-			on[i] = rng.Float64() < 0.5
-		}
-		s, ok := eval(on)
-		if !ok {
-			break
-		}
-		if s <= cfg.Tau {
-			if bestPassing == nil || count(on) < count(bestPassing) {
-				bestPassing = append([]bool(nil), on...)
+	if ctxErr == nil {
+		configs := make([][]bool, rounds)
+		cands := make([]*dataset.Dataset, rounds)
+		for r := 0; r < rounds; r++ {
+			on := make([]bool, k)
+			for i := range on {
+				on[i] = rng.Float64() < 0.5
 			}
-			for i := range inAllPassing {
-				inAllPassing[i] = inAllPassing[i] && on[i]
+			configs[r] = on
+			cands[r] = applyConfig(fail, pvts, on, rng)
+		}
+		scores, evalErr := ev.EvalBatch(ctx, cands)
+		for r, s := range scores {
+			if math.IsNaN(s) {
+				continue
 			}
+			on := configs[r]
+			res.Trace = append(res.Trace, core.Step{PVTs: onNames(pvts, on), Transform: "bugdoc config", Score: s, Accepted: s <= cfg.Tau})
+			if s <= cfg.Tau {
+				if bestPassing == nil || count(on) < count(bestPassing) {
+					bestPassing = append([]bool(nil), on...)
+				}
+				for i := range inAllPassing {
+					inAllPassing[i] = inAllPassing[i] && on[i]
+				}
+			}
+		}
+		if evalErr != nil && !errors.Is(evalErr, engine.ErrBudgetExhausted) {
+			ctxErr = evalErr
 		}
 	}
+	if ctxErr != nil {
+		finish(res, ev, start)
+		return res, ctxErr
+	}
 	if bestPassing == nil {
-		res.Interventions = calls
 		res.FinalScore = res.InitialScore
-		res.Runtime = time.Since(start)
+		finish(res, ev, start)
 		return res, core.ErrNoExplanation
 	}
 
@@ -166,7 +234,7 @@ func BugDoc(cfg Config, pvts []*core.PVT, fail *dataset.Dataset) (*core.Result, 
 	if s, ok := eval(current); !ok || s > cfg.Tau {
 		copy(current, bestPassing)
 	}
-	for i := 0; i < k; i++ {
+	for i := 0; i < k && ctxErr == nil; i++ {
 		if !current[i] {
 			continue
 		}
@@ -180,12 +248,15 @@ func BugDoc(cfg Config, pvts []*core.PVT, fail *dataset.Dataset) (*core.Result, 
 			current[i] = true
 		}
 	}
+	if ctxErr != nil {
+		finish(res, ev, start)
+		return res, ctxErr
+	}
 
 	final := applyConfig(fail, pvts, current, rng)
-	res.Interventions = calls
-	res.FinalScore = oracle.Exempt(final)
+	res.FinalScore = ev.Baseline(ctx, final)
 	if res.FinalScore > cfg.Tau {
-		res.Runtime = time.Since(start)
+		finish(res, ev, start)
 		return res, core.ErrNoExplanation
 	}
 	for i, on := range current {
@@ -195,7 +266,7 @@ func BugDoc(cfg Config, pvts []*core.PVT, fail *dataset.Dataset) (*core.Result, 
 	}
 	res.Found = true
 	res.Transformed = final
-	res.Runtime = time.Since(start)
+	finish(res, ev, start)
 	return res, nil
 }
 
@@ -237,21 +308,31 @@ func ceilLog2(n int) int {
 // Every perturbation sample costs one intervention, which is why Anchor
 // requires orders of magnitude more interventions than DataPrism.
 func Anchor(cfg Config, pvts []*core.PVT, fail *dataset.Dataset) (*core.Result, error) {
+	return AnchorContext(context.Background(), cfg, pvts, fail)
+}
+
+// AnchorContext is Anchor honoring the caller's context. Each rule's
+// perturbation samples are generated serially (fixed rng order) and scored
+// as one engine batch — the big win for Anchor's sample-heavy loop.
+func AnchorContext(ctx context.Context, cfg Config, pvts []*core.PVT, fail *dataset.Dataset) (*core.Result, error) {
 	start := time.Now()
-	oracle := pipeline.NewOracle(cfg.System)
+	ev, err := cfg.newEval()
+	if err != nil {
+		return nil, err
+	}
 	rng := rand.New(rand.NewSource(cfg.Seed + 202))
 	res := &core.Result{Discriminative: len(pvts)}
-	res.InitialScore = oracle.Exempt(fail)
+	res.InitialScore = ev.Baseline(ctx, fail)
 	res.FinalScore = res.InitialScore
 	if res.InitialScore <= cfg.Tau {
 		res.Found = true
 		res.Transformed = fail.Clone()
-		res.Runtime = time.Since(start)
+		finish(res, ev, start)
 		return res, nil
 	}
 	k := len(pvts)
 	if k == 0 {
-		res.Runtime = time.Since(start)
+		finish(res, ev, start)
 		return res, core.ErrNoExplanation
 	}
 
@@ -260,25 +341,30 @@ func Anchor(cfg Config, pvts []*core.PVT, fail *dataset.Dataset) (*core.Result, 
 	if k > 10 {
 		samples = 150/k + 2
 	}
-	calls := 0
 	const precisionTarget = 0.95
 
+	var ctxErr error
 	sampleRule := func(rule map[int]bool) (passFrac float64, exhausted bool) {
-		passes := 0
+		cands := make([]*dataset.Dataset, samples)
 		for s := 0; s < samples; s++ {
-			if calls >= cfg.maxInterventions() {
-				return 0, true
-			}
 			on := make([]bool, k)
 			for i := range on {
 				on[i] = rule[i] || rng.Float64() < 0.5
 			}
-			d := applyConfig(fail, pvts, on, rng)
-			sc := oracle.MalfunctionScore(d)
-			calls++
-			if sc <= cfg.Tau {
+			cands[s] = applyConfig(fail, pvts, on, rng)
+		}
+		scores, err := ev.EvalBatch(ctx, cands)
+		passes := 0
+		for _, sc := range scores {
+			if !math.IsNaN(sc) && sc <= cfg.Tau {
 				passes++
 			}
+		}
+		if err != nil {
+			if !errors.Is(err, engine.ErrBudgetExhausted) && ctxErr == nil {
+				ctxErr = err
+			}
+			return 0, true
 		}
 		return float64(passes) / float64(samples), false
 	}
@@ -290,8 +376,13 @@ func Anchor(cfg Config, pvts []*core.PVT, fail *dataset.Dataset) (*core.Result, 
 			on[i] = rule[i]
 		}
 		d := applyConfig(fail, pvts, on, rng)
-		s := oracle.MalfunctionScore(d)
-		calls++
+		s, err := ev.Score(ctx, d)
+		if err != nil {
+			if !errors.Is(err, engine.ErrBudgetExhausted) && ctxErr == nil {
+				ctxErr = err
+			}
+			return d, math.Inf(1)
+		}
 		return d, s
 	}
 
@@ -308,8 +399,10 @@ func Anchor(cfg Config, pvts []*core.PVT, fail *dataset.Dataset) (*core.Result, 
 			prec, exhausted := sampleRule(rule)
 			delete(rule, i)
 			if exhausted {
-				res.Interventions = calls
-				res.Runtime = time.Since(start)
+				finish(res, ev, start)
+				if ctxErr != nil {
+					return res, ctxErr
+				}
 				return res, core.ErrNoExplanation
 			}
 			if prec > bestPrec {
@@ -329,15 +422,18 @@ func Anchor(cfg Config, pvts []*core.PVT, fail *dataset.Dataset) (*core.Result, 
 		// Deterministic check of the extended rule: precision estimates are
 		// noisy, so the anchor is accepted only once its exact repair passes.
 		final, finalScore = verify(rule)
+		if ctxErr != nil {
+			finish(res, ev, start)
+			return res, ctxErr
+		}
 		if finalScore <= cfg.Tau {
 			break
 		}
 	}
 
-	res.Interventions = calls
 	res.FinalScore = finalScore
 	if final == nil || finalScore > cfg.Tau {
-		res.Runtime = time.Since(start)
+		finish(res, ev, start)
 		return res, core.ErrNoExplanation
 	}
 	for i := 0; i < k; i++ {
@@ -347,21 +443,28 @@ func Anchor(cfg Config, pvts []*core.PVT, fail *dataset.Dataset) (*core.Result, 
 	}
 	res.Found = true
 	res.Transformed = final
-	res.Runtime = time.Since(start)
+	finish(res, ev, start)
 	return res, nil
 }
 
 // GrpTest is the traditional adaptive group-testing baseline: DataPrismGT
 // with uniformly random bisection instead of the PVT-dependency min-cut.
 func GrpTest(cfg Config, pvts []*core.PVT, fail *dataset.Dataset) (*core.Result, error) {
+	return GrpTestContext(context.Background(), cfg, pvts, fail)
+}
+
+// GrpTestContext is GrpTest honoring the caller's context.
+func GrpTestContext(ctx context.Context, cfg Config, pvts []*core.PVT, fail *dataset.Dataset) (*core.Result, error) {
 	e := &core.Explainer{
 		System:           cfg.System,
+		ContextSystem:    cfg.ContextSystem,
 		Tau:              cfg.Tau,
 		Seed:             cfg.Seed,
 		MaxInterventions: cfg.MaxInterventions,
+		Workers:          cfg.Workers,
 		RandomBisection:  true,
 	}
-	res, err := e.ExplainGroupTestPVTs(pvts, fail)
+	res, err := e.ExplainGroupTestPVTsContext(ctx, pvts, fail)
 	if err != nil && !errors.Is(err, core.ErrNoExplanation) {
 		return res, err
 	}

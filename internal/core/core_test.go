@@ -3,7 +3,6 @@ package core_test
 import (
 	"errors"
 	"math"
-	"sync"
 	"testing"
 
 	"repro/internal/core"
@@ -393,61 +392,5 @@ func TestTraceRecordsSteps(t *testing.T) {
 	}
 	if res.Runtime <= 0 {
 		t.Error("runtime not recorded")
-	}
-}
-
-func TestSpeculativeParallelGroupTest(t *testing.T) {
-	// The parallel variant must find the same quality of explanation; its
-	// intervention count may exceed the sequential run's because the X2
-	// evaluations are speculative.
-	for seed := int64(0); seed < 6; seed++ {
-		sc := synth.New(synth.Options{NumPVTs: 24, NumAttrs: 6, Conjunction: 1, Seed: seed})
-		par := &core.Explainer{System: sc.System, Tau: 0.05, Seed: seed, SpeculativeParallel: true}
-		res, err := par.ExplainGroupTestPVTs(sc.PVTs, sc.Fail)
-		if err != nil {
-			t.Fatalf("seed %d: parallel GT failed: %v", seed, err)
-		}
-		if !containsIndex(res.Explanation, sc.GroundTruth[0][0]) {
-			t.Errorf("seed %d: explanation = %s", seed, res.ExplanationString())
-		}
-		if ok, _ := core.VerifyExplanation(sc.System, 0.05, sc.Fail, res.Explanation, seed, true); !ok {
-			t.Errorf("seed %d: parallel explanation failed verification", seed)
-		}
-		seq := &core.Explainer{System: sc.System, Tau: 0.05, Seed: seed}
-		sres, err := seq.ExplainGroupTestPVTs(sc.PVTs, sc.Fail)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if res.Interventions < sres.Interventions {
-			t.Errorf("seed %d: parallel (%d) spent fewer interventions than sequential (%d)?",
-				seed, res.Interventions, sres.Interventions)
-		}
-	}
-}
-
-func TestSpeculativeParallelConcurrencySafety(t *testing.T) {
-	// A system with internal state protected by a mutex: the parallel GT
-	// must not race (run with -race to check).
-	sc := synth.New(synth.Options{NumPVTs: 16, NumAttrs: 4, Conjunction: 1, Seed: 71})
-	var mu sync.Mutex
-	evals := 0
-	wrapped := &pipeline.Func{SystemName: "guarded", Score: func(d *dataset.Dataset) float64 {
-		mu.Lock()
-		evals++
-		mu.Unlock()
-		return sc.System.MalfunctionScore(d)
-	}}
-	e := &core.Explainer{System: wrapped, Tau: 0.05, Seed: 71, SpeculativeParallel: true}
-	res, err := e.ExplainGroupTestPVTs(sc.PVTs, sc.Fail)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !res.Found {
-		t.Error("not found")
-	}
-	mu.Lock()
-	defer mu.Unlock()
-	if evals == 0 {
-		t.Error("no evaluations recorded")
 	}
 }

@@ -1,12 +1,14 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"math"
 	"sort"
 	"time"
 
 	"repro/internal/dataset"
-	"repro/internal/pipeline"
+	"repro/internal/engine"
 )
 
 // ExplainWithDecisionTree implements the Appendix B extension (Algorithm 5)
@@ -23,10 +25,20 @@ import (
 // fail is the failing dataset to explain. Candidates are the PVTs
 // discriminative between the first passing example and fail.
 func (e *Explainer) ExplainWithDecisionTree(examples []*dataset.Dataset, fail *dataset.Dataset) (*Result, error) {
+	return e.ExplainWithDecisionTreeContext(context.Background(), examples, fail)
+}
+
+// ExplainWithDecisionTreeContext is ExplainWithDecisionTree honoring the
+// caller's context.
+func (e *Explainer) ExplainWithDecisionTreeContext(ctx context.Context, examples []*dataset.Dataset, fail *dataset.Dataset) (*Result, error) {
+	cs := e.contextSystem()
+	if cs == nil {
+		return nil, errors.New("core: Explainer requires a System or ContextSystem")
+	}
 	// Pick a passing exemplar to anchor candidate discovery.
 	var pass *dataset.Dataset
 	for _, d := range examples {
-		if e.System.MalfunctionScore(d) <= e.Tau {
+		if cs.MalfunctionScore(ctx, d) <= e.Tau {
 			pass = d
 			break
 		}
@@ -35,27 +47,36 @@ func (e *Explainer) ExplainWithDecisionTree(examples []*dataset.Dataset, fail *d
 	if pass != nil {
 		pvts = DiscoverPVTs(pass, fail, e.options(), e.eps())
 	}
-	return e.ExplainWithDecisionTreePVTs(pvts, examples, fail)
+	return e.ExplainWithDecisionTreePVTsContext(ctx, pvts, examples, fail)
 }
 
 // ExplainWithDecisionTreePVTs runs the Appendix B algorithm on a pre-built
 // candidate PVT set (see ExplainWithDecisionTree).
 func (e *Explainer) ExplainWithDecisionTreePVTs(pvts []*PVT, examples []*dataset.Dataset, fail *dataset.Dataset) (*Result, error) {
+	return e.ExplainWithDecisionTreePVTsContext(context.Background(), pvts, examples, fail)
+}
+
+// ExplainWithDecisionTreePVTsContext is ExplainWithDecisionTreePVTs
+// honoring the caller's context.
+func (e *Explainer) ExplainWithDecisionTreePVTsContext(ctx context.Context, pvts []*PVT, examples []*dataset.Dataset, fail *dataset.Dataset) (*Result, error) {
 	start := time.Now()
-	oracle := pipeline.NewOracle(e.System)
+	ev, err := e.newEval()
+	if err != nil {
+		return nil, err
+	}
 	rng := e.rng()
 
 	res := &Result{Discriminative: len(pvts)}
-	res.InitialScore = oracle.Exempt(fail)
+	res.InitialScore = ev.Baseline(ctx, fail)
 	res.FinalScore = res.InitialScore
 	if res.InitialScore <= e.Tau {
 		res.Found = true
 		res.Transformed = fail.Clone()
-		res.Runtime = time.Since(start)
+		finish(res, ev, start)
 		return res, nil
 	}
 	if len(pvts) == 0 {
-		res.Runtime = time.Since(start)
+		finish(res, ev, start)
 		return res, ErrNoExplanation
 	}
 
@@ -69,37 +90,48 @@ func (e *Explainer) ExplainWithDecisionTreePVTs(pvts []*PVT, examples []*dataset
 	}
 	var train []violationInstance
 	for _, d := range examples {
-		train = append(train, violationInstance{violated: featurize(d), pass: oracle.Exempt(d) <= e.Tau})
+		train = append(train, violationInstance{violated: featurize(d), pass: ev.Baseline(ctx, d) <= e.Tau})
 	}
 	train = append(train, violationInstance{violated: featurize(fail), pass: false})
-
-	calls := 0
 
 	// Optional combinatorial-design bootstrap (Appendix B's cited [19]):
 	// evaluate a strength-2 covering array of repair configurations so the
 	// tree starts with instances covering every pairwise repair pattern —
-	// enabling the method even when no example datasets are supplied.
+	// enabling the method even when no example datasets are supplied. The
+	// rows are independent, so they are composed serially and scored as one
+	// engine batch.
 	if e.BootstrapCoveringArray {
-		for _, row := range CoveringArray2(len(pvts)) {
-			if calls >= e.maxInterventions() {
-				break
-			}
+		rows := CoveringArray2(len(pvts))
+		if r := ev.Remaining(); len(rows) > r {
+			rows = rows[:r]
+		}
+		cands := make([]*dataset.Dataset, len(rows))
+		for ri, row := range rows {
 			group := make([]*PVT, 0, len(pvts))
 			for i, on := range row {
 				if on {
 					group = append(group, pvts[i])
 				}
 			}
-			dt := composeAll(fail, group, nil, rng)
-			s := oracle.MalfunctionScore(dt)
-			calls++
-			train = append(train, violationInstance{violated: featurize(dt), pass: s <= e.Tau})
+			cands[ri] = composeAll(fail, group, nil, rng)
+		}
+		scores, evalErr := ev.EvalBatch(ctx, cands)
+		for ri, s := range scores {
+			if math.IsNaN(s) {
+				continue
+			}
+			train = append(train, violationInstance{violated: featurize(cands[ri]), pass: s <= e.Tau})
+		}
+		if evalErr != nil && !errors.Is(evalErr, engine.ErrBudgetExhausted) {
+			finish(res, ev, start)
+			return res, evalErr
 		}
 	}
 	tried := make(map[string]bool)
 	// Algorithm 5 main loop: extract candidate conjunctions from the tree's
-	// pure pass paths, verify by intervention, retrain on failures.
-	for iter := 0; iter < 16 && calls < e.maxInterventions(); iter++ {
+	// pure pass paths, verify by intervention, retrain on failures. The
+	// loop is inherently sequential — each verification reshapes the tree.
+	for iter := 0; iter < 16 && !ev.Exhausted(); iter++ {
 		tree := buildViolationTree(train, len(pvts))
 		paths := collectPassPaths(tree, nil)
 		// Sort candidate conjunctions by total benefit on the failing
@@ -123,21 +155,27 @@ func (e *Explainer) ExplainWithDecisionTreePVTs(pvts []*PVT, examples []*dataset
 				group[i] = pvts[idx]
 			}
 			dt := composeAll(fail, group, nil, rng)
-			if calls >= e.maxInterventions() {
-				break
+			s, evalErr := ev.Score(ctx, dt)
+			if evalErr != nil {
+				if errors.Is(evalErr, engine.ErrBudgetExhausted) {
+					break
+				}
+				finish(res, ev, start)
+				return res, evalErr
 			}
-			s := oracle.MalfunctionScore(dt)
-			calls++
 			accepted := s <= e.Tau
 			res.Trace = append(res.Trace, Step{PVTs: pvtNames(group), Transform: "decision-tree conjunction", Score: s, Accepted: accepted})
 			if accepted {
-				expl, final := e.makeMinimal(oracle, fail, dt, group, nil, rng, &res.Trace, &calls)
-				res.Interventions = calls
+				expl, final, mmErr := e.makeMinimal(ctx, ev, fail, dt, group, nil, rng, &res.Trace)
+				if mmErr != nil {
+					finish(res, ev, start)
+					return res, mmErr
+				}
 				res.Found = true
 				res.Explanation = expl
 				res.Transformed = final
-				res.FinalScore = oracle.Exempt(final)
-				res.Runtime = time.Since(start)
+				res.FinalScore = ev.Baseline(ctx, final)
+				finish(res, ev, start)
 				return res, nil
 			}
 			// Algorithm 5 line 10: add the transformed failing instance.
@@ -148,10 +186,8 @@ func (e *Explainer) ExplainWithDecisionTreePVTs(pvts []*PVT, examples []*dataset
 			break
 		}
 	}
-	res.Interventions = calls
-	res.Runtime = time.Since(start)
+	finish(res, ev, start)
 	return res, ErrNoExplanation
-
 }
 
 // pvtNames renders a PVT group for the trace.

@@ -1,9 +1,12 @@
 package core
 
 import (
+	"context"
 	"errors"
+	"math"
 
 	"repro/internal/dataset"
+	"repro/internal/engine"
 	"repro/internal/pipeline"
 )
 
@@ -13,17 +16,25 @@ import (
 // checkMinimal is set — that no proper subset suffices (Definition 11).
 // It reports the number of oracle calls spent.
 func VerifyExplanation(sys pipeline.System, tau float64, fail *dataset.Dataset, expl []*PVT, seed int64, checkMinimal bool) (ok bool, calls int) {
-	e := &Explainer{System: sys, Tau: tau, Seed: seed}
-	oracle := pipeline.NewOracle(sys)
+	return VerifyExplanationContext(context.Background(), pipeline.AsContext(sys), tau, fail, expl, seed, checkMinimal)
+}
+
+// VerifyExplanationContext is VerifyExplanation over a context-aware
+// system. The leave-one-out subset checks are independent, so they are
+// evaluated as one engine batch.
+func VerifyExplanationContext(ctx context.Context, sys pipeline.ContextSystem, tau float64, fail *dataset.Dataset, expl []*PVT, seed int64, checkMinimal bool) (ok bool, calls int) {
+	e := &Explainer{Tau: tau, Seed: seed}
+	ev := engine.New(sys, engine.Config{})
 	rng := e.rng()
 	composed := composeAll(fail, expl, nil, rng)
-	calls++
-	if oracle.MalfunctionScore(composed) > tau {
-		return false, calls
+	s, err := ev.Score(ctx, composed)
+	if err != nil || s > tau {
+		return false, ev.Stats().Interventions
 	}
 	if !checkMinimal {
-		return true, calls
+		return true, ev.Stats().Interventions
 	}
+	var cands []*dataset.Dataset
 	for drop := range expl {
 		reduced := make([]*PVT, 0, len(expl)-1)
 		for i, p := range expl {
@@ -34,12 +45,15 @@ func VerifyExplanation(sys pipeline.System, tau float64, fail *dataset.Dataset, 
 		if len(reduced) == 0 {
 			continue // the empty set failing is given: fail itself scores > τ
 		}
-		calls++
-		if oracle.MalfunctionScore(composeAll(fail, reduced, nil, rng)) <= tau {
-			return false, calls // a subset suffices: not minimal
+		cands = append(cands, composeAll(fail, reduced, nil, rng))
+	}
+	scores, err := ev.EvalBatch(ctx, cands)
+	for _, sc := range scores {
+		if !math.IsNaN(sc) && sc <= tau {
+			return false, ev.Stats().Interventions // a subset suffices: not minimal
 		}
 	}
-	return true, calls
+	return err == nil, ev.Stats().Interventions
 }
 
 // EnumerateExplanations returns up to maxCount distinct minimal
@@ -50,14 +64,36 @@ func VerifyExplanation(sys pipeline.System, tau float64, fail *dataset.Dataset, 
 // Explanations are distinct as PVT sets. The search stops early when no
 // further explanation exists.
 func (e *Explainer) EnumerateExplanations(pass, fail *dataset.Dataset, maxCount int) ([][]*PVT, error) {
-	return e.EnumerateExplanationsPVTs(DiscoverPVTs(pass, fail, e.options(), e.eps()), fail, maxCount)
+	return e.EnumerateExplanationsContext(context.Background(), pass, fail, maxCount)
+}
+
+// EnumerateExplanationsContext is EnumerateExplanations honoring the
+// caller's context.
+func (e *Explainer) EnumerateExplanationsContext(ctx context.Context, pass, fail *dataset.Dataset, maxCount int) ([][]*PVT, error) {
+	return e.EnumerateExplanationsPVTsContext(ctx, DiscoverPVTs(pass, fail, e.options(), e.eps()), fail, maxCount)
 }
 
 // EnumerateExplanationsPVTs is EnumerateExplanations over a pre-built
 // candidate PVT set.
 func (e *Explainer) EnumerateExplanationsPVTs(all []*PVT, fail *dataset.Dataset, maxCount int) ([][]*PVT, error) {
+	return e.EnumerateExplanationsPVTsContext(context.Background(), all, fail, maxCount)
+}
+
+// EnumerateExplanationsPVTsContext is EnumerateExplanationsPVTs honoring
+// the caller's context. All greedy reruns share one evaluation substrate,
+// so the overlapping prefixes of successive searches are served from the
+// memo cache instead of re-querying the system.
+func (e *Explainer) EnumerateExplanationsPVTsContext(ctx context.Context, all []*PVT, fail *dataset.Dataset, maxCount int) ([][]*PVT, error) {
 	if len(all) == 0 {
 		return nil, ErrNoExplanation
+	}
+	sub := *e
+	if sub.eval == nil {
+		ev, err := e.newEval()
+		if err != nil {
+			return nil, err
+		}
+		sub.eval = ev
 	}
 	var out [][]*PVT
 	seen := make(map[string]bool)
@@ -76,7 +112,7 @@ func (e *Explainer) EnumerateExplanationsPVTs(all []*PVT, fail *dataset.Dataset,
 		if len(candidates) == 0 {
 			continue
 		}
-		res, err := e.ExplainGreedyPVTs(candidates, fail)
+		res, err := sub.ExplainGreedyPVTsContext(ctx, candidates, fail)
 		if err != nil {
 			if errors.Is(err, ErrNoExplanation) {
 				continue

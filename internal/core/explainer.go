@@ -1,11 +1,14 @@
 package core
 
 import (
+	"context"
 	"errors"
+	"math"
 	"math/rand"
 	"time"
 
 	"repro/internal/dataset"
+	"repro/internal/engine"
 	"repro/internal/pipeline"
 	"repro/internal/profile"
 	"repro/internal/transform"
@@ -28,9 +31,19 @@ const (
 
 // Explainer configures DataPrism's root-cause search. The zero value plus a
 // System and Tau is usable; defaults mirror the paper's setup.
+//
+// All searches evaluate through the intervention engine
+// (internal/engine): a context-aware oracle with a bounded worker pool and
+// a memoized score cache, under one intervention budget. Same seed means
+// same explanation and same counted interventions regardless of Workers.
 type Explainer struct {
-	// System is the black box under debugging (required).
+	// System is the black box under debugging (required unless
+	// ContextSystem is set).
 	System pipeline.System
+	// ContextSystem, when set, takes precedence over System and receives
+	// the search's context on every evaluation — cancelling the context
+	// can then interrupt even an in-flight external process.
+	ContextSystem pipeline.ContextSystem
 	// Tau is the allowable malfunction threshold (Definition 10).
 	Tau float64
 	// Options configures profile discovery; the zero value means
@@ -44,6 +57,11 @@ type Explainer struct {
 	Seed int64
 	// MaxInterventions caps oracle calls as a safety valve (default 10000).
 	MaxInterventions int
+	// Workers bounds concurrent oracle evaluations (default GOMAXPROCS;
+	// 1 forces sequential evaluation). Parallelism never changes the
+	// search outcome — only wall-clock time — so this replaces the old
+	// SpeculativeParallel flag.
+	Workers int
 	// Benefit selects the greedy scoring mode (ablation knob).
 	Benefit BenefitMode
 	// DisableGraphPriority skips the high-degree-attribute filter of
@@ -57,13 +75,11 @@ type Explainer struct {
 	// seed its training set by evaluating a strength-2 covering array of
 	// repair configurations, so it works without example datasets.
 	BootstrapCoveringArray bool
-	// SpeculativeParallel makes the group-testing search evaluate both
-	// halves of each bisection concurrently. The X2 evaluation is
-	// speculative — Algorithm 3 skips it when X1 already suffices — so the
-	// intervention count can exceed the sequential run's, in exchange for
-	// roughly halved wall-clock time on systems that are expensive to
-	// evaluate. Requires the System to be safe for concurrent use.
-	SpeculativeParallel bool
+
+	// eval, when set, is a pre-built evaluation substrate shared across
+	// searches (EnumerateExplanations uses this so repeated greedy runs
+	// share one memo cache and one budget).
+	eval *engine.Eval
 }
 
 // Step records one intervention for the Result trace.
@@ -88,6 +104,7 @@ type Result struct {
 	// Transformed is the repaired dataset when Found.
 	Transformed *dataset.Dataset
 	// Interventions is the number of oracle calls on transformed datasets.
+	// Memoized re-evaluations are free (see Stats.CacheHits).
 	Interventions int
 	// Discriminative is the number of discriminative PVT candidates.
 	Discriminative int
@@ -97,6 +114,9 @@ type Result struct {
 	Trace []Step
 	// Runtime is the wall-clock duration of the search.
 	Runtime time.Duration
+	// Stats is the engine's full counter snapshot: interventions, cache
+	// hits/misses, parallel batches, and the oracle latency histogram.
+	Stats engine.Stats
 }
 
 // ExplanationString renders the explanation in the paper's set notation.
@@ -134,6 +154,39 @@ func (e *Explainer) rng() *rand.Rand {
 	return rand.New(rand.NewSource(e.Seed + 0x9e3779b9))
 }
 
+// contextSystem resolves the configured system to its context-aware form.
+func (e *Explainer) contextSystem() pipeline.ContextSystem {
+	if e.ContextSystem != nil {
+		return e.ContextSystem
+	}
+	if e.System != nil {
+		return pipeline.AsContext(e.System)
+	}
+	return nil
+}
+
+// newEval builds (or reuses) the evaluation substrate for one search.
+func (e *Explainer) newEval() (*engine.Eval, error) {
+	if e.eval != nil {
+		return e.eval, nil
+	}
+	cs := e.contextSystem()
+	if cs == nil {
+		return nil, errors.New("core: Explainer requires a System or ContextSystem")
+	}
+	return engine.New(cs, engine.Config{
+		Workers:          e.Workers,
+		MaxInterventions: e.maxInterventions(),
+	}), nil
+}
+
+// finish stamps the engine's counters and the wall clock onto the result.
+func finish(res *Result, ev *engine.Eval, start time.Time) {
+	res.Stats = ev.Stats()
+	res.Interventions = res.Stats.Interventions
+	res.Runtime = time.Since(start)
+}
+
 // benefit scores a PVT according to the configured mode.
 func (e *Explainer) benefit(p *PVT, d *dataset.Dataset, rng *rand.Rand) float64 {
 	switch e.Benefit {
@@ -157,37 +210,64 @@ func (e *Explainer) benefit(p *PVT, d *dataset.Dataset, rng *rand.Rand) float64 
 // makeMinimal implements Algorithm 1 line 20 / Algorithm 2 line 7: starting
 // from an explanation X*, repeatedly try dropping one PVT; if the remaining
 // composition still brings the failing dataset below τ, the PVT was
-// unnecessary. Every check costs one oracle call. chosen pins the specific
-// transformation each PVT used during the search so minimality is checked
-// against the same fix that was verified.
-func (e *Explainer) makeMinimal(oracle *pipeline.Oracle, fail, finalD *dataset.Dataset, expl []*PVT,
-	chosen map[*PVT]transform.Transformation, rng *rand.Rand, trace *[]Step, calls *int) ([]*PVT, *dataset.Dataset) {
+// unnecessary. Every check costs one oracle call unless memoized. chosen
+// pins the specific transformation each PVT used during the search so
+// minimality is checked against the same fix that was verified.
+//
+// The drop checks of one round are independent, so they are composed
+// serially (deterministic rng order) and evaluated as one engine batch; the
+// first droppable PVT in scan order is dropped and the scan restarts, which
+// preserves the sequential algorithm's choice of explanation. The budget is
+// checked before any composition work, so an exhausted budget wastes no
+// dataset clones.
+func (e *Explainer) makeMinimal(ctx context.Context, ev *engine.Eval, fail, finalD *dataset.Dataset, expl []*PVT,
+	chosen map[*PVT]transform.Transformation, rng *rand.Rand, trace *[]Step) ([]*PVT, *dataset.Dataset, error) {
 
 	current := append([]*PVT(nil), expl...)
 	best := finalD
-	for i := 0; i < len(current) && len(current) > 1; {
-		reduced := append(append([]*PVT(nil), current[:i]...), current[i+1:]...)
-		candidate := composeAll(fail, reduced, chosen, rng)
-		if *calls >= e.maxInterventions() {
+	for len(current) > 1 {
+		n := len(current)
+		if r := ev.Remaining(); n > r {
+			n = r
+		}
+		if n == 0 {
 			break
 		}
-		score := oracle.MalfunctionScore(candidate)
-		*calls++
-		drop := score <= e.Tau
-		*trace = append(*trace, Step{
-			PVTs:      []string{current[i].String()},
-			Transform: "make-minimal drop check",
-			Score:     score,
-			Accepted:  drop,
-		})
-		if drop {
-			current = reduced
-			best = candidate
-			// restart scan: minimality is w.r.t. the reduced set
-			i = 0
-			continue
+		cands := make([]*dataset.Dataset, n)
+		for i := 0; i < n; i++ {
+			reduced := append(append([]*PVT(nil), current[:i]...), current[i+1:]...)
+			cands[i] = composeAll(fail, reduced, chosen, rng)
 		}
-		i++
+		scores, err := ev.EvalBatch(ctx, cands)
+		drop := -1
+		for i, s := range scores {
+			if !math.IsNaN(s) && s <= e.Tau {
+				drop = i
+				break
+			}
+		}
+		for i, s := range scores {
+			if math.IsNaN(s) {
+				continue
+			}
+			*trace = append(*trace, Step{
+				PVTs:      []string{current[i].String()},
+				Transform: "make-minimal drop check",
+				Score:     s,
+				Accepted:  i == drop,
+			})
+		}
+		if err != nil && !errors.Is(err, engine.ErrBudgetExhausted) {
+			return current, best, err
+		}
+		if drop < 0 {
+			break // minimal (or budget ran dry mid-round with no drop found)
+		}
+		best = cands[drop]
+		current = append(append([]*PVT(nil), current[:drop]...), current[drop+1:]...)
+		if err != nil {
+			break // the drop was applied, but no budget remains for another round
+		}
 	}
-	return current, best
+	return current, best, nil
 }

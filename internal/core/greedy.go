@@ -1,10 +1,13 @@
 package core
 
 import (
+	"context"
+	"errors"
+	"math"
 	"time"
 
 	"repro/internal/dataset"
-	"repro/internal/pipeline"
+	"repro/internal/engine"
 	"repro/internal/transform"
 )
 
@@ -17,25 +20,41 @@ import (
 // PVTs are exhausted or the intervention budget runs out before the
 // malfunction score drops below τ.
 func (e *Explainer) ExplainGreedy(pass, fail *dataset.Dataset) (*Result, error) {
+	return e.ExplainGreedyContext(context.Background(), pass, fail)
+}
+
+// ExplainGreedyContext is ExplainGreedy honoring the caller's context:
+// cancelling ctx aborts the search promptly with the context's error and a
+// partial Result.
+func (e *Explainer) ExplainGreedyContext(ctx context.Context, pass, fail *dataset.Dataset) (*Result, error) {
 	// Lines 1-4: discriminative PVTs.
-	return e.ExplainGreedyPVTs(DiscoverPVTs(pass, fail, e.options(), e.eps()), fail)
+	return e.ExplainGreedyPVTsContext(ctx, DiscoverPVTs(pass, fail, e.options(), e.eps()), fail)
 }
 
 // ExplainGreedyPVTs runs DataPrismGRD on a pre-built discriminative PVT set,
 // bypassing profile discovery — used by the synthetic-pipeline experiments
 // that construct PVTs directly.
 func (e *Explainer) ExplainGreedyPVTs(pvts []*PVT, fail *dataset.Dataset) (*Result, error) {
+	return e.ExplainGreedyPVTsContext(context.Background(), pvts, fail)
+}
+
+// ExplainGreedyPVTsContext is ExplainGreedyPVTs honoring the caller's
+// context.
+func (e *Explainer) ExplainGreedyPVTsContext(ctx context.Context, pvts []*PVT, fail *dataset.Dataset) (*Result, error) {
 	start := time.Now()
-	oracle := pipeline.NewOracle(e.System)
+	ev, err := e.newEval()
+	if err != nil {
+		return nil, err
+	}
 	rng := e.rng()
 
 	res := &Result{Discriminative: len(pvts)}
-	res.InitialScore = oracle.Exempt(fail)
+	res.InitialScore = ev.Baseline(ctx, fail)
 	res.FinalScore = res.InitialScore
 	if res.InitialScore <= e.Tau {
 		res.Found = true
 		res.Transformed = fail.Clone()
-		res.Runtime = time.Since(start)
+		finish(res, ev, start)
 		return res, nil
 	}
 
@@ -45,10 +64,9 @@ func (e *Explainer) ExplainGreedyPVTs(pvts []*PVT, fail *dataset.Dataset) (*Resu
 	score := res.InitialScore
 	var expl []*PVT
 	chosen := make(map[*PVT]transform.Transformation)
-	calls := 0
 
 	// Line 9: iterate until the malfunction is acceptable.
-	for score > e.Tau && calls < e.maxInterventions() {
+	for score > e.Tau && !ev.Exhausted() {
 		// Line 10: PVTs adjacent to the highest-degree attributes.
 		var candidates []int
 		if e.DisableGraphPriority {
@@ -70,49 +88,82 @@ func (e *Explainer) ExplainGreedyPVTs(pvts []*PVT, fail *dataset.Dataset) (*Resu
 		// Line 13: mark as explored.
 		g.Remove(best)
 
-		// Lines 12, 14-19: intervene and keep the transformation if it
+		// Lines 12, 14-19: intervene and keep the first transformation that
 		// reduces the malfunction. Transformations modifying higher-degree
-		// attributes are tried first (Observation O1).
+		// attributes are tried first (Observation O1). The candidate outputs
+		// are composed serially (deterministic rng order) and scored as one
+		// engine batch; acceptance goes to the first improving candidate in
+		// priority order, exactly as the sequential scan would choose.
+		type probe struct {
+			t   transform.Transformation
+			out *dataset.Dataset
+		}
+		var probes []probe
 		for _, t := range orderTransforms(p, g) {
 			out, err := t.Apply(d, rng)
 			if err != nil {
 				continue
 			}
-			if calls >= e.maxInterventions() {
-				break
-			}
-			s := oracle.MalfunctionScore(out)
-			calls++
-			accepted := s < score
-			res.Trace = append(res.Trace, Step{
-				PVTs:      []string{p.String()},
-				Transform: t.Name(),
-				Score:     s,
-				Accepted:  accepted,
-			})
-			if accepted {
-				d, score = out, s
-				chosen[p] = t
-				expl = append(expl, p)
+			probes = append(probes, probe{t: t, out: out})
+		}
+		if len(probes) == 0 {
+			continue
+		}
+		cands := make([]*dataset.Dataset, len(probes))
+		for i := range probes {
+			cands[i] = probes[i].out
+		}
+		scores, evalErr := ev.EvalBatch(ctx, cands)
+		pick := -1
+		for i, s := range scores {
+			if !math.IsNaN(s) && s < score {
+				pick = i
 				break
 			}
 		}
+		for i, s := range scores {
+			if math.IsNaN(s) {
+				continue
+			}
+			res.Trace = append(res.Trace, Step{
+				PVTs:      []string{p.String()},
+				Transform: probes[i].t.Name(),
+				Score:     s,
+				Accepted:  i == pick,
+			})
+		}
+		if pick >= 0 {
+			d, score = probes[pick].out, scores[pick]
+			chosen[p] = probes[pick].t
+			expl = append(expl, p)
+		}
+		if evalErr != nil {
+			if errors.Is(evalErr, engine.ErrBudgetExhausted) {
+				break
+			}
+			res.FinalScore = score
+			finish(res, ev, start)
+			return res, evalErr
+		}
 	}
 
-	res.Interventions = calls
 	if score > e.Tau {
 		res.FinalScore = score
-		res.Runtime = time.Since(start)
+		finish(res, ev, start)
 		return res, ErrNoExplanation
 	}
 
 	// Line 20: minimality post-pass.
-	expl, d = e.makeMinimal(oracle, fail, d, expl, chosen, rng, &res.Trace, &calls)
-	res.Interventions = calls
+	expl, d, mmErr := e.makeMinimal(ctx, ev, fail, d, expl, chosen, rng, &res.Trace)
+	if mmErr != nil {
+		res.FinalScore = score
+		finish(res, ev, start)
+		return res, mmErr
+	}
 	res.Found = true
 	res.Explanation = expl
 	res.Transformed = d
-	res.FinalScore = oracle.Exempt(d)
-	res.Runtime = time.Since(start)
+	res.FinalScore = ev.Baseline(ctx, d)
+	finish(res, ev, start)
 	return res, nil
 }

@@ -1,13 +1,15 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"math"
 	"math/rand"
 	"time"
 
 	"repro/internal/dataset"
+	"repro/internal/engine"
 	"repro/internal/graph"
-	"repro/internal/pipeline"
 )
 
 // scoredDataset pairs a dataset with its (possibly not yet evaluated)
@@ -21,13 +23,14 @@ type scoredDataset struct {
 
 // gtGroupState is the working state of Algorithm 3's recursion.
 type gtGroupState struct {
-	e      *Explainer
-	oracle *pipeline.Oracle
-	pvts   []*PVT
-	g      *graph.PVTAttr
-	rng    *rand.Rand
-	calls  int
-	trace  []Step
+	e     *Explainer
+	ev    *engine.Eval
+	ctx   context.Context
+	pvts  []*PVT
+	g     *graph.PVTAttr
+	rng   *rand.Rand
+	trace []Step
+	err   error // first context/engine error other than budget exhaustion
 }
 
 // ExplainGroupTest runs DataPrismGT (Algorithm 2): the discriminative PVTs
@@ -41,35 +44,51 @@ type gtGroupState struct {
 // ErrNoExplanation is returned with the partial Result — the paper reports
 // exactly this as "NA" for the cardiovascular case study.
 func (e *Explainer) ExplainGroupTest(pass, fail *dataset.Dataset) (*Result, error) {
+	return e.ExplainGroupTestContext(context.Background(), pass, fail)
+}
+
+// ExplainGroupTestContext is ExplainGroupTest honoring the caller's
+// context.
+func (e *Explainer) ExplainGroupTestContext(ctx context.Context, pass, fail *dataset.Dataset) (*Result, error) {
 	// Algorithm 2, lines 1-4: discriminative PVTs.
-	return e.ExplainGroupTestPVTs(DiscoverPVTs(pass, fail, e.options(), e.eps()), fail)
+	return e.ExplainGroupTestPVTsContext(ctx, DiscoverPVTs(pass, fail, e.options(), e.eps()), fail)
 }
 
 // ExplainGroupTestPVTs runs DataPrismGT on a pre-built discriminative PVT
 // set, bypassing profile discovery — used by the synthetic-pipeline
 // experiments that construct PVTs directly.
 func (e *Explainer) ExplainGroupTestPVTs(pvts []*PVT, fail *dataset.Dataset) (*Result, error) {
+	return e.ExplainGroupTestPVTsContext(context.Background(), pvts, fail)
+}
+
+// ExplainGroupTestPVTsContext is ExplainGroupTestPVTs honoring the caller's
+// context.
+func (e *Explainer) ExplainGroupTestPVTsContext(ctx context.Context, pvts []*PVT, fail *dataset.Dataset) (*Result, error) {
 	start := time.Now()
-	oracle := pipeline.NewOracle(e.System)
+	ev, err := e.newEval()
+	if err != nil {
+		return nil, err
+	}
 	rng := e.rng()
 
 	res := &Result{Discriminative: len(pvts)}
-	res.InitialScore = oracle.Exempt(fail)
+	res.InitialScore = ev.Baseline(ctx, fail)
 	res.FinalScore = res.InitialScore
 	if res.InitialScore <= e.Tau {
 		res.Found = true
 		res.Transformed = fail.Clone()
-		res.Runtime = time.Since(start)
+		finish(res, ev, start)
 		return res, nil
 	}
 
 	// Algorithm 2, lines 5-6: dependency graph and the Group-Test recursion.
 	st := &gtGroupState{
-		e:      e,
-		oracle: oracle,
-		pvts:   pvts,
-		g:      buildGraph(pvts),
-		rng:    rng,
+		e:    e,
+		ev:   ev,
+		ctx:  ctx,
+		pvts: pvts,
+		g:    buildGraph(pvts),
+		rng:  rng,
 	}
 	all := make([]int, len(pvts))
 	for i := range all {
@@ -77,12 +96,15 @@ func (e *Explainer) ExplainGroupTestPVTs(pvts []*PVT, fail *dataset.Dataset) (*R
 	}
 	final, explIdx := st.run(all, &scoredDataset{d: fail, score: res.InitialScore, known: true})
 	res.Trace = st.trace
-	res.Interventions = st.calls
+	if st.err != nil {
+		finish(res, ev, start)
+		return res, st.err
+	}
 
-	finalScore := oracle.Exempt(final.d)
+	finalScore := ev.Baseline(ctx, final.d)
 	if finalScore > e.Tau {
 		res.FinalScore = finalScore
-		res.Runtime = time.Since(start)
+		finish(res, ev, start)
 		return res, ErrNoExplanation
 	}
 
@@ -91,26 +113,32 @@ func (e *Explainer) ExplainGroupTestPVTs(pvts []*PVT, fail *dataset.Dataset) (*R
 	for i, idx := range explIdx {
 		expl[i] = pvts[idx]
 	}
-	calls := st.calls
-	expl, d := e.makeMinimal(oracle, fail, final.d, expl, nil, rng, &res.Trace, &calls)
-	res.Interventions = calls
+	expl, d, mmErr := e.makeMinimal(ctx, ev, fail, final.d, expl, nil, rng, &res.Trace)
+	if mmErr != nil {
+		res.FinalScore = finalScore
+		finish(res, ev, start)
+		return res, mmErr
+	}
 	res.Found = true
 	res.Explanation = expl
 	res.Transformed = d
-	res.FinalScore = oracle.Exempt(d)
-	res.Runtime = time.Since(start)
+	res.FinalScore = ev.Baseline(ctx, d)
+	finish(res, ev, start)
 	return res, nil
 }
 
-// score lazily evaluates the dataset's malfunction, counting the call.
+// score lazily evaluates the dataset's malfunction, counting the call
+// through the engine (memoized re-evaluations are free).
 func (st *gtGroupState) score(x *scoredDataset) float64 {
 	if !x.known {
-		if st.calls >= st.e.maxInterventions() {
+		s, err := st.ev.Score(st.ctx, x.d)
+		if err != nil {
+			if !errors.Is(err, engine.ErrBudgetExhausted) && st.err == nil {
+				st.err = err
+			}
 			return math.Inf(1)
 		}
-		x.score = st.oracle.MalfunctionScore(x.d)
-		x.known = true
-		st.calls++
+		x.score, x.known = s, true
 	}
 	return x.score
 }
@@ -140,7 +168,7 @@ func (st *gtGroupState) names(x []int) []string {
 
 // run is Algorithm 3 (Group-Test).
 func (st *gtGroupState) run(x []int, cur *scoredDataset) (*scoredDataset, []int) {
-	if len(x) == 0 || st.calls >= st.e.maxInterventions() {
+	if len(x) == 0 || st.err != nil || st.ev.Exhausted() {
 		return cur, nil
 	}
 	// Lines 2-3: a singleton candidate is transformed and returned without
@@ -160,42 +188,36 @@ func (st *gtGroupState) run(x []int, cur *scoredDataset) (*scoredDataset, []int)
 
 	// Line 5: malfunction of the entry dataset.
 	m := st.score(cur)
+	if st.err != nil {
+		return cur, nil
+	}
 
-	var (
-		d1, d2 *scoredDataset
-		s1     float64
-		s2     = math.Inf(1)
-	)
-	if st.e.SpeculativeParallel && st.calls+2 <= st.e.maxInterventions() {
-		// Speculative evaluation: both group interventions run
-		// concurrently; X2's result may go unused when X1 suffices.
-		d1 = &scoredDataset{d: st.applyGroup(cur.d, x1)}
-		d2 = &scoredDataset{d: st.applyGroup(cur.d, x2)}
-		done := make(chan struct{})
-		go func() {
-			d2.score = st.oracle.MalfunctionScore(d2.d)
-			d2.known = true
-			close(done)
-		}()
-		d1.score = st.oracle.MalfunctionScore(d1.d)
-		d1.known = true
-		<-done
-		st.calls += 2
-		s1, s2 = d1.score, d2.score
+	// Lines 6-8, parallelized: both group interventions are composed
+	// serially (deterministic rng order) and evaluated as one engine batch.
+	// Algorithm 3 consults X2's score only when X1 alone is insufficient,
+	// so evaluating both never changes which explanation the recursion
+	// finds — it trades up to one extra counted intervention per split for
+	// halved wall-clock depth on expensive systems (this subsumes the old
+	// SpeculativeParallel flag; with Workers=1 the batch runs inline).
+	d1 := &scoredDataset{d: st.applyGroup(cur.d, x1)}
+	d2 := &scoredDataset{d: st.applyGroup(cur.d, x2)}
+	scores, err := st.ev.EvalBatch(st.ctx, []*dataset.Dataset{d1.d, d2.d})
+	if err != nil && !errors.Is(err, engine.ErrBudgetExhausted) && st.err == nil {
+		st.err = err
+	}
+	s1, s2 := math.Inf(1), math.Inf(1)
+	if !math.IsNaN(scores[0]) {
+		d1.score, d1.known = scores[0], true
+		s1 = scores[0]
 		st.trace = append(st.trace, Step{PVTs: st.names(x1), Transform: "group", Score: s1, Accepted: s1 < m})
-		st.trace = append(st.trace, Step{PVTs: st.names(x2), Transform: "group (speculative)", Score: s2, Accepted: s2 < m})
-	} else {
-		// Line 6: group intervention on X1.
-		d1 = &scoredDataset{d: st.applyGroup(cur.d, x1)}
-		s1 = st.score(d1)
-		st.trace = append(st.trace, Step{PVTs: st.names(x1), Transform: "group", Score: s1, Accepted: s1 < m})
-
-		// Lines 7-8: try X2 only if X1 alone is insufficient.
-		if s1 > st.e.Tau {
-			d2 = &scoredDataset{d: st.applyGroup(cur.d, x2)}
-			s2 = st.score(d2)
-			st.trace = append(st.trace, Step{PVTs: st.names(x2), Transform: "group", Score: s2, Accepted: s2 < m})
-		}
+	}
+	if !math.IsNaN(scores[1]) {
+		d2.score, d2.known = scores[1], true
+		s2 = scores[1]
+		st.trace = append(st.trace, Step{PVTs: st.names(x2), Transform: "group", Score: s2, Accepted: s2 < m})
+	}
+	if st.err != nil {
+		return cur, nil
 	}
 
 	var expl []int
@@ -216,7 +238,7 @@ func (st *gtGroupState) run(x []int, cur *scoredDataset) (*scoredDataset, []int)
 		}
 	}
 	// Lines 14-16: recurse into X2 when its group intervention helped.
-	if d2 != nil && s2 < m {
+	if d2.known && s2 < m {
 		if len(x2) == 1 && cur == entry {
 			cur = d2
 			expl = append(expl, x2[0])

@@ -1,0 +1,106 @@
+package dataset
+
+import "math"
+
+// Fingerprint returns a 64-bit content digest of the dataset: schema (column
+// names and kinds), row count, NULL masks, and every value. Two datasets
+// with equal content always produce the same fingerprint, across processes
+// and runs — the digest is a deterministic xxhash-style hash, not seeded per
+// process — so it can key persistent score memoization. NULL slots hash a
+// canonical marker regardless of whatever stale value sits in the masked
+// position, keeping semantically equal datasets fingerprint-equal.
+//
+// Collisions are possible in principle (64-bit digest) but astronomically
+// unlikely for the dataset counts a search evaluates; a collision would
+// surface as a stale memoized score, never as data corruption.
+func (d *Dataset) Fingerprint() uint64 {
+	var h fpHash
+	h.init()
+	h.word(uint64(len(d.cols)))
+	h.word(uint64(d.rows))
+	for _, c := range d.cols {
+		h.str(c.Name)
+		h.word(uint64(c.Kind))
+		if c.Kind == Numeric {
+			for i, v := range c.Nums {
+				if i < len(c.Null) && c.Null[i] {
+					h.word(fpNullMarker)
+					continue
+				}
+				h.word(math.Float64bits(v))
+			}
+		} else {
+			for i, v := range c.Strs {
+				if i < len(c.Null) && c.Null[i] {
+					h.word(fpNullMarker)
+					continue
+				}
+				h.str(v)
+			}
+		}
+	}
+	return h.sum()
+}
+
+// xxhash64 primes (Collet's constants); the mixing below is the single-lane
+// variant of the xxh64 round function with the standard final avalanche.
+const (
+	fpPrime1 uint64 = 11400714785074694791
+	fpPrime2 uint64 = 14029467366897019727
+	fpPrime3 uint64 = 1609587929392839161
+	fpPrime4 uint64 = 9650029242287828579
+	fpPrime5 uint64 = 2870177450012600261
+
+	// fpNullMarker stands in for a masked value slot. Arbitrary but fixed.
+	fpNullMarker uint64 = 0x9e3779b97f4a7c15
+)
+
+type fpHash struct {
+	h uint64
+}
+
+func (s *fpHash) init() { s.h = fpPrime5 }
+
+func fpRotl(v uint64, r uint) uint64 { return v<<r | v>>(64-r) }
+
+func fpRound(v uint64) uint64 {
+	v *= fpPrime2
+	v = fpRotl(v, 31)
+	v *= fpPrime1
+	return v
+}
+
+// word folds one 64-bit value into the running state.
+func (s *fpHash) word(v uint64) {
+	s.h ^= fpRound(v)
+	s.h = fpRotl(s.h, 27)*fpPrime1 + fpPrime4
+}
+
+// str folds a length-prefixed string in (so "ab","c" ≠ "a","bc").
+func (s *fpHash) str(v string) {
+	s.word(uint64(len(v)))
+	var chunk uint64
+	n := 0
+	for i := 0; i < len(v); i++ {
+		chunk |= uint64(v[i]) << (8 * n)
+		n++
+		if n == 8 {
+			s.word(chunk)
+			chunk, n = 0, 0
+		}
+	}
+	if n > 0 {
+		s.word(chunk)
+	}
+}
+
+// sum applies the xxh64 final avalanche and returns the digest.
+func (s *fpHash) sum() uint64 {
+	h := s.h
+	h ^= h >> 33
+	h *= fpPrime2
+	h ^= h >> 29
+	h *= fpPrime3
+	h ^= h >> 32
+	return h
+}

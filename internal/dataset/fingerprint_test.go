@@ -1,0 +1,69 @@
+package dataset
+
+import "testing"
+
+func fpSample() *Dataset {
+	d := New()
+	d.MustAddNumeric("x", []float64{1, 2, 3, 4})
+	d.MustAddCategorical("c", []string{"a", "b", "a", "c"})
+	d.MustAddText("t", []string{"one", "two", "three", "four"})
+	return d
+}
+
+func TestFingerprintStableAndCloneEqual(t *testing.T) {
+	d := fpSample()
+	fp := d.Fingerprint()
+	if fp != d.Fingerprint() {
+		t.Fatal("fingerprint not stable across calls")
+	}
+	if got := d.Clone().Fingerprint(); got != fp {
+		t.Fatalf("clone fingerprint %x != original %x", got, fp)
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	base := fpSample().Fingerprint()
+
+	mutations := map[string]func(d *Dataset){
+		"numeric value":     func(d *Dataset) { d.SetNum("x", 2, 3.5) },
+		"categorical value": func(d *Dataset) { d.SetStr("c", 0, "z") },
+		"text value":        func(d *Dataset) { d.SetStr("t", 3, "five") },
+		"null mask":         func(d *Dataset) { d.SetNull("x", 1) },
+	}
+	for name, mutate := range mutations {
+		d := fpSample()
+		mutate(d)
+		if d.Fingerprint() == base {
+			t.Errorf("%s change did not alter the fingerprint", name)
+		}
+	}
+
+	// Schema differences must be visible too.
+	renamed := New()
+	renamed.MustAddNumeric("y", []float64{1, 2, 3, 4})
+	renamed.MustAddCategorical("c", []string{"a", "b", "a", "c"})
+	renamed.MustAddText("t", []string{"one", "two", "three", "four"})
+	if renamed.Fingerprint() == base {
+		t.Error("column rename did not alter the fingerprint")
+	}
+}
+
+func TestFingerprintIgnoresMaskedGarbage(t *testing.T) {
+	// Two datasets differing only in the value slot under a NULL mask must
+	// fingerprint equal: the slot is semantically invisible.
+	a := New()
+	a.MustAddNumeric("x", []float64{1, 99, 3})
+	a.SetNull("x", 1)
+	b := New()
+	b.MustAddNumeric("x", []float64{1, -7, 3})
+	b.SetNull("x", 1)
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("masked value slots leaked into the fingerprint")
+	}
+}
+
+func TestFingerprintEmptyDataset(t *testing.T) {
+	if New().Fingerprint() == fpSample().Fingerprint() {
+		t.Fatal("empty dataset collides with populated one")
+	}
+}

@@ -1,0 +1,308 @@
+// Package engine is the shared evaluation substrate behind every root-cause
+// search. The paper's cost model is oracle calls: DataPrismGRD (Algorithm 1),
+// DataPrismGT (Algorithms 2–3), and the BugDoc/Anchor/GrpTest baselines are
+// all bottlenecked on System.MalfunctionScore. Instead of each algorithm
+// driving the oracle ad hoc — budgets threaded as raw counters, strictly
+// sequential evaluation, duplicate datasets re-scored from scratch — the
+// engine centralizes:
+//
+//   - context threading: every evaluation observes a context.Context, so
+//     searches honor cancellation and deadlines;
+//   - a bounded worker pool (Workers, default GOMAXPROCS) behind EvalBatch,
+//     which evaluates a candidate set concurrently yet returns
+//     deterministically ordered scores;
+//   - score memoization keyed by Dataset.Fingerprint, so identical
+//     transformed datasets cost one oracle call ever — cache hits do not
+//     consume the intervention budget;
+//   - a unified budget and stats object (intervention count, cache
+//     hit/miss counters, parallel-batch count, per-call latency histogram).
+//
+// Determinism contract: callers keep all randomness and dataset composition
+// on their own goroutine; the engine only parallelizes the pure scoring
+// step, dedupes within a batch by fingerprint, and truncates to budget over
+// the deterministic first-occurrence order of unique datasets. The result —
+// scores, counted interventions, cache behavior — is therefore identical
+// whether Workers is 1 or 16.
+package engine
+
+import (
+	"context"
+	"errors"
+	"math"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/pipeline"
+)
+
+// ErrBudgetExhausted is returned by Score and EvalBatch when the
+// intervention budget does not cover every requested evaluation. EvalBatch
+// still returns the scores it could afford (unevaluated slots are NaN).
+var ErrBudgetExhausted = errors.New("engine: intervention budget exhausted")
+
+// Config parameterizes an Eval.
+type Config struct {
+	// Workers bounds concurrent malfunction evaluations. Zero means
+	// GOMAXPROCS; one forces fully sequential, in-line evaluation.
+	Workers int
+	// MaxInterventions caps counted oracle calls; zero means unlimited.
+	MaxInterventions int
+	// Deadline, when non-zero, fails evaluations requested after it with
+	// context.DeadlineExceeded — a coarse whole-search time budget that
+	// composes with any per-call context deadline.
+	Deadline time.Time
+}
+
+// Stats is a snapshot of the engine's counters.
+type Stats struct {
+	// Interventions is the number of counted oracle evaluations — the
+	// paper's cost metric. Cache hits are free.
+	Interventions int
+	// CacheHits / CacheMisses count memoized-score lookups. A duplicate
+	// dataset inside one batch counts as a hit: it is evaluated once.
+	CacheHits, CacheMisses int
+	// Batches counts EvalBatch calls that dispatched more than one
+	// evaluation to the worker pool.
+	Batches int
+	// Latency is the per-oracle-call latency histogram.
+	Latency Histogram
+}
+
+// Eval is the evaluation substrate: a context-aware oracle with a worker
+// pool, a memoized score cache, and a unified intervention budget. Safe for
+// use from a single search goroutine; the internal pool fans evaluations
+// out and joins them before returning.
+type Eval struct {
+	sys      pipeline.ContextSystem
+	workers  int
+	max      int
+	deadline time.Time
+
+	mu    sync.Mutex
+	cache map[uint64]float64
+	stats Stats
+}
+
+// New builds an Eval over the given context-aware system.
+func New(sys pipeline.ContextSystem, cfg Config) *Eval {
+	w := cfg.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	return &Eval{
+		sys:      sys,
+		workers:  w,
+		max:      cfg.MaxInterventions,
+		deadline: cfg.Deadline,
+		cache:    make(map[uint64]float64),
+	}
+}
+
+// System returns the underlying context-aware system.
+func (ev *Eval) System() pipeline.ContextSystem { return ev.sys }
+
+// Workers reports the configured pool width.
+func (ev *Eval) Workers() int { return ev.workers }
+
+// Stats returns a snapshot of the counters.
+func (ev *Eval) Stats() Stats {
+	ev.mu.Lock()
+	defer ev.mu.Unlock()
+	return ev.stats
+}
+
+// Remaining reports how many counted evaluations the budget still covers
+// (math.MaxInt when unlimited).
+func (ev *Eval) Remaining() int {
+	if ev.max <= 0 {
+		return math.MaxInt
+	}
+	ev.mu.Lock()
+	defer ev.mu.Unlock()
+	if r := ev.max - ev.stats.Interventions; r > 0 {
+		return r
+	}
+	return 0
+}
+
+// Exhausted reports whether the intervention budget is spent.
+func (ev *Eval) Exhausted() bool { return ev.Remaining() == 0 }
+
+// Baseline scores d without counting an intervention — the m_S(D_pass) /
+// m_S(D_fail) measurements that precede any search. The score still lands
+// in the memo cache.
+func (ev *Eval) Baseline(ctx context.Context, d *dataset.Dataset) float64 {
+	fp := d.Fingerprint()
+	ev.mu.Lock()
+	if s, ok := ev.cache[fp]; ok {
+		ev.stats.CacheHits++
+		ev.mu.Unlock()
+		return s
+	}
+	ev.stats.CacheMisses++
+	ev.mu.Unlock()
+	s := ev.evalOne(ctx, d)
+	ev.mu.Lock()
+	ev.cache[fp] = s
+	ev.mu.Unlock()
+	return s
+}
+
+// Score is a single counted evaluation: one intervention in the paper's
+// cost model, unless the score is already memoized. It returns
+// ErrBudgetExhausted (score NaN) when the budget is spent, or the context's
+// error when ctx is done.
+func (ev *Eval) Score(ctx context.Context, d *dataset.Dataset) (float64, error) {
+	scores, err := ev.EvalBatch(ctx, []*dataset.Dataset{d})
+	return scores[0], err
+}
+
+// EvalBatch evaluates a candidate set, fanning the uncached, unique
+// datasets out to the worker pool, and returns scores in input order.
+// Slots that could not be evaluated — budget exhausted, context done — hold
+// math.NaN(). The batch structure seen by the budget and the cache is
+// independent of Workers: duplicates within the batch are detected by
+// fingerprint and evaluated once, and when the remaining budget covers only
+// a prefix of the unique misses, that prefix is chosen in first-occurrence
+// order. The returned error is nil, ErrBudgetExhausted, or the context
+// error if ctx was done before the batch completed.
+func (ev *Eval) EvalBatch(ctx context.Context, ds []*dataset.Dataset) ([]float64, error) {
+	scores := make([]float64, len(ds))
+	for i := range scores {
+		scores[i] = math.NaN()
+	}
+	if len(ds) == 0 {
+		return scores, nil
+	}
+	if err := ev.gate(ctx); err != nil {
+		return scores, err
+	}
+
+	// Serial phase: fingerprints, cache lookups, within-batch dedup, budget
+	// truncation — all in deterministic input order.
+	type job struct {
+		fp  uint64
+		d   *dataset.Dataset
+		out []int // input slots this evaluation feeds
+	}
+	fps := make([]uint64, len(ds))
+	for i, d := range ds {
+		fps[i] = d.Fingerprint()
+	}
+	var jobs []job
+	seen := make(map[uint64]int)
+	ev.mu.Lock()
+	for i, fp := range fps {
+		if s, ok := ev.cache[fp]; ok {
+			scores[i] = s
+			ev.stats.CacheHits++
+			continue
+		}
+		if j, ok := seen[fp]; ok {
+			jobs[j].out = append(jobs[j].out, i)
+			ev.stats.CacheHits++
+			continue
+		}
+		seen[fp] = len(jobs)
+		jobs = append(jobs, job{fp: fp, d: ds[i], out: []int{i}})
+	}
+	truncated := false
+	if ev.max > 0 {
+		if remaining := ev.max - ev.stats.Interventions; len(jobs) > remaining {
+			jobs = jobs[:remaining]
+			truncated = true
+		}
+	}
+	ev.stats.Interventions += len(jobs)
+	ev.stats.CacheMisses += len(jobs)
+	if len(jobs) > 1 && ev.workers > 1 {
+		ev.stats.Batches++
+	}
+	ev.mu.Unlock()
+
+	// Parallel phase: pure scoring only. No randomness, no composition.
+	results := make([]float64, len(jobs))
+	evaluated := make([]bool, len(jobs))
+	if ev.workers <= 1 || len(jobs) <= 1 {
+		for j := range jobs {
+			if ctx.Err() != nil {
+				break
+			}
+			results[j] = ev.evalOne(ctx, jobs[j].d)
+			evaluated[j] = true
+		}
+	} else {
+		next := make(chan int)
+		var wg sync.WaitGroup
+		w := ev.workers
+		if w > len(jobs) {
+			w = len(jobs)
+		}
+		for n := 0; n < w; n++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for j := range next {
+					results[j] = ev.evalOne(ctx, jobs[j].d)
+					evaluated[j] = true
+				}
+			}()
+		}
+	feed:
+		for j := range jobs {
+			select {
+			case next <- j:
+			case <-ctx.Done():
+				break feed
+			}
+		}
+		close(next)
+		wg.Wait()
+	}
+
+	ev.mu.Lock()
+	for j := range jobs {
+		if !evaluated[j] {
+			continue
+		}
+		ev.cache[jobs[j].fp] = results[j]
+		for _, i := range jobs[j].out {
+			scores[i] = results[j]
+		}
+	}
+	ev.mu.Unlock()
+
+	if err := ctx.Err(); err != nil {
+		return scores, err
+	}
+	if truncated {
+		return scores, ErrBudgetExhausted
+	}
+	return scores, nil
+}
+
+// gate rejects work when the context is done or the configured deadline has
+// passed. The budget itself is not checked here: EvalBatch charges for what
+// it can afford and reports ErrBudgetExhausted only when truncating.
+func (ev *Eval) gate(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if !ev.deadline.IsZero() && time.Now().After(ev.deadline) {
+		return context.DeadlineExceeded
+	}
+	return nil
+}
+
+// evalOne times one oracle call and records it in the latency histogram.
+func (ev *Eval) evalOne(ctx context.Context, d *dataset.Dataset) float64 {
+	start := time.Now()
+	s := ev.sys.MalfunctionScore(ctx, d)
+	elapsed := time.Since(start)
+	ev.mu.Lock()
+	ev.stats.Latency.observe(elapsed)
+	ev.mu.Unlock()
+	return s
+}

@@ -1,0 +1,235 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/pipeline"
+)
+
+// flagData builds a one-column dataset whose single value identifies it.
+func flagData(v float64) *dataset.Dataset {
+	d := dataset.New()
+	d.MustAddNumeric("x", []float64{v})
+	return d
+}
+
+// valueSystem scores a dataset by its first "x" value and counts raw
+// oracle invocations.
+type valueSystem struct {
+	evals atomic.Int64
+	delay time.Duration
+}
+
+func (s *valueSystem) Name() string { return "value" }
+
+func (s *valueSystem) MalfunctionScore(ctx context.Context, d *dataset.Dataset) float64 {
+	s.evals.Add(1)
+	if s.delay > 0 {
+		select {
+		case <-time.After(s.delay):
+		case <-ctx.Done():
+		}
+	}
+	return d.Num("x", 0)
+}
+
+func TestEvalBatchOrderAndCounters(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		sys := &valueSystem{}
+		ev := New(sys, Config{Workers: workers})
+		ds := []*dataset.Dataset{flagData(0.3), flagData(0.7), flagData(0.1), flagData(0.9)}
+		scores, err := ev.EvalBatch(context.Background(), ds)
+		if err != nil {
+			t.Fatalf("workers=%d: unexpected error %v", workers, err)
+		}
+		want := []float64{0.3, 0.7, 0.1, 0.9}
+		for i, s := range scores {
+			if s != want[i] {
+				t.Fatalf("workers=%d: score[%d] = %v, want %v", workers, i, s, want[i])
+			}
+		}
+		st := ev.Stats()
+		if st.Interventions != 4 || st.CacheMisses != 4 || st.CacheHits != 0 {
+			t.Fatalf("workers=%d: stats = %+v", workers, st)
+		}
+		if st.Latency.Count != 4 {
+			t.Fatalf("workers=%d: latency count = %d", workers, st.Latency.Count)
+		}
+	}
+}
+
+func TestMemoizationAndWithinBatchDedup(t *testing.T) {
+	sys := &valueSystem{}
+	ev := New(sys, Config{Workers: 4})
+	// Duplicate fingerprints within one batch: one evaluation, one hit.
+	scores, err := ev.EvalBatch(context.Background(), []*dataset.Dataset{flagData(0.5), flagData(0.5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scores[0] != 0.5 || scores[1] != 0.5 {
+		t.Fatalf("scores = %v", scores)
+	}
+	// Cross-batch: a pure hit, no oracle call, no intervention.
+	if s, err := ev.Score(context.Background(), flagData(0.5)); err != nil || s != 0.5 {
+		t.Fatalf("memoized score = %v, %v", s, err)
+	}
+	st := ev.Stats()
+	if st.Interventions != 1 {
+		t.Fatalf("interventions = %d, want 1 (cache hits must be free)", st.Interventions)
+	}
+	if st.CacheHits != 2 {
+		t.Fatalf("cache hits = %d, want 2", st.CacheHits)
+	}
+	if got := sys.evals.Load(); got != 1 {
+		t.Fatalf("raw oracle calls = %d, want 1", got)
+	}
+}
+
+func TestBaselineUncountedButCached(t *testing.T) {
+	sys := &valueSystem{}
+	ev := New(sys, Config{MaxInterventions: 5})
+	if s := ev.Baseline(context.Background(), flagData(0.8)); s != 0.8 {
+		t.Fatalf("baseline = %v", s)
+	}
+	if st := ev.Stats(); st.Interventions != 0 {
+		t.Fatalf("baseline consumed budget: %+v", st)
+	}
+	// The counted path now hits the cache: still free.
+	if s, err := ev.Score(context.Background(), flagData(0.8)); err != nil || s != 0.8 {
+		t.Fatalf("score = %v, %v", s, err)
+	}
+	if st := ev.Stats(); st.Interventions != 0 {
+		t.Fatalf("cache hit consumed budget: %+v", st)
+	}
+}
+
+func TestBudgetTruncationIsPrefixOrdered(t *testing.T) {
+	sys := &valueSystem{}
+	ev := New(sys, Config{Workers: 1, MaxInterventions: 2})
+	ds := []*dataset.Dataset{flagData(0.1), flagData(0.2), flagData(0.3), flagData(0.4)}
+	scores, err := ev.EvalBatch(context.Background(), ds)
+	if !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("err = %v, want ErrBudgetExhausted", err)
+	}
+	if scores[0] != 0.1 || scores[1] != 0.2 {
+		t.Fatalf("prefix not evaluated: %v", scores)
+	}
+	if !math.IsNaN(scores[2]) || !math.IsNaN(scores[3]) {
+		t.Fatalf("unaffordable slots must be NaN: %v", scores)
+	}
+	if !ev.Exhausted() || ev.Remaining() != 0 {
+		t.Fatal("budget should be exhausted")
+	}
+	// Further counted work is refused outright.
+	if _, err := ev.Score(context.Background(), flagData(0.9)); !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("post-exhaustion err = %v", err)
+	}
+}
+
+func TestCancellationStopsBatch(t *testing.T) {
+	sys := &valueSystem{delay: 5 * time.Millisecond}
+	ev := New(sys, Config{Workers: 2})
+	ctx, cancel := context.WithCancel(context.Background())
+	var ds []*dataset.Dataset
+	for i := 0; i < 64; i++ {
+		ds = append(ds, flagData(float64(i)/100))
+	}
+	go func() {
+		time.Sleep(8 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := ev.EvalBatch(ctx, ds)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// 64 jobs × 5ms at width 2 would be ~160ms sequential-per-worker; the
+	// cancel must cut that short by skipping unstarted jobs.
+	if elapsed := time.Since(start); elapsed > 100*time.Millisecond {
+		t.Fatalf("cancellation not prompt: took %v", elapsed)
+	}
+	if got := sys.evals.Load(); got == 64 {
+		t.Fatal("all jobs ran despite cancellation")
+	}
+}
+
+func TestDeadlineGate(t *testing.T) {
+	sys := &valueSystem{}
+	ev := New(sys, Config{Deadline: time.Now().Add(-time.Second)})
+	_, err := ev.Score(context.Background(), flagData(0.5))
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if sys.evals.Load() != 0 {
+		t.Fatal("evaluation ran past the deadline")
+	}
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	build := func(workers int) (Stats, []float64) {
+		ev := New(&valueSystem{}, Config{Workers: workers, MaxInterventions: 40})
+		var all []float64
+		for round := 0; round < 4; round++ {
+			var ds []*dataset.Dataset
+			for i := 0; i < 12; i++ {
+				// Overlapping values across rounds exercise the cache.
+				ds = append(ds, flagData(float64((round*7+i)%20)/20))
+			}
+			scores, _ := ev.EvalBatch(context.Background(), ds)
+			all = append(all, scores...)
+		}
+		return ev.Stats(), all
+	}
+	seqStats, seqScores := build(1)
+	parStats, parScores := build(8)
+	if seqStats.Interventions != parStats.Interventions ||
+		seqStats.CacheHits != parStats.CacheHits ||
+		seqStats.CacheMisses != parStats.CacheMisses {
+		t.Fatalf("counter divergence: seq %+v vs par %+v", seqStats, parStats)
+	}
+	for i := range seqScores {
+		if seqScores[i] != parScores[i] && !(math.IsNaN(seqScores[i]) && math.IsNaN(parScores[i])) {
+			t.Fatalf("score divergence at %d: %v vs %v", i, seqScores[i], parScores[i])
+		}
+	}
+	if parStats.Batches == 0 {
+		t.Fatal("parallel run recorded no batches")
+	}
+	if seqStats.Batches != 0 {
+		t.Fatal("sequential run should record no parallel batches")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	h.observe(50 * time.Microsecond)
+	h.observe(5 * time.Millisecond)
+	h.observe(2 * time.Second)
+	if h.Count != 3 || h.Buckets[0] != 1 || h.Buckets[2] != 1 || h.Buckets[5] != 1 {
+		t.Fatalf("histogram = %+v", h)
+	}
+	if h.Max != 2*time.Second {
+		t.Fatalf("max = %v", h.Max)
+	}
+	if s := h.String(); s == "" || s == "no oracle calls" {
+		t.Fatalf("string = %q", s)
+	}
+}
+
+func TestLegacyAdapter(t *testing.T) {
+	legacy := &pipeline.Func{SystemName: "legacy", Score: func(d *dataset.Dataset) float64 { return d.Num("x", 0) }}
+	ev := New(pipeline.AsContext(legacy), Config{Workers: 4})
+	scores, err := ev.EvalBatch(context.Background(), []*dataset.Dataset{flagData(0.25), flagData(0.75)})
+	if err != nil || scores[0] != 0.25 || scores[1] != 0.75 {
+		t.Fatalf("adapter scores = %v, %v", scores, err)
+	}
+	if ev.System().Name() != "legacy" {
+		t.Fatalf("name = %q", ev.System().Name())
+	}
+}

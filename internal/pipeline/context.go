@@ -1,0 +1,67 @@
+package pipeline
+
+import (
+	"context"
+
+	"repro/internal/dataset"
+)
+
+// ContextSystem is the context-aware form of System: a malfunction
+// evaluation that observes the caller's context, so searches can be
+// cancelled or deadlined mid-flight. Implementations that cannot interrupt
+// an in-progress evaluation (pure in-process scorers) may ignore the
+// context — the engine layer still checks it between evaluations, so
+// cancellation is honored at evaluation granularity.
+type ContextSystem interface {
+	// Name identifies the system in reports.
+	Name() string
+	// MalfunctionScore quantifies how much the system malfunctions on d,
+	// observing ctx for cancellation where possible.
+	MalfunctionScore(ctx context.Context, d *dataset.Dataset) float64
+}
+
+// CtxFunc adapts a plain context-aware function into a ContextSystem.
+type CtxFunc struct {
+	SystemName string
+	Score      func(ctx context.Context, d *dataset.Dataset) float64
+}
+
+// Name implements ContextSystem.
+func (f *CtxFunc) Name() string { return f.SystemName }
+
+// MalfunctionScore implements ContextSystem.
+func (f *CtxFunc) MalfunctionScore(ctx context.Context, d *dataset.Dataset) float64 {
+	return f.Score(ctx, d)
+}
+
+// ctxScorer is the optional capability a legacy System can implement to
+// receive the caller's context without changing its System signature
+// (External does this: the ctx reaches exec.CommandContext).
+type ctxScorer interface {
+	MalfunctionScoreCtx(ctx context.Context, d *dataset.Dataset) float64
+}
+
+// AsContext adapts a legacy System to a ContextSystem. Systems that expose
+// the MalfunctionScoreCtx capability get the real context threaded through;
+// all others are wrapped with the context ignored (the caller still gets
+// between-evaluation cancellation from the engine layer).
+func AsContext(sys System) ContextSystem {
+	if cs, ok := sys.(ctxScorer); ok {
+		return &ctxAdapter{name: sys.Name, score: cs.MalfunctionScoreCtx}
+	}
+	return &ctxAdapter{
+		name:  sys.Name,
+		score: func(_ context.Context, d *dataset.Dataset) float64 { return sys.MalfunctionScore(d) },
+	}
+}
+
+type ctxAdapter struct {
+	name  func() string
+	score func(ctx context.Context, d *dataset.Dataset) float64
+}
+
+func (a *ctxAdapter) Name() string { return a.name() }
+
+func (a *ctxAdapter) MalfunctionScore(ctx context.Context, d *dataset.Dataset) float64 {
+	return a.score(ctx, d)
+}

@@ -3,58 +3,173 @@ package pipeline
 import (
 	"bytes"
 	"context"
+	"errors"
+	"fmt"
+	"io"
 	"os/exec"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/dataset"
 )
+
+// maxExternalOutput caps how much of the program's stdout and stderr is
+// read: a well-behaved scorer prints one float, so anything beyond 1 MiB is
+// a runaway process whose output must not exhaust memory.
+const maxExternalOutput = 1 << 20
 
 // External treats an external program as the black-box system: each
 // malfunction evaluation pipes the candidate dataset to the program as CSV
 // on stdin and parses a single float in [0,1] from its stdout. Any
 // execution, timeout, or parse failure scores 1 — the system crashed on the
 // data, which is the extreme malfunction of Definition 3 (e.g. the paper's
-// "system crash due to invalid input combination" failure class).
+// "system crash due to invalid input combination" failure class). The
+// specific failure reason (timeout vs. crash vs. unparsable output, with a
+// stderr excerpt) is retained for diagnostics via LastFailure and,
+// optionally, reported through Logf.
 type External struct {
 	// Command is the program and its arguments.
 	Command []string
 	// Timeout bounds one evaluation; zero means 30 seconds. A timeout
 	// scores 1, modeling the paper's Example 2 (process timeout).
 	Timeout time.Duration
+	// Logf, when set, receives a diagnostic line for every failed
+	// evaluation (timeout, non-zero exit, unparsable or out-of-range
+	// output). Useful for surfacing misconfigured scorer commands that
+	// would otherwise silently score 1 forever.
+	Logf func(format string, args ...any)
+
+	mu          sync.Mutex
+	lastFailure string
 }
 
 // Name implements System.
 func (s *External) Name() string { return strings.Join(s.Command, " ") }
 
-// MalfunctionScore implements System.
+// MalfunctionScore implements System, evaluating under a background context
+// bounded only by Timeout.
 func (s *External) MalfunctionScore(d *dataset.Dataset) float64 {
+	return s.MalfunctionScoreCtx(context.Background(), d)
+}
+
+// MalfunctionScoreCtx evaluates the external program under the caller's
+// context: cancelling ctx kills the in-flight process, so deadlined or
+// cancelled searches stop promptly instead of waiting out Timeout.
+func (s *External) MalfunctionScoreCtx(ctx context.Context, d *dataset.Dataset) float64 {
 	if len(s.Command) == 0 {
-		return 1
+		return s.fail("no command configured")
 	}
 	var input bytes.Buffer
 	if err := d.WriteCSV(&input); err != nil {
-		return 1
+		return s.fail("CSV encoding failed: %v", err)
 	}
 	timeout := s.Timeout
 	if timeout == 0 {
 		timeout = 30 * time.Second
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	parent := ctx
+	ctx, cancel := context.WithTimeout(ctx, timeout)
 	defer cancel()
 	cmd := exec.CommandContext(ctx, s.Command[0], s.Command[1:]...)
+	// Without a wait delay, a killed scorer whose grandchildren still hold
+	// the stdout pipe would stall Run() until they exit; give up on the
+	// pipes one second after cancellation or process exit.
+	cmd.WaitDelay = time.Second
 	cmd.Stdin = &input
-	out, err := cmd.Output()
+	var stdout, stderr cappedBuffer
+	stdout.limit, stderr.limit = maxExternalOutput, maxExternalOutput
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	err := cmd.Run()
 	if err != nil {
-		return 1
+		switch {
+		case parent.Err() != nil:
+			// The caller's context expired or was cancelled — not this
+			// evaluation's own Timeout.
+			return s.fail("cancelled: %v", context.Cause(parent))
+		case errors.Is(ctx.Err(), context.DeadlineExceeded):
+			return s.fail("timeout after %v%s", timeout, stderrExcerpt(&stderr))
+		case ctx.Err() != nil:
+			return s.fail("cancelled: %v", context.Cause(ctx))
+		default:
+			return s.fail("process failed: %v%s", err, stderrExcerpt(&stderr))
+		}
 	}
-	score, err := strconv.ParseFloat(strings.TrimSpace(string(out)), 64)
-	if err != nil || score < 0 {
-		return 1
+	if stdout.truncated {
+		return s.fail("stdout exceeded %d bytes", maxExternalOutput)
 	}
-	if score > 1 {
-		return 1
+	out := strings.TrimSpace(stdout.buf.String())
+	score, err := strconv.ParseFloat(out, 64)
+	if err != nil {
+		return s.fail("unparsable score %q%s", clip(out, 80), stderrExcerpt(&stderr))
 	}
+	if score < 0 || score > 1 {
+		return s.fail("score %v outside [0,1]", score)
+	}
+	s.mu.Lock()
+	s.lastFailure = ""
+	s.mu.Unlock()
 	return score
 }
+
+// LastFailure reports why the most recent evaluation scored 1 (timeout,
+// process failure, or parse failure), or "" if it succeeded.
+func (s *External) LastFailure() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastFailure
+}
+
+// fail records the failure reason, emits it through Logf when configured,
+// and returns the extreme malfunction score.
+func (s *External) fail(format string, args ...any) float64 {
+	reason := fmt.Sprintf(format, args...)
+	s.mu.Lock()
+	s.lastFailure = reason
+	s.mu.Unlock()
+	if s.Logf != nil {
+		s.Logf("external system %q: %s", s.Name(), reason)
+	}
+	return 1
+}
+
+// stderrExcerpt renders a short stderr tail for diagnostics.
+func stderrExcerpt(b *cappedBuffer) string {
+	msg := strings.TrimSpace(b.buf.String())
+	if msg == "" {
+		return ""
+	}
+	return "; stderr: " + clip(msg, 256)
+}
+
+func clip(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "…"
+}
+
+// cappedBuffer collects writer output up to a byte limit, discarding (but
+// flagging) the excess so a runaway child process cannot exhaust memory.
+type cappedBuffer struct {
+	buf       bytes.Buffer
+	limit     int
+	truncated bool
+}
+
+func (b *cappedBuffer) Write(p []byte) (int, error) {
+	if room := b.limit - b.buf.Len(); room < len(p) {
+		b.truncated = true
+		if room > 0 {
+			b.buf.Write(p[:room])
+		}
+		// Report full consumption so the child keeps a working pipe and
+		// exits on its own terms; the excess is simply dropped.
+		return len(p), nil
+	}
+	return b.buf.Write(p)
+}
+
+var _ io.Writer = (*cappedBuffer)(nil)

@@ -1,7 +1,10 @@
 package pipeline
 
 import (
+	"context"
+	"fmt"
 	"os/exec"
+	"strings"
 	"testing"
 	"time"
 
@@ -56,5 +59,111 @@ func TestExternalFailureModes(t *testing.T) {
 		if got := sys.MalfunctionScore(extData()); got != 1 {
 			t.Errorf("%s: score = %g, want 1", name, got)
 		}
+	}
+}
+
+// TestExternalFailureReasons checks that LastFailure distinguishes the
+// failure classes — in particular timeout vs. parse failure, which score
+// identically (1) but need very different operator responses.
+func TestExternalFailureReasons(t *testing.T) {
+	requireSh(t)
+	cases := []struct {
+		name string
+		sys  *External
+		want string
+	}{
+		{"timeout", &External{Command: []string{"sh", "-c", "sleep 5; echo 0"}, Timeout: 50 * time.Millisecond}, "timeout after"},
+		{"parse failure", &External{Command: []string{"sh", "-c", "echo not-a-number"}}, "unparsable score"},
+		{"out of range", &External{Command: []string{"sh", "-c", "echo 7"}}, "outside [0,1]"},
+		{"no command", &External{}, "no command configured"},
+		{"process failed", &External{Command: []string{"sh", "-c", "exit 3"}}, "process failed"},
+	}
+	for _, tc := range cases {
+		if got := tc.sys.MalfunctionScore(extData()); got != 1 {
+			t.Errorf("%s: score = %g, want 1", tc.name, got)
+		}
+		if reason := tc.sys.LastFailure(); !strings.Contains(reason, tc.want) {
+			t.Errorf("%s: LastFailure = %q, want substring %q", tc.name, reason, tc.want)
+		}
+	}
+}
+
+// TestExternalStderrCaptured checks the child's stderr reaches the
+// diagnostic message.
+func TestExternalStderrCaptured(t *testing.T) {
+	requireSh(t)
+	sys := &External{Command: []string{"sh", "-c", "echo boom-diagnostic >&2; exit 2"}}
+	if got := sys.MalfunctionScore(extData()); got != 1 {
+		t.Fatalf("score = %g, want 1", got)
+	}
+	if reason := sys.LastFailure(); !strings.Contains(reason, "boom-diagnostic") {
+		t.Errorf("LastFailure = %q, want stderr excerpt", reason)
+	}
+}
+
+// TestExternalStdoutCapped checks a runaway child printing far more than the
+// 1 MiB cap scores 1 with a truncation reason instead of buffering it all.
+func TestExternalStdoutCapped(t *testing.T) {
+	requireSh(t)
+	sys := &External{Command: []string{"sh", "-c", "head -c 3000000 /dev/zero | tr '\\0' 'x'"}}
+	if got := sys.MalfunctionScore(extData()); got != 1 {
+		t.Fatalf("score = %g, want 1", got)
+	}
+	if reason := sys.LastFailure(); !strings.Contains(reason, "stdout exceeded") {
+		t.Errorf("LastFailure = %q, want stdout-cap reason", reason)
+	}
+}
+
+// TestExternalSuccessClearsFailure checks LastFailure resets after a
+// successful evaluation.
+func TestExternalSuccessClearsFailure(t *testing.T) {
+	requireSh(t)
+	sys := &External{Command: []string{"sh", "-c", "cat > /dev/null; echo bad"}}
+	sys.MalfunctionScore(extData())
+	if sys.LastFailure() == "" {
+		t.Fatal("expected a failure reason")
+	}
+	sys.Command = []string{"sh", "-c", "cat > /dev/null; echo 0.5"}
+	if got := sys.MalfunctionScore(extData()); got != 0.5 {
+		t.Fatalf("score = %g, want 0.5", got)
+	}
+	if reason := sys.LastFailure(); reason != "" {
+		t.Errorf("LastFailure = %q after success, want empty", reason)
+	}
+}
+
+// TestExternalCancellation checks a cancelled context kills the in-flight
+// process promptly and is reported as cancellation, not timeout.
+func TestExternalCancellation(t *testing.T) {
+	requireSh(t)
+	sys := &External{Command: []string{"sh", "-c", "sleep 10; echo 0"}, Timeout: time.Minute}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	if got := sys.MalfunctionScoreCtx(ctx, extData()); got != 1 {
+		t.Fatalf("score = %g, want 1", got)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("cancellation not prompt: %v", elapsed)
+	}
+	if reason := sys.LastFailure(); !strings.Contains(reason, "cancelled") {
+		t.Errorf("LastFailure = %q, want cancellation reason", reason)
+	}
+}
+
+// TestExternalLogf checks failures are surfaced through the optional logger.
+func TestExternalLogf(t *testing.T) {
+	requireSh(t)
+	var logged []string
+	sys := &External{
+		Command: []string{"sh", "-c", "echo nope"},
+		Logf:    func(format string, args ...any) { logged = append(logged, fmt.Sprintf(format, args...)) },
+	}
+	sys.MalfunctionScore(extData())
+	if len(logged) != 1 || !strings.Contains(logged[0], "unparsable") {
+		t.Errorf("logged = %q, want one unparsable-score line", logged)
 	}
 }

@@ -7,6 +7,7 @@ package report
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 )
@@ -33,6 +34,11 @@ func (s Summary) Text() string {
 	}
 	fmt.Fprintf(&b, "discriminative PVT candidates: %d\n", r.Discriminative)
 	fmt.Fprintf(&b, "interventions: %d, runtime: %v\n", r.Interventions, r.Runtime.Round(1000000))
+	if st := r.Stats; st.CacheHits+st.CacheMisses > 0 {
+		fmt.Fprintf(&b, "engine: cache hits %d / misses %d, parallel batches %d\n",
+			st.CacheHits, st.CacheMisses, st.Batches)
+		fmt.Fprintf(&b, "oracle latency: %s\n", st.Latency)
+	}
 	if len(r.Trace) > 0 {
 		b.WriteString("trace:\n")
 		for _, step := range r.Trace {
@@ -67,6 +73,13 @@ func (s Summary) Markdown() string {
 	}
 	fmt.Fprintf(&b, "| discriminative PVTs | %d |\n", r.Discriminative)
 	fmt.Fprintf(&b, "| interventions | %d |\n", r.Interventions)
+	if st := r.Stats; st.CacheHits+st.CacheMisses > 0 {
+		fmt.Fprintf(&b, "| memoized score hits | %d |\n", st.CacheHits)
+		fmt.Fprintf(&b, "| parallel batches | %d |\n", st.Batches)
+		if st.Latency.Count > 0 {
+			fmt.Fprintf(&b, "| mean oracle latency | %v |\n", st.Latency.Mean().Round(time.Microsecond))
+		}
+	}
 	fmt.Fprintf(&b, "| final score | %.3f |\n\n", r.FinalScore)
 	if r.Found {
 		b.WriteString("### Root causes (minimal explanation)\n\n")
