@@ -6,6 +6,8 @@ package dataprism_test
 
 import (
 	"context"
+	"fmt"
+	"math/rand"
 	"testing"
 	"time"
 
@@ -14,7 +16,9 @@ import (
 	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/pipeline"
+	"repro/internal/profile"
 	"repro/internal/synth"
+	"repro/internal/transform"
 )
 
 // benchFigure7 runs one Figure 7 case-study row and reports each
@@ -309,3 +313,88 @@ func BenchmarkEngineGroupTestWorkers1(b *testing.B) { benchEngineGroupTest(b, 1)
 // BenchmarkEngineGroupTestWorkers8 is the pooled end-to-end GT search; the
 // reported interventions must match Workers1 exactly.
 func BenchmarkEngineGroupTestWorkers8(b *testing.B) { benchEngineGroupTest(b, 8) }
+
+// --- Dataset substrate benchmarks --------------------------------------
+//
+// These measure the data side of a search: cloning a candidate dataset,
+// re-fingerprinting it for the memo key after a one-column transform, and a
+// full single-attribute transform apply. The 100k×20 shape is the
+// acceptance target of the copy-on-write dataset work.
+
+// cowBenchDataset builds a rows×20 dataset: 10 numeric and 10 categorical
+// columns, deterministic contents.
+func cowBenchDataset(rows int) *dataset.Dataset {
+	d := dataset.New()
+	levels := []string{"a", "b", "c", "d"}
+	for c := 0; c < 10; c++ {
+		nums := make([]float64, rows)
+		for i := range nums {
+			nums[i] = float64((i*31+c*17)%1000) / 999
+		}
+		d.MustAddNumeric(fmt.Sprintf("n%d", c), nums)
+	}
+	for c := 0; c < 10; c++ {
+		cats := make([]string, rows)
+		for i := range cats {
+			cats[i] = levels[(i+c)%len(levels)]
+		}
+		d.MustAddCategorical(fmt.Sprintf("c%d", c), cats)
+	}
+	return d
+}
+
+// BenchmarkDatasetClone measures Dataset.Clone at search-relevant shapes.
+func BenchmarkDatasetClone(b *testing.B) {
+	for _, rows := range []int{10_000, 100_000} {
+		b.Run(fmt.Sprintf("rows=%d", rows), func(b *testing.B) {
+			d := cowBenchDataset(rows)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = d.Clone()
+			}
+		})
+	}
+}
+
+// BenchmarkFingerprintIncremental measures the engine's memo-key cost for a
+// candidate dataset that differs from an already-fingerprinted source in a
+// single column: clone, write one cell, fingerprint.
+func BenchmarkFingerprintIncremental(b *testing.B) {
+	for _, rows := range []int{10_000, 100_000} {
+		b.Run(fmt.Sprintf("rows=%d", rows), func(b *testing.B) {
+			d := cowBenchDataset(rows)
+			_ = d.Fingerprint() // warm the source digests
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cp := d.Clone()
+				cp.SetNum("n0", i%rows, 1234.5)
+				_ = cp.Fingerprint()
+			}
+		})
+	}
+}
+
+// BenchmarkTransformApply measures a full single-attribute intervention the
+// way the search runs it: Winsorize one numeric column of a cloned dataset
+// and fingerprint the result for the score memo.
+func BenchmarkTransformApply(b *testing.B) {
+	for _, rows := range []int{10_000, 100_000} {
+		b.Run(fmt.Sprintf("rows=%d", rows), func(b *testing.B) {
+			d := cowBenchDataset(rows)
+			_ = d.Fingerprint() // warm the source digests
+			tr := &transform.Winsorize{Profile: &profile.DomainNumeric{Attr: "n0", Lo: 0.1, Hi: 0.9}}
+			rng := rand.New(rand.NewSource(1))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				out, err := tr.Apply(d, rng)
+				if err != nil {
+					b.Fatal(err)
+				}
+				_ = out.Fingerprint()
+			}
+		})
+	}
+}

@@ -21,6 +21,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	dataprism "repro"
@@ -46,8 +48,12 @@ func main() {
 		mdOut     = flag.Bool("markdown", false, "emit the result as a Markdown report")
 		workers   = flag.Int("workers", 0, "goroutines evaluating independent interventions (0 = GOMAXPROCS)")
 		timeout   = flag.Duration("timeout", 0, "abort the search after this long (0 = no limit)")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the search to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+	startProfiles(*cpuProf, *memProf)
+	defer stopProfiles()
 
 	var (
 		pass, fail *dataprism.Dataset
@@ -84,7 +90,7 @@ func main() {
 	default:
 		fmt.Fprintln(os.Stderr, "usage: dataprism -scenario <name> | -pass <csv> -fail <csv> -system-cmd <cmd>")
 		flag.PrintDefaults()
-		os.Exit(2)
+		exit(2)
 	}
 
 	ctx := context.Background()
@@ -113,16 +119,16 @@ func main() {
 	}
 	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
 		fmt.Fprintf(os.Stderr, "dataprism: search aborted (%v) after %d interventions\n", err, res.Interventions)
-		os.Exit(1)
+		exit(1)
 	}
 	if errors.Is(err, dataprism.ErrNoExplanation) {
 		if *jsonOut {
 			emitJSON(sys, threshold, passScore, failScore, res, false)
-			os.Exit(1)
+			exit(1)
 		}
 		fmt.Printf("no explanation found after %d interventions (final score %.3f)\n",
 			res.Interventions, res.FinalScore)
-		os.Exit(1)
+		exit(1)
 	}
 	if err != nil {
 		fatal(err)
@@ -232,5 +238,55 @@ func emitJSON(sys dataprism.System, tau, passScore, failScore float64, res *data
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "dataprism:", err)
-	os.Exit(1)
+	exit(1)
+}
+
+// stopProfiles flushes any active pprof outputs; exit routes every
+// termination path through it so profiles survive early exits.
+var stopProfiles = func() {}
+
+func exit(code int) {
+	stopProfiles()
+	os.Exit(code)
+}
+
+// startProfiles arms the -cpuprofile / -memprofile outputs. The CPU profile
+// runs from here until exit; the heap profile is a snapshot taken at exit.
+func startProfiles(cpuPath, memPath string) {
+	var stops []func()
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dataprism:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "dataprism:", err)
+			os.Exit(1)
+		}
+		stops = append(stops, func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		})
+	}
+	if memPath != "" {
+		stops = append(stops, func() {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "dataprism:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle allocations so the snapshot reflects live heap
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "dataprism:", err)
+			}
+		})
+	}
+	stopProfiles = func() {
+		for _, stop := range stops {
+			stop()
+		}
+		stopProfiles = func() {}
+	}
 }

@@ -128,12 +128,18 @@ func (r *Result) ExplanationString() string { return pvtSetString(r.Explanation)
 // or A3 (for group testing) does not hold.
 var ErrNoExplanation = errors.New("core: no explanation found among discriminative PVTs")
 
-// options returns the discovery options with defaults applied.
+// options returns the discovery options with defaults applied; the
+// explainer's worker budget carries over to parallel profile discovery
+// unless the options pin their own.
 func (e *Explainer) options() profile.Options {
+	o := profile.DefaultOptions()
 	if e.Options != nil {
-		return *e.Options
+		o = *e.Options
 	}
-	return profile.DefaultOptions()
+	if o.Workers == 0 {
+		o.Workers = e.Workers
+	}
+	return o
 }
 
 func (e *Explainer) eps() float64 {

@@ -133,7 +133,7 @@ func TestExtendedProfilesEndToEnd(t *testing.T) {
 	for i := 0; i < n; i += 5 {
 		fail.SetStr("city", i, "WRONG")
 	}
-	fc := fail.Column("v")
+	fc := fail.MutableColumn("v")
 	for i := range fc.Nums {
 		fc.Nums[i] = fc.Nums[i]*2 + 30
 	}

@@ -1,0 +1,144 @@
+// Copy-on-write column sharing, column versioning, and the shared per-column
+// statistics block.
+//
+// Dataset.Clone is an O(#cols) header copy: the clone references the same
+// *Column values as the source, and both sides mark the columns shared. The
+// first write to a shared column — via MutableColumn or the Set* methods —
+// copies just that column, so a single-attribute intervention costs O(rows of
+// the touched column) instead of O(all cells).
+//
+// Every column carries a version counter bumped on each mutation grant. The
+// cached content digest (fingerprint.go) and the cached ColumnStats block are
+// keyed by that counter, so they survive sharing across clones and are
+// recomputed only for columns that actually changed.
+//
+// Contract for writers: never mutate Column slices obtained from Column() or
+// Columns() — request MutableColumn first, finish reading any statistics of
+// the column before that, and do all raw writes before the column is next
+// observed (Digest, Stats, Fingerprint). The Set* methods follow this
+// protocol internally and are always safe.
+package dataset
+
+import (
+	"sort"
+
+	"repro/internal/stats"
+)
+
+// MutableColumn returns the named column prepared for in-place mutation: if
+// the column is shared with another dataset (after a Clone), it is deep-
+// copied first and the copy replaces it in d, so writes never leak into
+// other datasets. The column's version is bumped, invalidating its cached
+// digest and statistics. Returns nil if the column does not exist.
+func (d *Dataset) MutableColumn(name string) *Column {
+	i, ok := d.byName[name]
+	if !ok {
+		return nil
+	}
+	return d.mutableAt(i)
+}
+
+// mutableAt is MutableColumn by schema index.
+func (d *Dataset) mutableAt(i int) *Column {
+	c := d.cols[i]
+	if c.shared.Load() {
+		c = c.clone()
+		d.cols[i] = c
+	}
+	c.markDirty()
+	return c
+}
+
+// markDirty invalidates the column's cached digest and statistics.
+func (c *Column) markDirty() { c.version.Add(1) }
+
+// ColumnStats is the shared per-column statistics block: NULL counts, the
+// non-NULL value vectors, moments, extrema, a sorted numeric copy for
+// quantiles, and domain counts for string columns. It is computed once per
+// column version and reused across profile discovery, discriminative
+// filtering, transform parameter fitting, and coverage scoring. All fields
+// are read-only for callers; the slices are shared, never mutate them.
+type ColumnStats struct {
+	version uint64 // column version the block was computed at
+
+	// Rows is the column length; Nulls the number of NULL slots.
+	Rows, Nulls int
+
+	// Numeric columns: Nums holds the non-NULL values in row order,
+	// SortedNums an ascending copy, and Mean/StdDev/Min/Max the usual
+	// moments and extrema (NaN for an empty column).
+	Nums       []float64
+	SortedNums []float64
+	Mean       float64
+	StdDev     float64
+	Min, Max   float64
+
+	// String columns: Strs holds the non-NULL values in row order, Counts
+	// the per-value multiplicities, and Distinct the sorted distinct values.
+	Strs     []string
+	Counts   map[string]int
+	Distinct []string
+}
+
+// Stats returns the column's statistics block, computing and caching it on
+// first use. The cache is invalidated by MutableColumn/Set* and shared by
+// every dataset referencing the column.
+func (c *Column) Stats() *ColumnStats {
+	v := c.version.Load()
+	if s := c.stats.Load(); s != nil && s.version == v {
+		return s
+	}
+	s := c.computeStats(v)
+	c.stats.Store(s)
+	return s
+}
+
+// computeStats builds the statistics block from the column content. The
+// scalar statistics go through the same internal/stats functions the
+// call sites used before caching, so the values are bit-identical.
+func (c *Column) computeStats(version uint64) *ColumnStats {
+	s := &ColumnStats{version: version, Rows: c.Len()}
+	for _, isNull := range c.Null {
+		if isNull {
+			s.Nulls++
+		}
+	}
+	if c.Kind == Numeric {
+		s.Nums = make([]float64, 0, len(c.Nums))
+		for i, v := range c.Nums {
+			if !c.Null[i] {
+				s.Nums = append(s.Nums, v)
+			}
+		}
+		s.SortedNums = append([]float64(nil), s.Nums...)
+		sort.Float64s(s.SortedNums)
+		s.Mean = stats.Mean(s.Nums)
+		s.StdDev = stats.StdDev(s.Nums)
+		s.Min, s.Max = stats.MinMax(s.Nums)
+		return s
+	}
+	s.Strs = make([]string, 0, len(c.Strs))
+	s.Counts = make(map[string]int)
+	for i, v := range c.Strs {
+		if !c.Null[i] {
+			s.Strs = append(s.Strs, v)
+			s.Counts[v]++
+		}
+	}
+	s.Distinct = make([]string, 0, len(s.Counts))
+	for v := range s.Counts {
+		s.Distinct = append(s.Distinct, v)
+	}
+	sort.Strings(s.Distinct)
+	return s
+}
+
+// Stats returns the statistics block of the named column, or nil if the
+// column does not exist.
+func (d *Dataset) Stats(attr string) *ColumnStats {
+	c := d.Column(attr)
+	if c == nil {
+		return nil
+	}
+	return c.Stats()
+}

@@ -1,0 +1,194 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// refDataset is built fresh from raw value slices — the deep-copy reference
+// the CoW implementation is compared against.
+func refDataset(nums [][]float64, strs [][]string, nulls [][]bool) *Dataset {
+	d := New()
+	for i, vs := range nums {
+		if err := d.AddNumericColumn(fmt.Sprintf("n%d", i), append([]float64(nil), vs...), append([]bool(nil), nulls[i]...)); err != nil {
+			panic(err)
+		}
+	}
+	for i, vs := range strs {
+		if err := d.AddCategoricalColumn(fmt.Sprintf("s%d", i), append([]string(nil), vs...), append([]bool(nil), nulls[len(nums)+i]...)); err != nil {
+			panic(err)
+		}
+	}
+	return d
+}
+
+// TestCoWPropertyRandomMutations runs randomized mutation sequences against
+// a shadow deep-copy model: after every operation the CoW dataset must match
+// the model cell for cell, the source dataset must be unchanged (no aliasing
+// leaks through shared columns), and the incremental fingerprint must equal
+// the from-scratch recomputation.
+func TestCoWPropertyRandomMutations(t *testing.T) {
+	const rows, numCols, strCols = 40, 3, 3
+	levels := []string{"a", "b", "c", "d"}
+	for trial := 0; trial < 50; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial) * 7919))
+
+		// Shadow model: raw slices mutated by plain deep-copy semantics.
+		nums := make([][]float64, numCols)
+		strs := make([][]string, strCols)
+		nulls := make([][]bool, numCols+strCols)
+		for c := range nums {
+			nums[c] = make([]float64, rows)
+			nulls[c] = make([]bool, rows)
+			for r := range nums[c] {
+				nums[c][r] = rng.NormFloat64()
+				nulls[c][r] = rng.Float64() < 0.1
+			}
+		}
+		for c := range strs {
+			strs[c] = make([]string, rows)
+			nulls[numCols+c] = make([]bool, rows)
+			for r := range strs[c] {
+				strs[c][r] = levels[rng.Intn(len(levels))]
+				nulls[numCols+c][r] = rng.Float64() < 0.1
+			}
+		}
+
+		src := refDataset(nums, strs, nulls)
+		srcRef := refDataset(nums, strs, nulls)
+		srcFP := src.Fingerprint() // warm the digest caches before cloning
+
+		// Mutate a chain of clones; the model tracks the latest clone only.
+		cur := src.Clone()
+		model := func() *Dataset { return refDataset(nums, strs, nulls) }
+		for step := 0; step < 30; step++ {
+			switch rng.Intn(5) {
+			case 0: // SetNum
+				c, r := rng.Intn(numCols), rng.Intn(rows)
+				v := rng.NormFloat64()
+				cur.SetNum(fmt.Sprintf("n%d", c), r, v)
+				nums[c][r] = v
+				nulls[c][r] = false
+			case 1: // SetStr
+				c, r := rng.Intn(strCols), rng.Intn(rows)
+				v := levels[rng.Intn(len(levels))]
+				cur.SetStr(fmt.Sprintf("s%d", c), r, v)
+				strs[c][r] = v
+				nulls[numCols+c][r] = false
+			case 2: // SetNull
+				c, r := rng.Intn(numCols+strCols), rng.Intn(rows)
+				name := fmt.Sprintf("n%d", c)
+				if c >= numCols {
+					name = fmt.Sprintf("s%d", c-numCols)
+				}
+				cur.SetNull(name, r)
+				nulls[c][r] = true
+			case 3: // bulk write through MutableColumn
+				c := rng.Intn(numCols)
+				mc := cur.MutableColumn(fmt.Sprintf("n%d", c))
+				for r := range mc.Nums {
+					if !mc.Null[r] {
+						mc.Nums[r] += 1
+						if !nulls[c][r] {
+							nums[c][r] += 1
+						}
+					}
+				}
+			case 4: // re-clone: the chain continues from a fresh CoW copy
+				cur = cur.Clone()
+			}
+
+			if !cur.Equal(model()) {
+				t.Fatalf("trial %d step %d: CoW dataset diverged from reference", trial, step)
+			}
+			if got, want := cur.Fingerprint(), cur.fingerprintScratch(); got != want {
+				t.Fatalf("trial %d step %d: incremental fingerprint %x != scratch %x", trial, step, got, want)
+			}
+			if got, want := cur.Fingerprint(), model().Fingerprint(); got != want {
+				t.Fatalf("trial %d step %d: fingerprint %x != reference-built %x", trial, step, got, want)
+			}
+		}
+
+		// The source dataset must have been untouched by every mutation.
+		if !src.Equal(srcRef) {
+			t.Fatalf("trial %d: mutations leaked into the source dataset", trial)
+		}
+		if got := src.Fingerprint(); got != srcFP {
+			t.Fatalf("trial %d: source fingerprint changed %x -> %x", trial, srcFP, got)
+		}
+		if got, want := src.Fingerprint(), src.fingerprintScratch(); got != want {
+			t.Fatalf("trial %d: source incremental fingerprint %x != scratch %x", trial, got, want)
+		}
+	}
+}
+
+// TestColumnStatsInvalidation checks that the shared statistics block is
+// recomputed after a mutation and shared (not recomputed) across clones of
+// an untouched column.
+func TestColumnStatsInvalidation(t *testing.T) {
+	d := New().MustAddNumeric("x", []float64{1, 2, 3, 4})
+	s1 := d.Stats("x")
+	if s1.Mean != 2.5 {
+		t.Fatalf("mean = %g", s1.Mean)
+	}
+	cp := d.Clone()
+	if cp.Stats("x") != s1 {
+		t.Error("clone of untouched column should share the stats block")
+	}
+	cp.SetNum("x", 0, 9)
+	s2 := cp.Stats("x")
+	if s2 == s1 {
+		t.Error("mutation must invalidate the stats cache")
+	}
+	if s2.Mean != (9.0+2+3+4)/4 {
+		t.Errorf("stale mean after mutation: %g", s2.Mean)
+	}
+	// The source keeps its original block.
+	if d.Stats("x") != s1 || d.Stats("x").Mean != 2.5 {
+		t.Error("source stats must be unaffected by the clone's mutation")
+	}
+}
+
+// TestMaskMatchesEval cross-checks the vectorized predicate mask against the
+// per-row Eval path on randomized datasets and predicates.
+func TestMaskMatchesEval(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	levels := []string{"x", "y", "z"}
+	d := New()
+	n := 200
+	numsA := make([]float64, n)
+	strsB := make([]string, n)
+	nullA := make([]bool, n)
+	nullB := make([]bool, n)
+	for i := 0; i < n; i++ {
+		numsA[i] = rng.NormFloat64()
+		strsB[i] = levels[rng.Intn(len(levels))]
+		nullA[i] = rng.Float64() < 0.2
+		nullB[i] = rng.Float64() < 0.2
+	}
+	if err := d.AddNumericColumn("a", numsA, nullA); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddCategoricalColumn("b", strsB, nullB); err != nil {
+		t.Fatal(err)
+	}
+
+	preds := []Predicate{
+		And(),
+		And(CmpNum("a", Gt, 0)),
+		And(CmpNum("a", Le, 0.5), EqStr("b", "y")),
+		And(Clause{Attr: "a", Op: IsNull}),
+		And(Clause{Attr: "b", Op: NotNull}, Clause{Attr: "b", Op: Ne, StrVal: "z"}),
+		And(EqStr("missing", "v")),
+	}
+	var buf []bool
+	for pi, p := range preds {
+		buf = p.Mask(d, buf)
+		for r := 0; r < n; r++ {
+			if buf[r] != p.Eval(d, r) {
+				t.Fatalf("pred %d row %d: mask %v != eval %v", pi, r, buf[r], p.Eval(d, r))
+			}
+		}
+	}
+}

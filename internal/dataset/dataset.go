@@ -12,8 +12,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"sort"
 	"strings"
+	"sync/atomic"
 )
 
 // Kind identifies the type of the values stored in a column.
@@ -45,12 +45,26 @@ func (k Kind) String() string {
 // Column is a single named, typed column with a NULL mask.
 // Nums is populated for Numeric columns; Strs for Categorical and Text.
 // Null[i] reports whether row i is NULL; a NULL row's value slot is ignored.
+//
+// Columns are shared between datasets after Clone (copy-on-write): mutate
+// the value slices only through Dataset.MutableColumn or the Set* methods,
+// never directly through Column()/Columns() — see cow.go for the contract.
 type Column struct {
 	Name string
 	Kind Kind
 	Nums []float64
 	Strs []string
 	Null []bool
+
+	// shared marks the column as referenced by more than one dataset; the
+	// next mutation grant copies it (cow.go). version counts mutation
+	// grants; digest/digestAt cache the content digest (fingerprint.go) and
+	// stats the ColumnStats block, both keyed by version.
+	shared   atomic.Bool
+	version  atomic.Uint64
+	digest   atomic.Uint64
+	digestAt atomic.Uint64
+	stats    atomic.Pointer[ColumnStats]
 }
 
 // Len returns the number of rows in the column.
@@ -219,37 +233,45 @@ func (d *Dataset) Str(attr string, row int) string {
 	return c.Strs[row]
 }
 
-// SetNum stores a numeric value, clearing the NULL flag.
+// SetNum stores a numeric value, clearing the NULL flag. The write goes
+// through the copy-on-write path, so it never leaks into clones.
 func (d *Dataset) SetNum(attr string, row int, v float64) {
 	c := d.Column(attr)
 	if c == nil || c.Kind != Numeric {
 		panic(fmt.Sprintf("dataset: %q is not a numeric column", attr))
 	}
+	c = d.MutableColumn(attr)
 	c.Nums[row] = v
 	c.Null[row] = false
 }
 
-// SetStr stores a string value, clearing the NULL flag.
+// SetStr stores a string value, clearing the NULL flag. The write goes
+// through the copy-on-write path, so it never leaks into clones.
 func (d *Dataset) SetStr(attr string, row int, v string) {
 	c := d.Column(attr)
 	if c == nil || c.Kind == Numeric {
 		panic(fmt.Sprintf("dataset: %q is not a string column", attr))
 	}
+	c = d.MutableColumn(attr)
 	c.Strs[row] = v
 	c.Null[row] = false
 }
 
-// SetNull marks the value at (attr, row) as NULL.
+// SetNull marks the value at (attr, row) as NULL. The write goes through
+// the copy-on-write path, so it never leaks into clones.
 func (d *Dataset) SetNull(attr string, row int) {
-	c := d.Column(attr)
+	c := d.MutableColumn(attr)
 	if c == nil {
 		panic(fmt.Sprintf("dataset: no column %q", attr))
 	}
 	c.Null[row] = true
 }
 
-// Clone returns a deep copy of the dataset. Transformations always clone
-// before mutating so the source dataset is never altered.
+// Clone returns a logically independent copy of the dataset in O(#cols):
+// the clone shares the underlying columns copy-on-write, and the first
+// mutation of a shared column (MutableColumn, Set*) copies just that
+// column. Transformations always clone before mutating, so the source
+// dataset is never altered.
 func (d *Dataset) Clone() *Dataset {
 	cp := &Dataset{
 		cols:   make([]*Column, len(d.cols)),
@@ -257,7 +279,8 @@ func (d *Dataset) Clone() *Dataset {
 		rows:   d.rows,
 	}
 	for i, c := range d.cols {
-		cp.cols[i] = c.clone()
+		c.shared.Store(true)
+		cp.cols[i] = c
 		cp.byName[c.Name] = i
 	}
 	return cp
@@ -307,12 +330,13 @@ func (d *Dataset) Append(other *Dataset) (*Dataset, error) {
 		return nil, fmt.Errorf("dataset: schema mismatch: %d vs %d columns", len(d.cols), len(other.cols))
 	}
 	out := d.Clone()
-	for i, c := range out.cols {
+	for i := range out.cols {
 		oc := other.cols[i]
-		if oc.Name != c.Name || oc.Kind != c.Kind {
+		if oc.Name != out.cols[i].Name || oc.Kind != out.cols[i].Kind {
 			return nil, fmt.Errorf("dataset: schema mismatch at column %d: %s/%s vs %s/%s",
-				i, c.Name, c.Kind, oc.Name, oc.Kind)
+				i, out.cols[i].Name, out.cols[i].Kind, oc.Name, oc.Kind)
 		}
+		c := out.mutableAt(i)
 		if c.Kind == Numeric {
 			c.Nums = append(c.Nums, oc.Nums...)
 		} else {
@@ -357,48 +381,48 @@ func (d *Dataset) Sample(n int, rng *rand.Rand) *Dataset {
 	return d.SelectRows(idx)
 }
 
-// NumericValues returns the non-NULL values of a numeric column.
+// NumericValues returns the non-NULL values of a numeric column, in row
+// order. The slice is the cached statistics block's and must not be
+// mutated by the caller.
 func (d *Dataset) NumericValues(attr string) []float64 {
 	c := d.Column(attr)
 	if c == nil || c.Kind != Numeric {
 		return nil
 	}
-	out := make([]float64, 0, len(c.Nums))
-	for i, v := range c.Nums {
-		if !c.Null[i] {
-			out = append(out, v)
-		}
-	}
-	return out
+	return c.Stats().Nums
 }
 
-// StringValues returns the non-NULL values of a categorical or text column.
+// SortedNumericValues returns the non-NULL values of a numeric column in
+// ascending order. The slice is the cached statistics block's and must not
+// be mutated by the caller.
+func (d *Dataset) SortedNumericValues(attr string) []float64 {
+	c := d.Column(attr)
+	if c == nil || c.Kind != Numeric {
+		return nil
+	}
+	return c.Stats().SortedNums
+}
+
+// StringValues returns the non-NULL values of a categorical or text column,
+// in row order. The slice is the cached statistics block's and must not be
+// mutated by the caller.
 func (d *Dataset) StringValues(attr string) []string {
 	c := d.Column(attr)
 	if c == nil || c.Kind == Numeric {
 		return nil
 	}
-	out := make([]string, 0, len(c.Strs))
-	for i, v := range c.Strs {
-		if !c.Null[i] {
-			out = append(out, v)
-		}
-	}
-	return out
+	return c.Stats().Strs
 }
 
-// DistinctStrings returns the sorted distinct non-NULL values of a string column.
+// DistinctStrings returns the sorted distinct non-NULL values of a string
+// column. The slice is the cached statistics block's and must not be
+// mutated by the caller.
 func (d *Dataset) DistinctStrings(attr string) []string {
-	seen := make(map[string]struct{})
-	for _, v := range d.StringValues(attr) {
-		seen[v] = struct{}{}
+	c := d.Column(attr)
+	if c == nil || c.Kind == Numeric {
+		return []string{}
 	}
-	out := make([]string, 0, len(seen))
-	for v := range seen {
-		out = append(out, v)
-	}
-	sort.Strings(out)
-	return out
+	return c.Stats().Distinct
 }
 
 // NullCount returns the number of NULL slots in the column.
@@ -407,13 +431,7 @@ func (d *Dataset) NullCount(attr string) int {
 	if c == nil {
 		return 0
 	}
-	n := 0
-	for _, isNull := range c.Null {
-		if isNull {
-			n++
-		}
-	}
-	return n
+	return c.Stats().Nulls
 }
 
 // SchemaEqual reports whether two datasets share names, order, and kinds.
@@ -437,6 +455,9 @@ func (d *Dataset) Equal(other *Dataset) bool {
 	}
 	for i, c := range d.cols {
 		oc := other.cols[i]
+		if c == oc {
+			continue // CoW-shared column: trivially equal
+		}
 		for r := 0; r < d.rows; r++ {
 			if c.Null[r] != oc.Null[r] {
 				return false

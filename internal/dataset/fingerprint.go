@@ -10,6 +10,13 @@ import "math"
 // canonical marker regardless of whatever stale value sits in the masked
 // position, keeping semantically equal datasets fingerprint-equal.
 //
+// The fingerprint combines independent per-column digests (Column.Digest),
+// which are cached and invalidated by the column version counter, so after a
+// CoW clone plus a one-column transform only the touched column is
+// re-hashed: the memo key costs O(rows of that column), not O(all cells).
+// The incremental result is bit-identical to recomputing every column digest
+// from scratch.
+//
 // Collisions are possible in principle (64-bit digest) but astronomically
 // unlikely for the dataset counts a search evaluates; a collision would
 // surface as a stale memoized score, never as data corruption.
@@ -19,24 +26,65 @@ func (d *Dataset) Fingerprint() uint64 {
 	h.word(uint64(len(d.cols)))
 	h.word(uint64(d.rows))
 	for _, c := range d.cols {
-		h.str(c.Name)
-		h.word(uint64(c.Kind))
-		if c.Kind == Numeric {
-			for i, v := range c.Nums {
-				if i < len(c.Null) && c.Null[i] {
-					h.word(fpNullMarker)
-					continue
-				}
-				h.word(math.Float64bits(v))
+		h.word(c.Digest())
+	}
+	return h.sum()
+}
+
+// fingerprintScratch recomputes the fingerprint ignoring every cached column
+// digest — the reference the property tests compare the incremental path
+// against.
+func (d *Dataset) fingerprintScratch() uint64 {
+	var h fpHash
+	h.init()
+	h.word(uint64(len(d.cols)))
+	h.word(uint64(d.rows))
+	for _, c := range d.cols {
+		h.word(c.computeDigest())
+	}
+	return h.sum()
+}
+
+// Digest returns the column's 64-bit content digest (name, kind, NULL mask,
+// values), cached per column version. Writers must follow the cow.go
+// contract: all raw writes to a mutable column happen before the column is
+// next observed.
+func (c *Column) Digest() uint64 {
+	v := c.version.Load()
+	// digestAt stores version+1 so the zero value means "no cached digest".
+	// Store order is digest then digestAt; load order is digestAt then
+	// digest. Both atomics are sequentially consistent, so a reader that
+	// sees digestAt == v+1 also sees the digest stored for that version.
+	if at := c.digestAt.Load(); at == v+1 {
+		return c.digest.Load()
+	}
+	dg := c.computeDigest()
+	c.digest.Store(dg)
+	c.digestAt.Store(v + 1)
+	return dg
+}
+
+// computeDigest hashes the column content from scratch.
+func (c *Column) computeDigest() uint64 {
+	var h fpHash
+	h.init()
+	h.str(c.Name)
+	h.word(uint64(c.Kind))
+	if c.Kind == Numeric {
+		for i, v := range c.Nums {
+			if i < len(c.Null) && c.Null[i] {
+				h.word(fpNullMarker)
+				continue
 			}
-		} else {
-			for i, v := range c.Strs {
-				if i < len(c.Null) && c.Null[i] {
-					h.word(fpNullMarker)
-					continue
-				}
-				h.str(v)
+			h.word(math.Float64bits(v))
+		}
+	} else {
+		for i, v := range c.Strs {
+			if i < len(c.Null) && c.Null[i] {
+				h.word(fpNullMarker)
+				continue
 			}
+			h.str(v)
 		}
 	}
 	return h.sum()

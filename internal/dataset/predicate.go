@@ -164,15 +164,112 @@ func (p Predicate) Attributes() []string {
 	return out
 }
 
+// Mask evaluates the predicate column-at-a-time: the mask starts all true
+// and each clause ANDs its column in with the operator dispatch hoisted out
+// of the row loop. buf is reused when it has sufficient capacity, so
+// selectivity profiling over many predicates allocates once. The result is
+// row-for-row identical to calling Eval per row.
+func (p Predicate) Mask(d *Dataset, buf []bool) []bool {
+	n := d.NumRows()
+	if cap(buf) >= n {
+		buf = buf[:n]
+	} else {
+		buf = make([]bool, n)
+	}
+	for i := range buf {
+		buf[i] = true
+	}
+	for _, c := range p.Clauses {
+		c.maskAnd(d, buf)
+	}
+	return buf
+}
+
+// maskAnd ANDs the clause into mask, one column pass per clause.
+func (c Clause) maskAnd(d *Dataset, mask []bool) {
+	col := d.Column(c.Attr)
+	if col == nil {
+		for i := range mask {
+			mask[i] = false
+		}
+		return
+	}
+	null := col.Null
+	switch c.Op {
+	case IsNull:
+		for i := range mask {
+			mask[i] = mask[i] && null[i]
+		}
+		return
+	case NotNull:
+		for i := range mask {
+			mask[i] = mask[i] && !null[i]
+		}
+		return
+	}
+	if col.Kind == Numeric {
+		v := c.NumVal
+		nums := col.Nums
+		switch c.Op {
+		case Eq:
+			for i := range mask {
+				mask[i] = mask[i] && !null[i] && nums[i] == v
+			}
+		case Ne:
+			for i := range mask {
+				mask[i] = mask[i] && !null[i] && nums[i] != v
+			}
+		case Lt:
+			for i := range mask {
+				mask[i] = mask[i] && !null[i] && nums[i] < v
+			}
+		case Le:
+			for i := range mask {
+				mask[i] = mask[i] && !null[i] && nums[i] <= v
+			}
+		case Gt:
+			for i := range mask {
+				mask[i] = mask[i] && !null[i] && nums[i] > v
+			}
+		case Ge:
+			for i := range mask {
+				mask[i] = mask[i] && !null[i] && nums[i] >= v
+			}
+		default:
+			for i := range mask {
+				mask[i] = false
+			}
+		}
+		return
+	}
+	v := c.StrVal
+	strs := col.Strs
+	switch c.Op {
+	case Eq:
+		for i := range mask {
+			mask[i] = mask[i] && !null[i] && strs[i] == v
+		}
+	case Ne:
+		for i := range mask {
+			mask[i] = mask[i] && !null[i] && strs[i] != v
+		}
+	default:
+		for i := range mask {
+			mask[i] = false
+		}
+	}
+}
+
 // Selectivity returns the fraction of rows satisfying the predicate.
 // An empty dataset has selectivity 0.
 func (p Predicate) Selectivity(d *Dataset) float64 {
 	if d.NumRows() == 0 {
 		return 0
 	}
+	mask := p.Mask(d, nil)
 	n := 0
-	for r := 0; r < d.NumRows(); r++ {
-		if p.Eval(d, r) {
+	for _, ok := range mask {
+		if ok {
 			n++
 		}
 	}
@@ -181,9 +278,10 @@ func (p Predicate) Selectivity(d *Dataset) float64 {
 
 // MatchingRows returns the indices of rows satisfying the predicate.
 func (p Predicate) MatchingRows(d *Dataset) []int {
+	mask := p.Mask(d, nil)
 	var idx []int
-	for r := 0; r < d.NumRows(); r++ {
-		if p.Eval(d, r) {
+	for r, ok := range mask {
+		if ok {
 			idx = append(idx, r)
 		}
 	}

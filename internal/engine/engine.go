@@ -223,44 +223,18 @@ func (ev *Eval) EvalBatch(ctx context.Context, ds []*dataset.Dataset) ([]float64
 	ev.mu.Unlock()
 
 	// Parallel phase: pure scoring only. No randomness, no composition.
+	// Results land in their job's slot, so the outcome is independent of
+	// scheduling; a cancelled context stops further evaluations and leaves
+	// their slots unevaluated.
 	results := make([]float64, len(jobs))
 	evaluated := make([]bool, len(jobs))
-	if ev.workers <= 1 || len(jobs) <= 1 {
-		for j := range jobs {
-			if ctx.Err() != nil {
-				break
-			}
-			results[j] = ev.evalOne(ctx, jobs[j].d)
-			evaluated[j] = true
+	ParallelFor(ev.workers, len(jobs), func(j int) {
+		if ctx.Err() != nil {
+			return
 		}
-	} else {
-		next := make(chan int)
-		var wg sync.WaitGroup
-		w := ev.workers
-		if w > len(jobs) {
-			w = len(jobs)
-		}
-		for n := 0; n < w; n++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for j := range next {
-					results[j] = ev.evalOne(ctx, jobs[j].d)
-					evaluated[j] = true
-				}
-			}()
-		}
-	feed:
-		for j := range jobs {
-			select {
-			case next <- j:
-			case <-ctx.Done():
-				break feed
-			}
-		}
-		close(next)
-		wg.Wait()
-	}
+		results[j] = ev.evalOne(ctx, jobs[j].d)
+		evaluated[j] = true
+	})
 
 	ev.mu.Lock()
 	for j := range jobs {

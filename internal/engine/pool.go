@@ -1,0 +1,44 @@
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// ParallelFor runs fn(i) for i in [0, n) on up to workers goroutines and
+// waits for all of them. Work is handed out through an atomic counter, so
+// uneven item costs balance automatically. workers <= 1 (or n <= 1) runs
+// in-line on the calling goroutine. fn must be safe to call concurrently
+// and is responsible for writing its result to a caller-owned slot i —
+// assembling results by index keeps the output deterministic regardless of
+// scheduling.
+func ParallelFor(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -60,7 +60,7 @@ func BenchmarkDiscriminative(b *testing.B) {
 	pass := benchTable(2000, 10)
 	fail := pass.Clone()
 	// Shift one numeric attribute and corrupt one categorical domain.
-	c := fail.Column("n0")
+	c := fail.MutableColumn("n0")
 	for i := range c.Nums {
 		c.Nums[i] = c.Nums[i]*3 + 10
 	}

@@ -40,7 +40,8 @@ func (p *Conditional) Key() string {
 
 // Violation evaluates the inner profile's violation on the selected subset.
 func (p *Conditional) Violation(d *dataset.Dataset) float64 {
-	sub := d.Filter(func(r int) bool { return p.Cond.Eval(d, r) })
+	mask := p.Cond.Mask(d, nil)
+	sub := d.Filter(func(r int) bool { return mask[r] })
 	if sub.NumRows() == 0 {
 		return 0
 	}
@@ -73,9 +74,11 @@ func DiscoverConditional(d *dataset.Dataset, opts Options) []Profile {
 		if len(distinct) == 0 || len(distinct) > opts.MaxCategoricalDomain {
 			continue
 		}
+		var mask []bool
 		for _, v := range distinct {
 			cond := dataset.And(dataset.EqStr(condCol.Name, v))
-			sub := d.Filter(func(r int) bool { return cond.Eval(d, r) })
+			mask = cond.Mask(d, mask)
+			sub := d.Filter(func(r int) bool { return mask[r] })
 			if sub.NumRows() == 0 {
 				continue
 			}

@@ -2,10 +2,12 @@ package profile
 
 import (
 	"math"
+	"runtime"
 	"sort"
 
 	"repro/internal/causal"
 	"repro/internal/dataset"
+	"repro/internal/engine"
 	"repro/internal/pattern"
 	"repro/internal/stats"
 )
@@ -56,6 +58,12 @@ type Options struct {
 	// Disable suppresses discovery of entire profile classes by Type name
 	// ("domain", "outlier", "missing", "selectivity", "indep").
 	Disable map[string]bool
+	// Workers bounds the goroutines fanning independent discovery work
+	// (per-column profiles, independence pairs, selectivity estimates) out
+	// on the engine worker pool. Zero means GOMAXPROCS; one forces
+	// sequential discovery. The discovered profile set is identical for any
+	// value.
+	Workers int
 }
 
 // DefaultOptions returns the discovery configuration used in the paper's
@@ -83,6 +91,13 @@ func (o *Options) fill() {
 
 func (o *Options) enabled(class string) bool { return !o.Disable[class] }
 
+func (o *Options) workers() int {
+	if o.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return o.Workers
+}
+
 // Discover learns the exhaustive set of minimal profiles that d satisfies,
 // per the discovery column of Figure 1. The result is deterministic: sorted
 // by profile Key.
@@ -90,10 +105,17 @@ func Discover(d *dataset.Dataset, opts Options) []Profile {
 	opts.fill()
 	var out []Profile
 
-	for _, c := range d.Columns() {
+	// Per-column profile classes are independent across columns, so they fan
+	// out on the engine worker pool; results are assembled in column order,
+	// keeping the output deterministic.
+	cols := d.Columns()
+	perCol := make([][]Profile, len(cols))
+	engine.ParallelFor(opts.workers(), len(cols), func(i int) {
+		c := cols[i]
+		var ps []Profile
 		if opts.enabled("domain") {
 			if p := discoverDomain(d, c, opts); p != nil {
-				out = append(out, p)
+				ps = append(ps, p)
 			}
 		}
 		if opts.enabled("missing") {
@@ -101,23 +123,27 @@ func Discover(d *dataset.Dataset, opts Options) []Profile {
 			if d.NumRows() > 0 {
 				theta /= float64(d.NumRows())
 			}
-			out = append(out, &Missing{Attr: c.Name, Theta: theta})
+			ps = append(ps, &Missing{Attr: c.Name, Theta: theta})
 		}
 		if opts.enabled("outlier") && c.Kind == dataset.Numeric {
 			p := &Outlier{Attr: c.Name, K: opts.OutlierK}
 			p.Theta = p.OutlierFraction(d)
-			out = append(out, p)
+			ps = append(ps, p)
 		}
 		if opts.EnableDistribution && opts.enabled("distribution") && c.Kind == dataset.Numeric {
 			if p := DiscoverDistribution(d, c.Name); p != nil {
-				out = append(out, p)
+				ps = append(ps, p)
 			}
 		}
 		if opts.EnableFrequency && opts.enabled("frequency") && c.Kind == dataset.Numeric {
 			if p := DiscoverFrequency(d, c.Name); p != nil {
-				out = append(out, p)
+				ps = append(ps, p)
 			}
 		}
+		perCol[i] = ps
+	})
+	for _, ps := range perCol {
+		out = append(out, ps...)
 	}
 
 	if opts.EnableFD && opts.enabled("fd") {
@@ -199,20 +225,26 @@ func discoverSelectivity(d *dataset.Dataset, opts Options) []Profile {
 			singles = append(singles, attrValue{c.Name, v})
 		}
 	}
-	var out []Profile
+	// Enumerate the predicates first (respecting the cap in deterministic
+	// order), then estimate their selectivities in parallel: each estimate
+	// is an independent column scan.
+	var preds []dataset.Predicate
 	add := func(pred dataset.Predicate) bool {
-		if len(out) >= opts.MaxSelectivityProfiles {
+		if len(preds) >= opts.MaxSelectivityProfiles {
 			return false
 		}
-		out = append(out, &Selectivity{Pred: pred, Theta: pred.Selectivity(d)})
+		preds = append(preds, pred)
 		return true
 	}
+	full := true
 	for _, s := range singles {
 		if !add(dataset.And(dataset.EqStr(s.attr, s.val))) {
-			return out
+			full = false
+			break
 		}
 	}
-	if opts.MaxSelectivityClauses >= 2 {
+	if full && opts.MaxSelectivityClauses >= 2 {
+	pairs:
 		for i := 0; i < len(singles); i++ {
 			for j := i + 1; j < len(singles); j++ {
 				if singles[i].attr == singles[j].attr {
@@ -223,11 +255,15 @@ func discoverSelectivity(d *dataset.Dataset, opts Options) []Profile {
 					dataset.EqStr(singles[j].attr, singles[j].val),
 				)
 				if !add(pred) {
-					return out
+					break pairs
 				}
 			}
 		}
 	}
+	out := make([]Profile, len(preds))
+	engine.ParallelFor(opts.workers(), len(preds), func(i int) {
+		out[i] = &Selectivity{Pred: preds[i], Theta: preds[i].Selectivity(d)}
+	})
 	return out
 }
 
@@ -236,29 +272,41 @@ func discoverSelectivity(d *dataset.Dataset, opts Options) []Profile {
 // for mixed pairs.
 func discoverIndep(d *dataset.Dataset, opts Options) []Profile {
 	cols := d.Columns()
-	var out []Profile
+	// Enumerate eligible pairs first, then fit the pairwise statistics in
+	// parallel — each fit touches only its own pair of columns.
+	type pair struct{ a, b *dataset.Column }
+	var pairs []pair
 	for i := 0; i < len(cols); i++ {
 		for j := i + 1; j < len(cols); j++ {
 			a, b := cols[i], cols[j]
 			switch {
-			case a.Kind == dataset.Categorical && b.Kind == dataset.Categorical:
-				p := &IndepChi{AttrA: a.Name, AttrB: b.Name}
-				chi2, _ := p.Statistic(d)
-				p.Alpha = chi2
-				out = append(out, p)
-			case a.Kind == dataset.Numeric && b.Kind == dataset.Numeric:
-				p := &IndepPearson{AttrA: a.Name, AttrB: b.Name}
-				r, _ := p.Statistic(d)
-				p.Alpha = math.Abs(r)
-				out = append(out, p)
-			case opts.EnableCausal &&
-				(a.Kind != dataset.Text && b.Kind != dataset.Text):
-				p := &IndepCausal{AttrA: a.Name, AttrB: b.Name}
-				p.Alpha = causal.PairCoefficient(d, a.Name, b.Name)
-				out = append(out, p)
+			case a.Kind == dataset.Categorical && b.Kind == dataset.Categorical,
+				a.Kind == dataset.Numeric && b.Kind == dataset.Numeric,
+				opts.EnableCausal && a.Kind != dataset.Text && b.Kind != dataset.Text:
+				pairs = append(pairs, pair{a, b})
 			}
 		}
 	}
+	out := make([]Profile, len(pairs))
+	engine.ParallelFor(opts.workers(), len(pairs), func(i int) {
+		a, b := pairs[i].a, pairs[i].b
+		switch {
+		case a.Kind == dataset.Categorical && b.Kind == dataset.Categorical:
+			p := &IndepChi{AttrA: a.Name, AttrB: b.Name}
+			chi2, _ := p.Statistic(d)
+			p.Alpha = chi2
+			out[i] = p
+		case a.Kind == dataset.Numeric && b.Kind == dataset.Numeric:
+			p := &IndepPearson{AttrA: a.Name, AttrB: b.Name}
+			r, _ := p.Statistic(d)
+			p.Alpha = math.Abs(r)
+			out[i] = p
+		default:
+			p := &IndepCausal{AttrA: a.Name, AttrB: b.Name}
+			p.Alpha = causal.PairCoefficient(d, a.Name, b.Name)
+			out[i] = p
+		}
+	})
 	return out
 }
 
@@ -267,8 +315,19 @@ func discoverIndep(d *dataset.Dataset, opts Options) []Profile {
 // (X_V(D_pass, X_P) = 0 by construction, X_V(D_fail, X_P) > 0 by the filter).
 // Profiles are returned in discovery (Key) order.
 func Discriminative(pass, fail *dataset.Dataset, opts Options, eps float64) []Profile {
-	passProfiles := Discover(pass, opts)
-	failProfiles := Discover(fail, opts)
+	// The two discoveries are independent datasets, so they run concurrently
+	// (each additionally fans out per-column inside Discover).
+	var passProfiles, failProfiles []Profile
+	ds := [2]*dataset.Dataset{pass, fail}
+	res := [2][]Profile{}
+	w := 1
+	if opts.Workers == 0 || opts.Workers > 1 {
+		w = 2
+	}
+	engine.ParallelFor(w, 2, func(i int) {
+		res[i] = Discover(ds[i], opts)
+	})
+	passProfiles, failProfiles = res[0], res[1]
 	failByKey := make(map[string]Profile, len(failProfiles))
 	for _, p := range failProfiles {
 		failByKey[p.Key()] = p

@@ -28,13 +28,13 @@ type Distribution struct {
 // DiscoverDistribution learns the Distribution profile of a numeric
 // attribute, or nil if the attribute has no numeric values.
 func DiscoverDistribution(d *dataset.Dataset, attr string) *Distribution {
-	vals := d.NumericValues(attr)
-	if len(vals) == 0 {
+	sorted := d.SortedNumericValues(attr)
+	if len(sorted) == 0 {
 		return nil
 	}
 	qs := make([]float64, len(distQuantiles))
 	for i, q := range distQuantiles {
-		qs[i] = stats.Quantile(vals, q)
+		qs[i] = stats.QuantileSorted(sorted, q)
 	}
 	return &Distribution{Attr: attr, Quantiles: qs}
 }
@@ -51,8 +51,8 @@ func (p *Distribution) Key() string { return "distribution:" + p.Attr }
 // Deviation returns the mean absolute decile deviation of d's attribute
 // from the reference, normalized by the reference range (clamped to [0,1]).
 func (p *Distribution) Deviation(d *dataset.Dataset) float64 {
-	vals := d.NumericValues(p.Attr)
-	if len(vals) == 0 || len(p.Quantiles) == 0 {
+	sorted := d.SortedNumericValues(p.Attr)
+	if len(sorted) == 0 || len(p.Quantiles) == 0 {
 		return 0
 	}
 	ref := p.Quantiles
@@ -62,7 +62,7 @@ func (p *Distribution) Deviation(d *dataset.Dataset) float64 {
 	}
 	sum := 0.0
 	for i, q := range distQuantiles {
-		sum += math.Abs(stats.Quantile(vals, q) - ref[i])
+		sum += math.Abs(stats.QuantileSorted(sorted, q) - ref[i])
 	}
 	dev := sum / float64(len(distQuantiles)) / span
 	return math.Min(1, dev)

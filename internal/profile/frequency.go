@@ -33,12 +33,12 @@ func DiscoverFrequency(d *dataset.Dataset, attr string) *Frequency {
 // medianGap returns the median difference between consecutive sorted
 // non-NULL values, or NaN when fewer than 2 gaps exist.
 func medianGap(d *dataset.Dataset, attr string) float64 {
-	vals := d.NumericValues(attr)
-	if len(vals) < 3 {
+	// The cached sorted vector is shared — the gaps are built fresh, the
+	// sorted slice is only read.
+	sorted := d.SortedNumericValues(attr)
+	if len(sorted) < 3 {
 		return math.NaN()
 	}
-	sorted := append([]float64(nil), vals...)
-	sort.Float64s(sorted)
 	gaps := make([]float64, 0, len(sorted)-1)
 	for i := 1; i < len(sorted); i++ {
 		gaps = append(gaps, sorted[i]-sorted[i-1])

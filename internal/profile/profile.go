@@ -215,16 +215,16 @@ func (p *Outlier) Key() string { return "outlier:" + p.Attr }
 // OutlierFraction returns the fraction of non-NULL values more than K
 // standard deviations from the attribute mean of d.
 func (p *Outlier) OutlierFraction(d *dataset.Dataset) float64 {
-	vals := d.NumericValues(p.Attr)
-	if len(vals) == 0 || d.NumRows() == 0 {
+	sb := d.Stats(p.Attr)
+	if sb == nil || len(sb.Nums) == 0 || d.NumRows() == 0 {
 		return 0
 	}
-	m, s := stats.Mean(vals), stats.StdDev(vals)
+	m, s := sb.Mean, sb.StdDev
 	if s == 0 {
 		return 0
 	}
 	n := 0
-	for _, v := range vals {
+	for _, v := range sb.Nums {
 		if math.Abs(v-m) > p.K*s {
 			n++
 		}

@@ -71,6 +71,17 @@ func Quantile(xs []float64, q float64) float64 {
 	}
 	sorted := append([]float64(nil), xs...)
 	sort.Float64s(sorted)
+	return QuantileSorted(sorted, q)
+}
+
+// QuantileSorted is Quantile over an already ascending-sorted slice — no
+// copy, no re-sort. Callers holding a cached sorted vector (e.g. the
+// dataset's per-column statistics block) use this to skip the O(n log n)
+// work per quantile.
+func QuantileSorted(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
 	if q <= 0 {
 		return sorted[0]
 	}

@@ -85,7 +85,7 @@ func (t *Transform) Apply(d *dataset.Dataset, _ *rand.Rand) (*dataset.Dataset, e
 		return nil, fmt.Errorf("synth: dataset has no flag slot %d", t.P.Index)
 	}
 	out := d.Clone()
-	out.Column(FlagColumn).Nums[t.P.Index] = 0
+	out.MutableColumn(FlagColumn).Nums[t.P.Index] = 0
 	return out, nil
 }
 
@@ -93,10 +93,10 @@ func (t *Transform) Apply(d *dataset.Dataset, _ *rand.Rand) (*dataset.Dataset, e
 // without cloning, so group interventions over hundreds of thousands of
 // PVTs stay linear instead of quadratic.
 func (t *Transform) ApplyInPlace(d *dataset.Dataset) error {
-	c := d.Column(FlagColumn)
-	if c == nil || t.P.Index >= len(c.Nums) {
+	if c := d.Column(FlagColumn); c == nil || t.P.Index >= len(c.Nums) {
 		return fmt.Errorf("synth: dataset has no flag slot %d", t.P.Index)
 	}
+	c := d.MutableColumn(FlagColumn)
 	c.Nums[t.P.Index] = 0
 	c.Null[t.P.Index] = false
 	return nil

@@ -34,7 +34,7 @@ func (t *QuantileMap) Apply(d *dataset.Dataset, _ *rand.Rand) (*dataset.Dataset,
 		return nil, fmt.Errorf("transform: no numeric values in %q", t.Profile.Attr)
 	}
 	out := d.Clone()
-	c := out.Column(t.Profile.Attr)
+	c := out.MutableColumn(t.Profile.Attr)
 	for i := range c.Nums {
 		if !c.Null[i] {
 			c.Nums[i] = t.Profile.MapThroughQuantiles(src.Quantiles, c.Nums[i])
@@ -78,7 +78,7 @@ func (t *FDRepair) Apply(d *dataset.Dataset, _ *rand.Rand) (*dataset.Dataset, er
 	}
 	majority := t.Profile.MajorityValue(d)
 	out := d.Clone()
-	odet, odep := out.Column(t.Profile.Det), out.Column(t.Profile.Dep)
+	odet, odep := out.Column(t.Profile.Det), out.MutableColumn(t.Profile.Dep)
 	for i := 0; i < out.NumRows(); i++ {
 		if odet.Null[i] || odep.Null[i] {
 			continue
@@ -114,7 +114,7 @@ func (t *ConformTextMulti) Modifies() []string { return []string{t.Profile.Attr}
 // Apply implements Transformation.
 func (t *ConformTextMulti) Apply(d *dataset.Dataset, _ *rand.Rand) (*dataset.Dataset, error) {
 	out := d.Clone()
-	c := out.Column(t.Profile.Attr)
+	c := out.MutableColumn(t.Profile.Attr)
 	if c == nil || c.Kind == dataset.Numeric {
 		return nil, fmt.Errorf("transform: no text column %q", t.Profile.Attr)
 	}
@@ -161,7 +161,7 @@ func (t *Recadence) Apply(d *dataset.Dataset, _ *rand.Rand) (*dataset.Dataset, e
 	vals := d.NumericValues(t.Profile.Attr)
 	lo, _ := stats.MinMax(vals)
 	out := d.Clone()
-	c := out.Column(t.Profile.Attr)
+	c := out.MutableColumn(t.Profile.Attr)
 	for i := range c.Nums {
 		if !c.Null[i] {
 			c.Nums[i] = lo + (c.Nums[i]-lo)*scale
@@ -288,9 +288,9 @@ func (t *MedianShift) Apply(d *dataset.Dataset, _ *rand.Rand) (*dataset.Dataset,
 		return nil, fmt.Errorf("transform: no numeric values in %q", t.Profile.Attr)
 	}
 	refMedian := t.Profile.Quantiles[len(t.Profile.Quantiles)/2]
-	shift := refMedian - stats.Median(vals)
+	shift := refMedian - stats.QuantileSorted(d.SortedNumericValues(t.Profile.Attr), 0.5)
 	out := d.Clone()
-	c := out.Column(t.Profile.Attr)
+	c := out.MutableColumn(t.Profile.Attr)
 	for i := range c.Nums {
 		if !c.Null[i] {
 			c.Nums[i] += shift

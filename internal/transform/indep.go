@@ -32,7 +32,7 @@ func (t *ShuffleBreak) Modifies() []string { return []string{t.Attr} }
 // Apply implements Transformation.
 func (t *ShuffleBreak) Apply(d *dataset.Dataset, rng *rand.Rand) (*dataset.Dataset, error) {
 	out := d.Clone()
-	c := out.Column(t.Attr)
+	c := out.MutableColumn(t.Attr)
 	if c == nil {
 		return nil, fmt.Errorf("transform: no column %q", t.Attr)
 	}
@@ -97,8 +97,7 @@ func (t *NoiseBreak) Modifies() []string { return []string{t.Attr} }
 // Apply implements Transformation.
 func (t *NoiseBreak) Apply(d *dataset.Dataset, rng *rand.Rand) (*dataset.Dataset, error) {
 	out := d.Clone()
-	c := out.Column(t.Attr)
-	if c == nil || c.Kind != dataset.Numeric {
+	if c := out.Column(t.Attr); c == nil || c.Kind != dataset.Numeric {
 		return nil, fmt.Errorf("transform: no numeric column %q", t.Attr)
 	}
 	r, _ := t.Prof.Statistic(d)
@@ -120,6 +119,7 @@ func (t *NoiseBreak) Apply(d *dataset.Dataset, rng *rand.Rand) (*dataset.Dataset
 	}
 	ratio := absR / target
 	sigma := sy * math.Sqrt(ratio*ratio-1)
+	c := out.MutableColumn(t.Attr)
 	for i := range c.Nums {
 		if !c.Null[i] {
 			c.Nums[i] += sigma * rng.NormFloat64()
@@ -162,11 +162,10 @@ func (t *CausalBreak) Modifies() []string { return []string{t.Prof.AttrB} }
 // Apply implements Transformation.
 func (t *CausalBreak) Apply(d *dataset.Dataset, rng *rand.Rand) (*dataset.Dataset, error) {
 	out := d.Clone()
-	c := out.Column(t.Prof.AttrB)
-	if c == nil {
+	if out.Column(t.Prof.AttrB) == nil {
 		return nil, fmt.Errorf("transform: no column %q", t.Prof.AttrB)
 	}
-	if c.Kind == dataset.Numeric {
+	if out.Column(t.Prof.AttrB).Kind == dataset.Numeric {
 		// Reuse the analytic Pearson noise calibration: the pairwise causal
 		// coefficient magnitude equals |corr| under the linear SEM.
 		nb := &NoiseBreak{
@@ -180,7 +179,7 @@ func (t *CausalBreak) Apply(d *dataset.Dataset, rng *rand.Rand) (*dataset.Datase
 		// Mixed pair (AttrA categorical): fall through to a permutation.
 	}
 	perm := rng.Perm(out.NumRows())
-	permuteColumn(c, perm)
+	permuteColumn(out.MutableColumn(t.Prof.AttrB), perm)
 	return out, nil
 }
 
@@ -241,7 +240,7 @@ func (t *ConditionalTransform) Apply(d *dataset.Dataset, rng *rand.Rand) (*datas
 	out := d.Clone()
 	for _, attr := range t.Inner.Modifies() {
 		src := fixed.Column(attr)
-		dst := out.Column(attr)
+		dst := out.MutableColumn(attr)
 		if src == nil || dst == nil {
 			continue
 		}

@@ -31,7 +31,13 @@ func (t *Resample) Modifies() []string { return t.Profile.Pred.Attributes() }
 // row count: matching rows are dropped (uniformly at random) or duplicated
 // (round-robin) until their share equals θ.
 func (t *Resample) Apply(d *dataset.Dataset, rng *rand.Rand) (*dataset.Dataset, error) {
-	match := t.Profile.Pred.MatchingRows(d)
+	mask := t.Profile.Pred.Mask(d, nil)
+	var match []int
+	for r, ok := range mask {
+		if ok {
+			match = append(match, r)
+		}
+	}
 	m := len(match)
 	n := d.NumRows()
 	nonMatch := n - m
@@ -49,7 +55,7 @@ func (t *Resample) Apply(d *dataset.Dataset, rng *rand.Rand) (*dataset.Dataset, 
 		}
 		return d.SelectRows(match), nil
 	case theta <= 0:
-		return d.Filter(func(r int) bool { return !t.Profile.Pred.Eval(d, r) }), nil
+		return d.Filter(func(r int) bool { return !mask[r] }), nil
 	case cur > theta:
 		// Under-sample matches: keep k with k/(k+nonMatch) = θ.
 		k := int(math.Round(theta * float64(nonMatch) / (1 - theta)))
@@ -62,7 +68,7 @@ func (t *Resample) Apply(d *dataset.Dataset, rng *rand.Rand) (*dataset.Dataset, 
 			keep[match[pi]] = true
 		}
 		return d.Filter(func(r int) bool {
-			return !t.Profile.Pred.Eval(d, r) || keep[r]
+			return !mask[r] || keep[r]
 		}), nil
 	default:
 		// Over-sample matches: total matches m' with m'/(m'+nonMatch) = θ.

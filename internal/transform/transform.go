@@ -176,7 +176,7 @@ func (t *MapToDomain) Apply(d *dataset.Dataset, _ *rand.Rand) (*dataset.Dataset,
 		mapping[v] = domain[j]
 	}
 	out := d.Clone()
-	oc := out.Column(t.Profile.Attr)
+	oc := out.MutableColumn(t.Profile.Attr)
 	for i := 0; i < out.NumRows(); i++ {
 		if oc.Null[i] {
 			continue
@@ -221,7 +221,7 @@ func (t *LinearMap) Apply(d *dataset.Dataset, _ *rand.Rand) (*dataset.Dataset, e
 	}
 	lo, hi := stats.MinMax(vals)
 	out := d.Clone()
-	c := out.Column(t.Profile.Attr)
+	c := out.MutableColumn(t.Profile.Attr)
 	scale := 0.0
 	if hi > lo {
 		scale = (t.Profile.Hi - t.Profile.Lo) / (hi - lo)
@@ -276,7 +276,7 @@ func (t *Winsorize) Modifies() []string { return []string{t.Profile.Attr} }
 // Apply implements Transformation.
 func (t *Winsorize) Apply(d *dataset.Dataset, _ *rand.Rand) (*dataset.Dataset, error) {
 	out := d.Clone()
-	c := out.Column(t.Profile.Attr)
+	c := out.MutableColumn(t.Profile.Attr)
 	if c == nil || c.Kind != dataset.Numeric {
 		return nil, fmt.Errorf("transform: no numeric column %q", t.Profile.Attr)
 	}
@@ -319,7 +319,7 @@ func (t *ConformText) Modifies() []string { return []string{t.Profile.Attr} }
 // Apply implements Transformation.
 func (t *ConformText) Apply(d *dataset.Dataset, _ *rand.Rand) (*dataset.Dataset, error) {
 	out := d.Clone()
-	c := out.Column(t.Profile.Attr)
+	c := out.MutableColumn(t.Profile.Attr)
 	if c == nil || c.Kind == dataset.Numeric {
 		return nil, fmt.Errorf("transform: no text column %q", t.Profile.Attr)
 	}
@@ -377,7 +377,7 @@ func (t *ReplaceOutliers) Apply(d *dataset.Dataset, _ *rand.Rand) (*dataset.Data
 	}
 	m, s := stats.Mean(vals), stats.StdDev(vals)
 	out := d.Clone()
-	c := out.Column(t.Profile.Attr)
+	c := out.MutableColumn(t.Profile.Attr)
 	for i := range c.Nums {
 		if c.Null[i] {
 			continue
@@ -419,7 +419,7 @@ func (t *ClampOutliers) Apply(d *dataset.Dataset, _ *rand.Rand) (*dataset.Datase
 	m, s := stats.Mean(vals), stats.StdDev(vals)
 	lo, hi := m-t.Profile.K*s, m+t.Profile.K*s
 	out := d.Clone()
-	c := out.Column(t.Profile.Attr)
+	c := out.MutableColumn(t.Profile.Attr)
 	for i := range c.Nums {
 		if c.Null[i] {
 			continue
@@ -458,13 +458,16 @@ func (t *Impute) Modifies() []string { return []string{t.Profile.Attr} }
 
 // Apply implements Transformation.
 func (t *Impute) Apply(d *dataset.Dataset, _ *rand.Rand) (*dataset.Dataset, error) {
-	out := d.Clone()
-	c := out.Column(t.Profile.Attr)
-	if c == nil {
+	if d.Column(t.Profile.Attr) == nil {
 		return nil, fmt.Errorf("transform: no column %q", t.Profile.Attr)
 	}
+	// Fit the replacement statistic on the source before requesting the
+	// mutable column (cow.go: finish reading statistics before mutating);
+	// the clone's pre-mutation content is identical to d's.
+	out := d.Clone()
+	c := out.MutableColumn(t.Profile.Attr)
 	if c.Kind == dataset.Numeric {
-		repl := stats.Mean(out.NumericValues(t.Profile.Attr))
+		repl := stats.Mean(d.NumericValues(t.Profile.Attr))
 		if math.IsNaN(repl) {
 			repl = 0
 		}
@@ -476,7 +479,7 @@ func (t *Impute) Apply(d *dataset.Dataset, _ *rand.Rand) (*dataset.Dataset, erro
 		}
 		return out, nil
 	}
-	repl := stats.ModeString(out.StringValues(t.Profile.Attr))
+	repl := stats.ModeString(d.StringValues(t.Profile.Attr))
 	for i := range c.Strs {
 		if c.Null[i] {
 			c.Strs[i] = repl
