@@ -24,6 +24,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"time"
 
 	dataprism "repro"
 	"repro/internal/pipeline"
@@ -50,14 +51,21 @@ func main() {
 		timeout   = flag.Duration("timeout", 0, "abort the search after this long (0 = no limit)")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the search to this file")
 		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
+
+		retries     = flag.Int("retries", 2, "retries per transient oracle failure for -system-cmd (0 = fail on first transient error)")
+		retryBase   = flag.Duration("retry-base", 100*time.Millisecond, "base delay of the exponential retry backoff")
+		breakerTrip = flag.Int("breaker-threshold", 5, "consecutive transient oracle failures that open the circuit breaker (0 = no breaker)")
+		breakerCool = flag.Duration("breaker-cooldown", 5*time.Second, "how long the open circuit breaker rejects evaluations before probing again")
 	)
 	flag.Parse()
 	startProfiles(*cpuProf, *memProf)
 	defer stopProfiles()
+	defer func() { reportOracleFailures() }()
 
 	var (
 		pass, fail *dataprism.Dataset
 		sys        dataprism.System
+		fall       dataprism.FallibleSystem // set for -system-cmd: the fault-tolerant oracle chain
 		opts       = dataprism.DefaultDiscoveryOptions()
 		threshold  = *tau
 	)
@@ -87,6 +95,25 @@ func main() {
 			}
 		}
 		sys = ext
+		// Fault-tolerant oracle chain: classify → retry transient failures →
+		// trip the breaker when the command looks systemically down.
+		fall = dataprism.AsFallibleSystem(dataprism.AsContextSystem(ext))
+		if *retries > 0 {
+			fall = &dataprism.Retry{System: fall, Max: *retries + 1, BaseDelay: *retryBase}
+		}
+		if *breakerTrip > 0 {
+			fall = &dataprism.Breaker{System: fall, FailureThreshold: *breakerTrip, Cooldown: *breakerCool}
+		}
+		reportOracleFailures = func() {
+			tail := ext.RecentFailures(5)
+			if len(tail) == 0 {
+				return
+			}
+			fmt.Fprintf(os.Stderr, "dataprism: last %d oracle failures (newest first):\n", len(tail))
+			for _, f := range tail {
+				fmt.Fprintf(os.Stderr, "  %s\n", f)
+			}
+		}
 	default:
 		fmt.Fprintln(os.Stderr, "usage: dataprism -scenario <name> | -pass <csv> -fail <csv> -system-cmd <cmd>")
 		flag.PrintDefaults()
@@ -100,11 +127,10 @@ func main() {
 		defer cancel()
 	}
 
-	cs := dataprism.AsContextSystem(sys)
-	passScore := cs.MalfunctionScore(ctx, pass)
-	failScore := cs.MalfunctionScore(ctx, fail)
+	passScore := baselineScore(ctx, sys, fall, pass)
+	failScore := baselineScore(ctx, sys, fall, fail)
 
-	e := &dataprism.Explainer{System: sys, Tau: threshold, Options: &opts, Seed: *seed, Workers: *workers}
+	e := &dataprism.Explainer{System: sys, FallibleSystem: fall, Tau: threshold, Options: &opts, Seed: *seed, Workers: *workers}
 	var (
 		res *dataprism.Result
 		err error
@@ -195,6 +221,10 @@ type jsonResult struct {
 	CacheHits      int             `json:"cache_hits"`
 	ParallelBatch  int             `json:"parallel_batches"`
 	MeanOracleSecs float64         `json:"mean_oracle_seconds"`
+	Retries        int             `json:"retries"`
+	TransientFails int             `json:"transient_failures"`
+	DetermFails    int             `json:"deterministic_failures"`
+	BreakerTrips   int             `json:"breaker_trips"`
 	FinalScore     float64         `json:"final_score"`
 	RuntimeSecs    float64         `json:"runtime_seconds"`
 	Explanation    []string        `json:"explanation"`
@@ -220,6 +250,10 @@ func emitJSON(sys dataprism.System, tau, passScore, failScore float64, res *data
 		CacheHits:      res.Stats.CacheHits,
 		ParallelBatch:  res.Stats.Batches,
 		MeanOracleSecs: res.Stats.Latency.Mean().Seconds(),
+		Retries:        res.Stats.Retries,
+		TransientFails: res.Stats.TransientFailures,
+		DetermFails:    res.Stats.DeterministicFailures,
+		BreakerTrips:   res.Stats.BreakerTrips,
 		FinalScore:     res.FinalScore,
 		RuntimeSecs:    res.Runtime.Seconds(),
 	}
@@ -245,9 +279,30 @@ func fatal(err error) {
 // termination path through it so profiles survive early exits.
 var stopProfiles = func() {}
 
+// reportOracleFailures prints the tail of the external oracle's failure ring
+// to stderr; exit routes every termination path through it so the diagnostic
+// survives early exits.
+var reportOracleFailures = func() {}
+
 func exit(code int) {
+	reportOracleFailures()
 	stopProfiles()
 	os.Exit(code)
+}
+
+// baselineScore measures one dataset's malfunction outside the search. The
+// fault-tolerant path warns (instead of silently reporting a malfunction)
+// when the measurement itself failed.
+func baselineScore(ctx context.Context, sys dataprism.System, fall dataprism.FallibleSystem, d *dataprism.Dataset) float64 {
+	if fall == nil {
+		return dataprism.AsContextSystem(sys).MalfunctionScore(ctx, d)
+	}
+	r := fall.TryMalfunctionScore(ctx, d)
+	if r.Err != nil {
+		fmt.Fprintf(os.Stderr, "dataprism: baseline measurement failed (reporting score 1): %v\n", r.Err)
+		return 1
+	}
+	return r.Score
 }
 
 // startProfiles arms the -cpuprofile / -memprofile outputs. The CPU profile

@@ -92,6 +92,25 @@ type (
 	ExternalSystem = pipeline.External
 	// Oracle wraps a System and counts score evaluations.
 	Oracle = pipeline.Oracle
+	// FallibleSystem is a black-box system exposing the error-aware scoring
+	// contract: a measurement failure (timeout, fork error, cancellation) is
+	// reported as an error instead of being conflated with a malfunction
+	// score, so the engine never caches it and refunds its budget.
+	FallibleSystem = pipeline.FallibleSystem
+	// FallibleSystemFunc adapts an error-aware scoring function into a
+	// FallibleSystem.
+	FallibleSystemFunc = pipeline.TryFunc
+	// ScoreResult is one error-aware scoring outcome.
+	ScoreResult = pipeline.ScoreResult
+	// Retry wraps a FallibleSystem with bounded exponential-backoff retries
+	// of transient failures.
+	Retry = pipeline.Retry
+	// Breaker wraps a FallibleSystem with a circuit breaker that fails fast
+	// after consecutive transient failures.
+	Breaker = pipeline.Breaker
+	// FaultInjector deterministically injects faults into a FallibleSystem —
+	// the chaos-testing harness.
+	FaultInjector = pipeline.FaultInjector
 
 	// EngineStats reports the intervention engine's counters for a search:
 	// interventions, memo-cache hits/misses, parallel batches, and the
@@ -125,11 +144,26 @@ var ErrNoExplanation = core.ErrNoExplanation
 // because it hit its MaxInterventions budget.
 var ErrBudgetExhausted = engine.ErrBudgetExhausted
 
+// ErrTransient marks (via errors.Is) a measurement failure that a retry may
+// resolve: a timeout, a fork failure, truncated output, a cancellation.
+var ErrTransient = pipeline.ErrTransient
+
+// ErrBreakerOpen marks (via errors.Is) an evaluation rejected without
+// running because the circuit breaker is open.
+var ErrBreakerOpen = pipeline.ErrBreakerOpen
+
 // AsContextSystem adapts a legacy System into a ContextSystem. Systems that
 // additionally implement MalfunctionScoreCtx (like ExternalSystem) keep
 // their context-aware path; plain Systems are wrapped with the context
 // ignored during scoring.
 func AsContextSystem(sys System) ContextSystem { return pipeline.AsContext(sys) }
+
+// AsFallibleSystem adapts a ContextSystem into the error-aware contract.
+// Systems that already implement FallibleSystem (like ExternalSystem, even
+// through AsContextSystem) keep their precise failure classification; plain
+// systems report every returned score as a success, except scores computed
+// under an already-cancelled context, which become transient failures.
+func AsFallibleSystem(sys ContextSystem) FallibleSystem { return pipeline.AsFallible(sys) }
 
 // NewDataset returns an empty dataset.
 func NewDataset() *Dataset { return dataset.New() }

@@ -43,6 +43,10 @@ type Config struct {
 	// ContextSystem, when set, takes precedence over System and receives
 	// the search's context on every evaluation.
 	ContextSystem pipeline.ContextSystem
+	// FallibleSystem, when set, takes precedence over both and exposes the
+	// error-aware scoring contract: measurement failures are distinguished
+	// from malfunction scores, never cached, and refunded from the budget.
+	FallibleSystem pipeline.FallibleSystem
 	// Tau is the allowable malfunction threshold.
 	Tau float64
 	// Seed drives the randomized exploration.
@@ -62,17 +66,21 @@ func (c *Config) maxInterventions() int {
 
 // newEval builds the evaluation substrate for one baseline run.
 func (c *Config) newEval() (*engine.Eval, error) {
+	ecfg := engine.Config{
+		Workers:          c.Workers,
+		MaxInterventions: c.maxInterventions(),
+	}
+	if c.FallibleSystem != nil {
+		return engine.NewFallible(c.FallibleSystem, ecfg), nil
+	}
 	cs := c.ContextSystem
 	if cs == nil {
 		if c.System == nil {
-			return nil, errors.New("baselines: Config requires a System or ContextSystem")
+			return nil, errors.New("baselines: Config requires a System, ContextSystem, or FallibleSystem")
 		}
 		cs = pipeline.AsContext(c.System)
 	}
-	return engine.New(cs, engine.Config{
-		Workers:          c.Workers,
-		MaxInterventions: c.maxInterventions(),
-	}), nil
+	return engine.New(cs, ecfg), nil
 }
 
 // finish stamps the engine's counters and the wall clock onto the result.
@@ -132,7 +140,11 @@ func BugDocContext(ctx context.Context, cfg Config, pvts []*core.PVT, fail *data
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed + 101))
 	res := &core.Result{Discriminative: len(pvts)}
-	res.InitialScore = ev.Baseline(ctx, fail)
+	res.InitialScore, err = ev.Baseline(ctx, fail)
+	if err != nil {
+		finish(res, ev, start)
+		return res, err
+	}
 	res.FinalScore = res.InitialScore
 	if res.InitialScore <= cfg.Tau {
 		res.Found = true
@@ -148,16 +160,25 @@ func BugDocContext(ctx context.Context, cfg Config, pvts []*core.PVT, fail *data
 
 	var ctxErr error
 	// eval scores one configuration through the engine; ok is false when
-	// the budget is exhausted (further evaluation is pointless), and any
-	// context error is latched for the caller.
+	// the budget is exhausted (further evaluation is pointless), and fatal
+	// errors — cancellation, deadline, an open circuit breaker — are latched
+	// for the caller. A transient measurement failure leaves the
+	// configuration unscored (+Inf, treated as failing) without ending the
+	// search.
 	eval := func(on []bool) (float64, bool) {
 		d := applyConfig(fail, pvts, on, rng)
 		s, err := ev.Score(ctx, d)
 		if err != nil {
-			if !errors.Is(err, engine.ErrBudgetExhausted) && ctxErr == nil {
-				ctxErr = err
+			if errors.Is(err, engine.ErrBudgetExhausted) {
+				return 1, false
 			}
-			return 1, false
+			if engine.Fatal(err) {
+				if ctxErr == nil {
+					ctxErr = err
+				}
+				return 1, false
+			}
+			return math.Inf(1), true
 		}
 		res.Trace = append(res.Trace, core.Step{PVTs: onNames(pvts, on), Transform: "bugdoc config", Score: s, Accepted: s <= cfg.Tau})
 		return s, true
@@ -254,7 +275,15 @@ func BugDocContext(ctx context.Context, cfg Config, pvts []*core.PVT, fail *data
 	}
 
 	final := applyConfig(fail, pvts, current, rng)
-	res.FinalScore = ev.Baseline(ctx, final)
+	res.FinalScore, err = ev.Baseline(ctx, final)
+	if err != nil {
+		res.FinalScore = res.InitialScore
+		finish(res, ev, start)
+		if engine.Fatal(err) {
+			return res, err
+		}
+		return res, core.ErrNoExplanation
+	}
 	if res.FinalScore > cfg.Tau {
 		finish(res, ev, start)
 		return res, core.ErrNoExplanation
@@ -322,7 +351,11 @@ func AnchorContext(ctx context.Context, cfg Config, pvts []*core.PVT, fail *data
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed + 202))
 	res := &core.Result{Discriminative: len(pvts)}
-	res.InitialScore = ev.Baseline(ctx, fail)
+	res.InitialScore, err = ev.Baseline(ctx, fail)
+	if err != nil {
+		finish(res, ev, start)
+		return res, err
+	}
 	res.FinalScore = res.InitialScore
 	if res.InitialScore <= cfg.Tau {
 		res.Found = true
@@ -369,7 +402,9 @@ func AnchorContext(ctx context.Context, cfg Config, pvts []*core.PVT, fail *data
 		return float64(passes) / float64(samples), false
 	}
 
-	// verify repairs exactly the rule's PVTs and scores the result.
+	// verify repairs exactly the rule's PVTs and scores the result. Fatal
+	// errors are latched; a transient measurement failure or an exhausted
+	// budget just leaves the rule unverified (+Inf).
 	verify := func(rule map[int]bool) (*dataset.Dataset, float64) {
 		on := make([]bool, k)
 		for i := range on {
@@ -378,7 +413,7 @@ func AnchorContext(ctx context.Context, cfg Config, pvts []*core.PVT, fail *data
 		d := applyConfig(fail, pvts, on, rng)
 		s, err := ev.Score(ctx, d)
 		if err != nil {
-			if !errors.Is(err, engine.ErrBudgetExhausted) && ctxErr == nil {
+			if engine.Fatal(err) && ctxErr == nil {
 				ctxErr = err
 			}
 			return d, math.Inf(1)
@@ -458,6 +493,7 @@ func GrpTestContext(ctx context.Context, cfg Config, pvts []*core.PVT, fail *dat
 	e := &core.Explainer{
 		System:           cfg.System,
 		ContextSystem:    cfg.ContextSystem,
+		FallibleSystem:   cfg.FallibleSystem,
 		Tau:              cfg.Tau,
 		Seed:             cfg.Seed,
 		MaxInterventions: cfg.MaxInterventions,

@@ -67,7 +67,11 @@ func (e *Explainer) ExplainWithDecisionTreePVTsContext(ctx context.Context, pvts
 	rng := e.rng()
 
 	res := &Result{Discriminative: len(pvts)}
-	res.InitialScore = ev.Baseline(ctx, fail)
+	res.InitialScore, err = ev.Baseline(ctx, fail)
+	if err != nil {
+		finish(res, ev, start)
+		return res, err
+	}
 	res.FinalScore = res.InitialScore
 	if res.InitialScore <= e.Tau {
 		res.Found = true
@@ -90,7 +94,15 @@ func (e *Explainer) ExplainWithDecisionTreePVTsContext(ctx context.Context, pvts
 	}
 	var train []violationInstance
 	for _, d := range examples {
-		train = append(train, violationInstance{violated: featurize(d), pass: ev.Baseline(ctx, d) <= e.Tau})
+		s, bErr := ev.Baseline(ctx, d)
+		if bErr != nil {
+			if engine.Fatal(bErr) {
+				finish(res, ev, start)
+				return res, bErr
+			}
+			continue // unlabelable example: skip rather than mislabel
+		}
+		train = append(train, violationInstance{violated: featurize(d), pass: s <= e.Tau})
 	}
 	train = append(train, violationInstance{violated: featurize(fail), pass: false})
 
@@ -160,8 +172,11 @@ func (e *Explainer) ExplainWithDecisionTreePVTsContext(ctx context.Context, pvts
 				if errors.Is(evalErr, engine.ErrBudgetExhausted) {
 					break
 				}
-				finish(res, ev, start)
-				return res, evalErr
+				if engine.Fatal(evalErr) {
+					finish(res, ev, start)
+					return res, evalErr
+				}
+				continue // transient measurement failure: try the next conjunction
 			}
 			accepted := s <= e.Tau
 			res.Trace = append(res.Trace, Step{PVTs: pvtNames(group), Transform: "decision-tree conjunction", Score: s, Accepted: accepted})
@@ -174,7 +189,13 @@ func (e *Explainer) ExplainWithDecisionTreePVTsContext(ctx context.Context, pvts
 				res.Found = true
 				res.Explanation = expl
 				res.Transformed = final
-				res.FinalScore = ev.Baseline(ctx, final)
+				// Cache hit in the common case; keep the verified conjunction
+				// score if the measurement fails.
+				if fs, fsErr := ev.Baseline(ctx, final); fsErr == nil {
+					res.FinalScore = fs
+				} else {
+					res.FinalScore = s
+				}
 				finish(res, ev, start)
 				return res, nil
 			}

@@ -47,10 +47,17 @@ func VerifyExplanationContext(ctx context.Context, sys pipeline.ContextSystem, t
 		}
 		cands = append(cands, composeAll(fail, reduced, nil, rng))
 	}
-	scores, err := ev.EvalBatch(ctx, cands)
+	scores, errs, err := ev.EvalBatchErrs(ctx, cands)
 	for _, sc := range scores {
 		if !math.IsNaN(sc) && sc <= tau {
 			return false, ev.Stats().Interventions // a subset suffices: not minimal
+		}
+	}
+	// Minimality is only confirmed when every leave-one-out subset was
+	// actually measured: an unevaluated slot could hide a sufficient subset.
+	for _, slotErr := range errs {
+		if slotErr != nil {
+			return false, ev.Stats().Interventions
 		}
 	}
 	return err == nil, ev.Stats().Interventions

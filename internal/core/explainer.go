@@ -44,6 +44,12 @@ type Explainer struct {
 	// the search's context on every evaluation — cancelling the context
 	// can then interrupt even an in-flight external process.
 	ContextSystem pipeline.ContextSystem
+	// FallibleSystem, when set, takes precedence over both and exposes the
+	// full error-aware contract: measurement failures (timeouts, fork
+	// errors, cancellations) are distinguished from malfunction scores,
+	// never cached, and refunded from the intervention budget. Wrap a
+	// flaky scorer in pipeline.Retry and pipeline.Breaker and set it here.
+	FallibleSystem pipeline.FallibleSystem
 	// Tau is the allowable malfunction threshold (Definition 10).
 	Tau float64
 	// Options configures profile discovery; the zero value means
@@ -162,6 +168,9 @@ func (e *Explainer) rng() *rand.Rand {
 
 // contextSystem resolves the configured system to its context-aware form.
 func (e *Explainer) contextSystem() pipeline.ContextSystem {
+	if e.FallibleSystem != nil {
+		return pipeline.FallibleAsContext(e.FallibleSystem)
+	}
 	if e.ContextSystem != nil {
 		return e.ContextSystem
 	}
@@ -176,14 +185,18 @@ func (e *Explainer) newEval() (*engine.Eval, error) {
 	if e.eval != nil {
 		return e.eval, nil
 	}
-	cs := e.contextSystem()
-	if cs == nil {
-		return nil, errors.New("core: Explainer requires a System or ContextSystem")
-	}
-	return engine.New(cs, engine.Config{
+	cfg := engine.Config{
 		Workers:          e.Workers,
 		MaxInterventions: e.maxInterventions(),
-	}), nil
+	}
+	if e.FallibleSystem != nil {
+		return engine.NewFallible(e.FallibleSystem, cfg), nil
+	}
+	cs := e.contextSystem()
+	if cs == nil {
+		return nil, errors.New("core: Explainer requires a System, ContextSystem, or FallibleSystem")
+	}
+	return engine.New(cs, cfg), nil
 }
 
 // finish stamps the engine's counters and the wall clock onto the result.

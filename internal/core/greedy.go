@@ -49,7 +49,11 @@ func (e *Explainer) ExplainGreedyPVTsContext(ctx context.Context, pvts []*PVT, f
 	rng := e.rng()
 
 	res := &Result{Discriminative: len(pvts)}
-	res.InitialScore = ev.Baseline(ctx, fail)
+	res.InitialScore, err = ev.Baseline(ctx, fail)
+	if err != nil {
+		finish(res, ev, start)
+		return res, err
+	}
 	res.FinalScore = res.InitialScore
 	if res.InitialScore <= e.Tau {
 		res.Found = true
@@ -163,7 +167,14 @@ func (e *Explainer) ExplainGreedyPVTsContext(ctx context.Context, pvts []*PVT, f
 	res.Found = true
 	res.Explanation = expl
 	res.Transformed = d
-	res.FinalScore = ev.Baseline(ctx, d)
+	// The final dataset's score was evaluated (and memoized) during the
+	// search, so this is a cache hit; fall back to the last accepted score
+	// if the measurement somehow fails.
+	if fs, fsErr := ev.Baseline(ctx, d); fsErr == nil {
+		res.FinalScore = fs
+	} else {
+		res.FinalScore = score
+	}
 	finish(res, ev, start)
 	return res, nil
 }

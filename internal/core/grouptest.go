@@ -72,7 +72,11 @@ func (e *Explainer) ExplainGroupTestPVTsContext(ctx context.Context, pvts []*PVT
 	rng := e.rng()
 
 	res := &Result{Discriminative: len(pvts)}
-	res.InitialScore = ev.Baseline(ctx, fail)
+	res.InitialScore, err = ev.Baseline(ctx, fail)
+	if err != nil {
+		finish(res, ev, start)
+		return res, err
+	}
 	res.FinalScore = res.InitialScore
 	if res.InitialScore <= e.Tau {
 		res.Found = true
@@ -101,7 +105,11 @@ func (e *Explainer) ExplainGroupTestPVTsContext(ctx context.Context, pvts []*PVT
 		return res, st.err
 	}
 
-	finalScore := ev.Baseline(ctx, final.d)
+	finalScore, err := ev.Baseline(ctx, final.d)
+	if err != nil {
+		finish(res, ev, start)
+		return res, err
+	}
 	if finalScore > e.Tau {
 		res.FinalScore = finalScore
 		finish(res, ev, start)
@@ -122,18 +130,27 @@ func (e *Explainer) ExplainGroupTestPVTsContext(ctx context.Context, pvts []*PVT
 	res.Found = true
 	res.Explanation = expl
 	res.Transformed = d
-	res.FinalScore = ev.Baseline(ctx, d)
+	// Cache hit in the common case; keep the verified pre-minimality score
+	// if the measurement fails.
+	if fs, fsErr := ev.Baseline(ctx, d); fsErr == nil {
+		res.FinalScore = fs
+	} else {
+		res.FinalScore = finalScore
+	}
 	finish(res, ev, start)
 	return res, nil
 }
 
 // score lazily evaluates the dataset's malfunction, counting the call
-// through the engine (memoized re-evaluations are free).
+// through the engine (memoized re-evaluations are free). Fatal errors —
+// cancellation, deadline, an open circuit breaker — latch st.err and end
+// the recursion; a transient per-slot measurement failure or an exhausted
+// budget merely leaves this dataset unscored (treated as unhelpful).
 func (st *gtGroupState) score(x *scoredDataset) float64 {
 	if !x.known {
 		s, err := st.ev.Score(st.ctx, x.d)
 		if err != nil {
-			if !errors.Is(err, engine.ErrBudgetExhausted) && st.err == nil {
+			if engine.Fatal(err) && st.err == nil {
 				st.err = err
 			}
 			return math.Inf(1)

@@ -14,15 +14,21 @@
 //   - score memoization keyed by Dataset.Fingerprint, so identical
 //     transformed datasets cost one oracle call ever — cache hits do not
 //     consume the intervention budget;
+//   - error-aware scoring over pipeline.FallibleSystem: a measurement
+//     failure (timeout, fork error, cancellation) is never confused with a
+//     malfunction score, is never memoized, and refunds the intervention
+//     budget — only evaluations that produced a real score count;
 //   - a unified budget and stats object (intervention count, cache
-//     hit/miss counters, parallel-batch count, per-call latency histogram).
+//     hit/miss counters, retry/failure counters, parallel-batch count,
+//     per-call latency histogram).
 //
 // Determinism contract: callers keep all randomness and dataset composition
 // on their own goroutine; the engine only parallelizes the pure scoring
 // step, dedupes within a batch by fingerprint, and truncates to budget over
 // the deterministic first-occurrence order of unique datasets. The result —
 // scores, counted interventions, cache behavior — is therefore identical
-// whether Workers is 1 or 16.
+// whether Workers is 1 or 16, including under fault schedules keyed on
+// dataset fingerprints (pipeline.FaultInjector).
 package engine
 
 import (
@@ -58,7 +64,9 @@ type Config struct {
 // Stats is a snapshot of the engine's counters.
 type Stats struct {
 	// Interventions is the number of counted oracle evaluations — the
-	// paper's cost metric. Cache hits are free.
+	// paper's cost metric. Cache hits are free, and evaluations that never
+	// produced a score (transient failure, cancellation, open breaker) are
+	// refunded: failed attempts do not count as interventions.
 	Interventions int
 	// CacheHits / CacheMisses count memoized-score lookups. A duplicate
 	// dataset inside one batch counts as a hit: it is evaluated once.
@@ -66,16 +74,35 @@ type Stats struct {
 	// Batches counts EvalBatch calls that dispatched more than one
 	// evaluation to the worker pool.
 	Batches int
+	// Retries counts oracle attempts beyond the first across all
+	// evaluations — the work a pipeline.Retry wrapper performed.
+	Retries int
+	// TransientFailures counts evaluations that ended in a transient
+	// measurement failure after any retries: no score was produced and the
+	// intervention budget was refunded.
+	TransientFailures int
+	// DeterministicFailures counts evaluations whose failure is
+	// deterministic in the data or configuration: the scorer crashed on
+	// the input (recorded as score 1) or failed permanently (no score).
+	DeterministicFailures int
+	// BreakerTrips is how many times the circuit breaker opened (zero
+	// when no pipeline.Breaker wraps the system).
+	BreakerTrips int
 	// Latency is the per-oracle-call latency histogram.
 	Latency Histogram
 }
 
-// Eval is the evaluation substrate: a context-aware oracle with a worker
-// pool, a memoized score cache, and a unified intervention budget. Safe for
-// use from a single search goroutine; the internal pool fans evaluations
-// out and joins them before returning.
+// Failures sums the evaluations that did not produce a trustworthy,
+// well-behaved score.
+func (s Stats) Failures() int { return s.TransientFailures + s.DeterministicFailures }
+
+// Eval is the evaluation substrate: a context-aware, error-aware oracle
+// with a worker pool, a memoized score cache, and a unified intervention
+// budget. Safe for use from a single search goroutine; the internal pool
+// fans evaluations out and joins them before returning.
 type Eval struct {
 	sys      pipeline.ContextSystem
+	fall     pipeline.FallibleSystem
 	workers  int
 	max      int
 	deadline time.Time
@@ -85,14 +112,28 @@ type Eval struct {
 	stats Stats
 }
 
-// New builds an Eval over the given context-aware system.
+// New builds an Eval over the given context-aware system. Systems that
+// implement pipeline.FallibleSystem (External, Retry, Breaker,
+// FaultInjector, or adapters preserving them) keep their own failure
+// classification; plain scorers are wrapped so that a score computed under
+// a cancelled context is discarded instead of cached.
 func New(sys pipeline.ContextSystem, cfg Config) *Eval {
+	return newEval(sys, pipeline.AsFallible(sys), cfg)
+}
+
+// NewFallible builds an Eval directly over an error-aware system.
+func NewFallible(sys pipeline.FallibleSystem, cfg Config) *Eval {
+	return newEval(pipeline.FallibleAsContext(sys), sys, cfg)
+}
+
+func newEval(sys pipeline.ContextSystem, fall pipeline.FallibleSystem, cfg Config) *Eval {
 	w := cfg.Workers
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
 	}
 	return &Eval{
 		sys:      sys,
+		fall:     fall,
 		workers:  w,
 		max:      cfg.MaxInterventions,
 		deadline: cfg.Deadline,
@@ -109,8 +150,12 @@ func (ev *Eval) Workers() int { return ev.workers }
 // Stats returns a snapshot of the counters.
 func (ev *Eval) Stats() Stats {
 	ev.mu.Lock()
-	defer ev.mu.Unlock()
-	return ev.stats
+	st := ev.stats
+	ev.mu.Unlock()
+	if tc, ok := ev.fall.(pipeline.TripCounter); ok {
+		st.BreakerTrips = tc.BreakerTrips()
+	}
+	return st
 }
 
 // Remaining reports how many counted evaluations the budget still covers
@@ -130,54 +175,97 @@ func (ev *Eval) Remaining() int {
 // Exhausted reports whether the intervention budget is spent.
 func (ev *Eval) Exhausted() bool { return ev.Remaining() == 0 }
 
+// Fatal reports whether an evaluation error must abort a search rather
+// than be skipped like an unevaluated slot: context cancellation and
+// deadlines end the whole run, and an open circuit breaker means every
+// further oracle call would fail fast — the search should surface it
+// instead of burning through its candidate list scorelessly. Budget
+// exhaustion and per-slot measurement failures are not fatal.
+func Fatal(err error) bool {
+	return err != nil &&
+		(errors.Is(err, context.Canceled) ||
+			errors.Is(err, context.DeadlineExceeded) ||
+			errors.Is(err, pipeline.ErrBreakerOpen))
+}
+
 // Baseline scores d without counting an intervention — the m_S(D_pass) /
 // m_S(D_fail) measurements that precede any search. The score still lands
-// in the memo cache.
-func (ev *Eval) Baseline(ctx context.Context, d *dataset.Dataset) float64 {
+// in the memo cache. Like every counted path it is gated: a done context or
+// an expired Config.Deadline refuses the oracle call, and a failed
+// measurement returns its error with a NaN score and caches nothing.
+func (ev *Eval) Baseline(ctx context.Context, d *dataset.Dataset) (float64, error) {
 	fp := d.Fingerprint()
 	ev.mu.Lock()
 	if s, ok := ev.cache[fp]; ok {
 		ev.stats.CacheHits++
 		ev.mu.Unlock()
-		return s
+		return s, nil
 	}
+	ev.mu.Unlock()
+	if err := ev.gate(ctx); err != nil {
+		return math.NaN(), err
+	}
+	ev.mu.Lock()
 	ev.stats.CacheMisses++
 	ev.mu.Unlock()
-	s := ev.evalOne(ctx, d)
+	r := ev.evalOne(ctx, d)
+	if r.Err != nil {
+		return math.NaN(), r.Err
+	}
 	ev.mu.Lock()
-	ev.cache[fp] = s
+	ev.cache[fp] = r.Score
 	ev.mu.Unlock()
-	return s
+	return r.Score, nil
 }
 
 // Score is a single counted evaluation: one intervention in the paper's
 // cost model, unless the score is already memoized. It returns
-// ErrBudgetExhausted (score NaN) when the budget is spent, or the context's
-// error when ctx is done.
+// ErrBudgetExhausted (score NaN) when the budget is spent, the context's
+// error when ctx is done, or the slot's own measurement error when the
+// evaluation failed.
 func (ev *Eval) Score(ctx context.Context, d *dataset.Dataset) (float64, error) {
-	scores, err := ev.EvalBatch(ctx, []*dataset.Dataset{d})
+	scores, errs, err := ev.EvalBatchErrs(ctx, []*dataset.Dataset{d})
+	if err == nil {
+		err = errs[0]
+	}
 	return scores[0], err
 }
 
 // EvalBatch evaluates a candidate set, fanning the uncached, unique
 // datasets out to the worker pool, and returns scores in input order.
-// Slots that could not be evaluated — budget exhausted, context done — hold
-// math.NaN(). The batch structure seen by the budget and the cache is
+// Slots that could not be evaluated — budget exhausted, context done,
+// measurement failed — hold math.NaN(); EvalBatchErrs additionally reports
+// why per slot. The batch structure seen by the budget and the cache is
 // independent of Workers: duplicates within the batch are detected by
 // fingerprint and evaluated once, and when the remaining budget covers only
 // a prefix of the unique misses, that prefix is chosen in first-occurrence
-// order. The returned error is nil, ErrBudgetExhausted, or the context
-// error if ctx was done before the batch completed.
+// order. The returned error is nil, ErrBudgetExhausted, the context error
+// if ctx was done before the batch completed, or pipeline.ErrBreakerOpen
+// when the circuit breaker rejected every evaluation the batch attempted.
 func (ev *Eval) EvalBatch(ctx context.Context, ds []*dataset.Dataset) ([]float64, error) {
+	scores, _, err := ev.EvalBatchErrs(ctx, ds)
+	return scores, err
+}
+
+// EvalBatchErrs is EvalBatch with per-slot errors: errs[i] is nil when
+// scores[i] holds a real score (possibly from cache) and otherwise explains
+// why the slot is NaN — ErrBudgetExhausted, the context's error, or the
+// measurement failure itself. Failed and cancelled evaluations are never
+// memoized and never count as interventions.
+func (ev *Eval) EvalBatchErrs(ctx context.Context, ds []*dataset.Dataset) ([]float64, []error, error) {
 	scores := make([]float64, len(ds))
+	errs := make([]error, len(ds))
 	for i := range scores {
 		scores[i] = math.NaN()
 	}
 	if len(ds) == 0 {
-		return scores, nil
+		return scores, errs, nil
 	}
 	if err := ev.gate(ctx); err != nil {
-		return scores, err
+		for i := range errs {
+			errs[i] = err
+		}
+		return scores, errs, err
 	}
 
 	// Serial phase: fingerprints, cache lookups, within-batch dedup, budget
@@ -208,13 +296,20 @@ func (ev *Eval) EvalBatch(ctx context.Context, ds []*dataset.Dataset) ([]float64
 		seen[fp] = len(jobs)
 		jobs = append(jobs, job{fp: fp, d: ds[i], out: []int{i}})
 	}
-	truncated := false
+	truncated := 0
 	if ev.max > 0 {
 		if remaining := ev.max - ev.stats.Interventions; len(jobs) > remaining {
+			truncated = len(jobs) - remaining
+			for _, j := range jobs[remaining:] {
+				for _, i := range j.out {
+					errs[i] = ErrBudgetExhausted
+				}
+			}
 			jobs = jobs[:remaining]
-			truncated = true
 		}
 	}
+	// Charge the budget up front so concurrent bookkeeping stays simple;
+	// evaluations that produce no score are refunded below.
 	ev.stats.Interventions += len(jobs)
 	ev.stats.CacheMisses += len(jobs)
 	if len(jobs) > 1 && ev.workers > 1 {
@@ -226,7 +321,7 @@ func (ev *Eval) EvalBatch(ctx context.Context, ds []*dataset.Dataset) ([]float64
 	// Results land in their job's slot, so the outcome is independent of
 	// scheduling; a cancelled context stops further evaluations and leaves
 	// their slots unevaluated.
-	results := make([]float64, len(jobs))
+	results := make([]pipeline.ScoreResult, len(jobs))
 	evaluated := make([]bool, len(jobs))
 	ParallelFor(ev.workers, len(jobs), func(j int) {
 		if ctx.Err() != nil {
@@ -236,25 +331,56 @@ func (ev *Eval) EvalBatch(ctx context.Context, ds []*dataset.Dataset) ([]float64
 		evaluated[j] = true
 	})
 
+	// Join phase: memoize successes, refund everything that produced no
+	// score — failed measurements and cancel-skipped jobs alike — so the
+	// intervention count matches the paper's cost model (oracle answers,
+	// not oracle attempts) and no failure is ever served from the cache.
+	refund := 0
+	breakerRejected := 0
+	var breakerErr error
 	ev.mu.Lock()
 	for j := range jobs {
 		if !evaluated[j] {
+			refund++
+			skipErr := context.Cause(ctx)
+			if skipErr == nil {
+				skipErr = context.Canceled
+			}
+			for _, i := range jobs[j].out {
+				errs[i] = skipErr
+			}
 			continue
 		}
-		ev.cache[jobs[j].fp] = results[j]
+		r := results[j]
+		if r.Err != nil {
+			refund++
+			if errors.Is(r.Err, pipeline.ErrBreakerOpen) {
+				breakerRejected++
+				breakerErr = r.Err
+			}
+			for _, i := range jobs[j].out {
+				errs[i] = r.Err
+			}
+			continue
+		}
+		ev.cache[jobs[j].fp] = r.Score
 		for _, i := range jobs[j].out {
-			scores[i] = results[j]
+			scores[i] = r.Score
 		}
 	}
+	ev.stats.Interventions -= refund
 	ev.mu.Unlock()
 
 	if err := ctx.Err(); err != nil {
-		return scores, err
+		return scores, errs, err
 	}
-	if truncated {
-		return scores, ErrBudgetExhausted
+	if truncated > 0 {
+		return scores, errs, ErrBudgetExhausted
 	}
-	return scores, nil
+	if breakerRejected == len(jobs) && len(jobs) > 0 {
+		return scores, errs, breakerErr
+	}
+	return scores, errs, nil
 }
 
 // gate rejects work when the context is done or the configured deadline has
@@ -270,13 +396,30 @@ func (ev *Eval) gate(ctx context.Context) error {
 	return nil
 }
 
-// evalOne times one oracle call and records it in the latency histogram.
-func (ev *Eval) evalOne(ctx context.Context, d *dataset.Dataset) float64 {
+// evalOne times one error-aware oracle call, records it in the latency
+// histogram, and accounts retries and failures. Budget accounting is the
+// caller's business.
+func (ev *Eval) evalOne(ctx context.Context, d *dataset.Dataset) pipeline.ScoreResult {
 	start := time.Now()
-	s := ev.sys.MalfunctionScore(ctx, d)
+	r := ev.fall.TryMalfunctionScore(ctx, d)
 	elapsed := time.Since(start)
 	ev.mu.Lock()
-	ev.stats.Latency.observe(elapsed)
+	if r.Attempts > 0 {
+		ev.stats.Latency.observe(elapsed)
+	}
+	if r.Attempts > 1 {
+		ev.stats.Retries += r.Attempts - 1
+	}
+	switch {
+	case r.Err != nil && errors.Is(r.Err, pipeline.ErrBreakerOpen):
+		// Fail-fast rejection: no oracle call happened, nothing to classify.
+	case r.Err != nil && r.Transient:
+		ev.stats.TransientFailures++
+	case r.Err != nil:
+		ev.stats.DeterministicFailures++
+	case r.Deterministic:
+		ev.stats.DeterministicFailures++
+	}
 	ev.mu.Unlock()
-	return s
+	return r
 }

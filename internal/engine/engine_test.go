@@ -94,8 +94,8 @@ func TestMemoizationAndWithinBatchDedup(t *testing.T) {
 func TestBaselineUncountedButCached(t *testing.T) {
 	sys := &valueSystem{}
 	ev := New(sys, Config{MaxInterventions: 5})
-	if s := ev.Baseline(context.Background(), flagData(0.8)); s != 0.8 {
-		t.Fatalf("baseline = %v", s)
+	if s, err := ev.Baseline(context.Background(), flagData(0.8)); err != nil || s != 0.8 {
+		t.Fatalf("baseline = %v, %v", s, err)
 	}
 	if st := ev.Stats(); st.Interventions != 0 {
 		t.Fatalf("baseline consumed budget: %+v", st)

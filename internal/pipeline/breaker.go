@@ -1,0 +1,136 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"repro/internal/dataset"
+)
+
+// ErrBreakerOpen is returned (wrapped) while the circuit breaker is open:
+// the oracle has failed transiently too many times in a row and further
+// calls are rejected without consulting it, so a dead scorer degrades the
+// search gracefully instead of burning the intervention budget on doomed
+// evaluations. Searches surface it as a fatal condition; match with
+// errors.Is.
+var ErrBreakerOpen = errors.New("pipeline: circuit breaker open")
+
+// Breaker wraps a FallibleSystem with a circuit breaker: FailureThreshold
+// consecutive transient failures open the circuit for Cooldown, during
+// which every evaluation fails fast with ErrBreakerOpen (Attempts 0 — no
+// oracle call happens). After the cooldown the next evaluation is a
+// half-open probe: success closes the circuit, another transient failure
+// re-opens it for a further Cooldown.
+//
+// Deterministic failures and successful scores reset the consecutive-failure
+// count — they prove the scorer is reachable. Failures caused by the
+// caller's own cancelled context are ignored entirely: they say nothing
+// about the scorer's health.
+//
+// Compose the Breaker outside the Retry (Breaker{System: Retry{...}}), so
+// one "failure" seen by the breaker is a full retried evaluation.
+type Breaker struct {
+	// System is the wrapped error-aware scorer.
+	System FallibleSystem
+	// FailureThreshold is the number of consecutive transient failures
+	// that opens the circuit; values below 1 mean the default of 5.
+	FailureThreshold int
+	// Cooldown is how long the circuit stays open before a half-open
+	// probe; zero means 30s.
+	Cooldown time.Duration
+	// Clock overrides time.Now for tests.
+	Clock func() time.Time
+
+	mu          sync.Mutex
+	consecutive int
+	openUntil   time.Time
+	trips       int
+}
+
+// Name implements FallibleSystem.
+func (b *Breaker) Name() string { return b.System.Name() }
+
+func (b *Breaker) threshold() int {
+	if b.FailureThreshold < 1 {
+		return 5
+	}
+	return b.FailureThreshold
+}
+
+func (b *Breaker) cooldown() time.Duration {
+	if b.Cooldown <= 0 {
+		return 30 * time.Second
+	}
+	return b.Cooldown
+}
+
+func (b *Breaker) now() time.Time {
+	if b.Clock != nil {
+		return b.Clock()
+	}
+	return time.Now()
+}
+
+// BreakerTrips implements TripCounter: how many times the circuit opened.
+func (b *Breaker) BreakerTrips() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips
+}
+
+// Open reports whether the circuit currently rejects evaluations.
+func (b *Breaker) Open() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return !b.openUntil.IsZero() && b.now().Before(b.openUntil)
+}
+
+// TryMalfunctionScore implements FallibleSystem.
+func (b *Breaker) TryMalfunctionScore(ctx context.Context, d *dataset.Dataset) ScoreResult {
+	b.mu.Lock()
+	probing := false
+	if !b.openUntil.IsZero() {
+		if b.now().Before(b.openUntil) {
+			until := b.openUntil
+			b.mu.Unlock()
+			return ScoreResult{
+				Score:    math.NaN(),
+				Err:      fmt.Errorf("oracle rejected until %s: %w", until.Format(time.RFC3339), ErrBreakerOpen),
+				Attempts: 0,
+			}
+		}
+		probing = true // cooldown elapsed: let this call probe the scorer
+	}
+	b.mu.Unlock()
+
+	r := b.System.TryMalfunctionScore(ctx, d)
+
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch {
+	case r.Err != nil && ctx.Err() != nil:
+		// Caller-driven cancellation: no signal about scorer health.
+	case r.Err != nil && r.Transient:
+		if probing {
+			b.openUntil = b.now().Add(b.cooldown())
+			b.trips++
+		} else {
+			b.consecutive++
+			if b.consecutive >= b.threshold() {
+				b.openUntil = b.now().Add(b.cooldown())
+				b.trips++
+				b.consecutive = 0
+			}
+		}
+	default:
+		// A score (even a deterministic malfunction) or a permanent error
+		// proves the scorer is reachable: close the circuit.
+		b.consecutive = 0
+		b.openUntil = time.Time{}
+	}
+	return r
+}

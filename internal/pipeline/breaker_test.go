@@ -1,0 +1,132 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced clock for breaker cooldown tests.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time              { return c.t }
+func (c *fakeClock) advance(d time.Duration)     { c.t = c.t.Add(d) }
+func newFakeClock() *fakeClock                   { return &fakeClock{t: time.Unix(1_700_000_000, 0)} }
+func clockOf(c *fakeClock) func() time.Time      { return c.now }
+func mustOpen(t *testing.T, b *Breaker, want bool) {
+	t.Helper()
+	if b.Open() != want {
+		t.Fatalf("Open() = %v, want %v", b.Open(), want)
+	}
+}
+
+func TestBreakerTripsAfterConsecutiveTransients(t *testing.T) {
+	clk := newFakeClock()
+	sys := &scriptSys{script: []ScoreResult{transientRes()}}
+	b := &Breaker{System: sys, FailureThreshold: 3, Cooldown: time.Minute, Clock: clockOf(clk)}
+
+	for i := 0; i < 3; i++ {
+		res := b.TryMalfunctionScore(context.Background(), extData())
+		if res.Err == nil || errors.Is(res.Err, ErrBreakerOpen) {
+			t.Fatalf("call %d: err = %v, want the inner transient failure", i, res.Err)
+		}
+	}
+	mustOpen(t, b, true)
+	if b.BreakerTrips() != 1 {
+		t.Fatalf("trips = %d, want 1", b.BreakerTrips())
+	}
+
+	// While open: fail fast, no oracle call, Attempts 0.
+	res := b.TryMalfunctionScore(context.Background(), extData())
+	if !errors.Is(res.Err, ErrBreakerOpen) {
+		t.Fatalf("err = %v, want ErrBreakerOpen", res.Err)
+	}
+	if res.Attempts != 0 {
+		t.Fatalf("attempts = %d, want 0 (no oracle call while open)", res.Attempts)
+	}
+	if sys.Calls() != 3 {
+		t.Fatalf("oracle calls = %d, want 3 (fail-fast must not consult the scorer)", sys.Calls())
+	}
+}
+
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	clk := newFakeClock()
+	sys := &scriptSys{script: []ScoreResult{
+		transientRes(), transientRes(), // trip
+		transientRes(),  // failed probe: re-open
+		successRes(0.3), // successful probe: close
+		successRes(0.3),
+	}}
+	b := &Breaker{System: sys, FailureThreshold: 2, Cooldown: time.Minute, Clock: clockOf(clk)}
+	ctx := context.Background()
+	d := extData()
+
+	b.TryMalfunctionScore(ctx, d)
+	b.TryMalfunctionScore(ctx, d)
+	mustOpen(t, b, true)
+
+	// Cooldown elapses: the next call probes the scorer, which fails again →
+	// the circuit re-opens for another full cooldown.
+	clk.advance(61 * time.Second)
+	mustOpen(t, b, false)
+	if res := b.TryMalfunctionScore(ctx, d); errors.Is(res.Err, ErrBreakerOpen) || res.Err == nil {
+		t.Fatalf("probe result = %+v, want the inner transient failure", res)
+	}
+	mustOpen(t, b, true)
+	if b.BreakerTrips() != 2 {
+		t.Fatalf("trips = %d, want 2 after failed probe", b.BreakerTrips())
+	}
+
+	// Second probe succeeds: the circuit closes and stays closed.
+	clk.advance(61 * time.Second)
+	if res := b.TryMalfunctionScore(ctx, d); res.Err != nil || res.Score != 0.3 {
+		t.Fatalf("successful probe = %+v", res)
+	}
+	mustOpen(t, b, false)
+	if res := b.TryMalfunctionScore(ctx, d); res.Err != nil {
+		t.Fatalf("post-close call = %+v", res)
+	}
+	if sys.Calls() != 5 {
+		t.Fatalf("oracle calls = %d, want 5", sys.Calls())
+	}
+}
+
+func TestBreakerIgnoresCallerCancellation(t *testing.T) {
+	clk := newFakeClock()
+	sys := &scriptSys{script: []ScoreResult{transientRes()}}
+	b := &Breaker{System: sys, FailureThreshold: 2, Cooldown: time.Minute, Clock: clockOf(clk)}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	// Transient failures under the caller's own cancelled context say nothing
+	// about the scorer's health: the circuit must stay closed.
+	for i := 0; i < 5; i++ {
+		b.TryMalfunctionScore(ctx, extData())
+	}
+	mustOpen(t, b, false)
+	if b.BreakerTrips() != 0 {
+		t.Fatalf("trips = %d, want 0", b.BreakerTrips())
+	}
+}
+
+func TestBreakerResetsOnSuccessAndDeterministic(t *testing.T) {
+	clk := newFakeClock()
+	sys := &scriptSys{script: []ScoreResult{
+		transientRes(),
+		{Score: 1, Deterministic: true, Attempts: 1}, // scorer reachable: resets
+		transientRes(),
+		successRes(0.2), // resets again
+		transientRes(),
+	}}
+	b := &Breaker{System: sys, FailureThreshold: 2, Cooldown: time.Minute, Clock: clockOf(clk)}
+	ctx := context.Background()
+	d := extData()
+	for i := 0; i < 5; i++ {
+		b.TryMalfunctionScore(ctx, d)
+	}
+	// No two *consecutive* transients ever happened: still closed.
+	mustOpen(t, b, false)
+	if b.BreakerTrips() != 0 {
+		t.Fatalf("trips = %d, want 0", b.BreakerTrips())
+	}
+}

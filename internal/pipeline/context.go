@@ -44,15 +44,22 @@ type ctxScorer interface {
 // AsContext adapts a legacy System to a ContextSystem. Systems that expose
 // the MalfunctionScoreCtx capability get the real context threaded through;
 // all others are wrapped with the context ignored (the caller still gets
-// between-evaluation cancellation from the engine layer).
+// between-evaluation cancellation from the engine layer). A system that
+// additionally implements FallibleSystem (External does) keeps its
+// error-aware classification visible through the adapter, so AsFallible on
+// the result recovers the precise failure taxonomy instead of the
+// conservative generic wrapper.
 func AsContext(sys System) ContextSystem {
+	a := ctxAdapter{name: sys.Name}
 	if cs, ok := sys.(ctxScorer); ok {
-		return &ctxAdapter{name: sys.Name, score: cs.MalfunctionScoreCtx}
+		a.score = cs.MalfunctionScoreCtx
+	} else {
+		a.score = func(_ context.Context, d *dataset.Dataset) float64 { return sys.MalfunctionScore(d) }
 	}
-	return &ctxAdapter{
-		name:  sys.Name,
-		score: func(_ context.Context, d *dataset.Dataset) float64 { return sys.MalfunctionScore(d) },
+	if f, ok := sys.(FallibleSystem); ok {
+		return &fallibleCtxAdapter{ctxAdapter: a, try: f.TryMalfunctionScore}
 	}
+	return &a
 }
 
 type ctxAdapter struct {
@@ -64,4 +71,15 @@ func (a *ctxAdapter) Name() string { return a.name() }
 
 func (a *ctxAdapter) MalfunctionScore(ctx context.Context, d *dataset.Dataset) float64 {
 	return a.score(ctx, d)
+}
+
+// fallibleCtxAdapter is a ctxAdapter whose underlying system is error-aware;
+// it satisfies both ContextSystem and FallibleSystem.
+type fallibleCtxAdapter struct {
+	ctxAdapter
+	try func(ctx context.Context, d *dataset.Dataset) ScoreResult
+}
+
+func (a *fallibleCtxAdapter) TryMalfunctionScore(ctx context.Context, d *dataset.Dataset) ScoreResult {
+	return a.try(ctx, d)
 }

@@ -6,11 +6,13 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"os/exec"
 	"strconv"
 	"strings"
 	"sync"
 	"time"
+	"unicode/utf8"
 
 	"repro/internal/dataset"
 )
@@ -20,20 +22,36 @@ import (
 // a runaway process whose output must not exhaust memory.
 const maxExternalOutput = 1 << 20
 
+// failureRingSize bounds how many recent failure reasons External retains
+// for post-mortem diagnostics.
+const failureRingSize = 16
+
 // External treats an external program as the black-box system: each
 // malfunction evaluation pipes the candidate dataset to the program as CSV
-// on stdin and parses a single float in [0,1] from its stdout. Any
-// execution, timeout, or parse failure scores 1 — the system crashed on the
-// data, which is the extreme malfunction of Definition 3 (e.g. the paper's
-// "system crash due to invalid input combination" failure class). The
-// specific failure reason (timeout vs. crash vs. unparsable output, with a
-// stderr excerpt) is retained for diagnostics via LastFailure and,
-// optionally, reported through Logf.
+// on stdin and parses a single float in [0,1] from its stdout.
+//
+// Failures are classified, not collapsed (TryMalfunctionScore):
+//
+//   - deterministic malfunction, score 1: the process ran and exited
+//     non-zero, or spoke an invalid protocol (unparsable or out-of-range
+//     score). The system crashed on the data — the extreme malfunction of
+//     Definition 3 (the paper's "system crash due to invalid input
+//     combination" failure class). The score is trustworthy and cacheable.
+//   - transient failure, no score: timeout (the paper's Example 2), an
+//     exec/fork-level error (the scorer never ran), a cancelled context, or
+//     truncated output. Retrying may succeed; caching would poison.
+//   - permanent failure, no score: misconfiguration (no command, CSV
+//     encoding error). Retrying is pointless.
+//
+// The legacy System/ContextSystem entry points keep their historical
+// contract of scoring 1 on any failure. Failure reasons are retained in a
+// bounded ring (RecentFailures) and, optionally, reported through Logf.
 type External struct {
 	// Command is the program and its arguments.
 	Command []string
-	// Timeout bounds one evaluation; zero means 30 seconds. A timeout
-	// scores 1, modeling the paper's Example 2 (process timeout).
+	// Timeout bounds one evaluation; zero means 30 seconds. A timeout is
+	// a transient failure under the fallible contract and scores 1 under
+	// the legacy one.
 	Timeout time.Duration
 	// Logf, when set, receives a diagnostic line for every failed
 	// evaluation (timeout, non-zero exit, unparsable or out-of-range
@@ -43,6 +61,8 @@ type External struct {
 
 	mu          sync.Mutex
 	lastFailure string
+	ring        [failureRingSize]string
+	ringN       int // total failures ever recorded
 }
 
 // Name implements System.
@@ -56,14 +76,26 @@ func (s *External) MalfunctionScore(d *dataset.Dataset) float64 {
 
 // MalfunctionScoreCtx evaluates the external program under the caller's
 // context: cancelling ctx kills the in-flight process, so deadlined or
-// cancelled searches stop promptly instead of waiting out Timeout.
+// cancelled searches stop promptly instead of waiting out Timeout. Any
+// failure — transient or not — scores 1, the legacy contract; use
+// TryMalfunctionScore to tell them apart.
 func (s *External) MalfunctionScoreCtx(ctx context.Context, d *dataset.Dataset) float64 {
+	r := s.TryMalfunctionScore(ctx, d)
+	if r.Err != nil {
+		return 1
+	}
+	return r.Score
+}
+
+// TryMalfunctionScore implements FallibleSystem with the failure taxonomy
+// described on External.
+func (s *External) TryMalfunctionScore(ctx context.Context, d *dataset.Dataset) ScoreResult {
 	if len(s.Command) == 0 {
-		return s.fail("no command configured")
+		return s.permanent("no command configured")
 	}
 	var input bytes.Buffer
 	if err := d.WriteCSV(&input); err != nil {
-		return s.fail("CSV encoding failed: %v", err)
+		return s.permanent("CSV encoding failed: %v", err)
 	}
 	timeout := s.Timeout
 	if timeout == 0 {
@@ -84,37 +116,44 @@ func (s *External) MalfunctionScoreCtx(ctx context.Context, d *dataset.Dataset) 
 	cmd.Stderr = &stderr
 	err := cmd.Run()
 	if err != nil {
+		var exitErr *exec.ExitError
 		switch {
 		case parent.Err() != nil:
 			// The caller's context expired or was cancelled — not this
 			// evaluation's own Timeout.
-			return s.fail("cancelled: %v", context.Cause(parent))
+			return s.transient("cancelled: %v", context.Cause(parent))
 		case errors.Is(ctx.Err(), context.DeadlineExceeded):
-			return s.fail("timeout after %v%s", timeout, stderrExcerpt(&stderr))
+			return s.transient("timeout after %v%s", timeout, stderrExcerpt(&stderr))
 		case ctx.Err() != nil:
-			return s.fail("cancelled: %v", context.Cause(ctx))
+			return s.transient("cancelled: %v", context.Cause(ctx))
+		case errors.As(err, &exitErr):
+			// The process ran to completion and exited non-zero: it crashed
+			// on this input, which is deterministic in the data.
+			return s.deterministic("process failed: %v%s", err, stderrExcerpt(&stderr))
 		default:
-			return s.fail("process failed: %v%s", err, stderrExcerpt(&stderr))
+			// exec/fork-level failure: the scorer never ran, so the data is
+			// not implicated.
+			return s.transient("exec failed: %v", err)
 		}
 	}
 	if stdout.truncated {
-		return s.fail("stdout exceeded %d bytes", maxExternalOutput)
+		return s.transient("truncated output: stdout exceeded %d bytes", maxExternalOutput)
 	}
 	out := strings.TrimSpace(stdout.buf.String())
 	score, err := strconv.ParseFloat(out, 64)
 	if err != nil {
-		return s.fail("unparsable score %q%s", clip(out, 80), stderrExcerpt(&stderr))
+		return s.deterministic("unparsable score %q%s", clip(out, 80), stderrExcerpt(&stderr))
 	}
 	if score < 0 || score > 1 {
-		return s.fail("score %v outside [0,1]", score)
+		return s.deterministic("score %v outside [0,1]", score)
 	}
 	s.mu.Lock()
 	s.lastFailure = ""
 	s.mu.Unlock()
-	return score
+	return ScoreResult{Score: score, Attempts: 1}
 }
 
-// LastFailure reports why the most recent evaluation scored 1 (timeout,
+// LastFailure reports why the most recent evaluation failed (timeout,
 // process failure, or parse failure), or "" if it succeeded.
 func (s *External) LastFailure() string {
 	s.mu.Lock()
@@ -122,17 +161,64 @@ func (s *External) LastFailure() string {
 	return s.lastFailure
 }
 
-// fail records the failure reason, emits it through Logf when configured,
-// and returns the extreme malfunction score.
-func (s *External) fail(format string, args ...any) float64 {
+// RecentFailures returns up to n recent failure reasons, newest first. The
+// ring survives successful evaluations and concurrent batches, so the tail
+// of a flaky run is available for post-mortem diagnostics even when the
+// final evaluation succeeded.
+func (s *External) RecentFailures(n int) []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	stored := s.ringN
+	if stored > failureRingSize {
+		stored = failureRingSize
+	}
+	if n > stored {
+		n = stored
+	}
+	out := make([]string, 0, max(n, 0))
+	for i := 0; i < n; i++ {
+		out = append(out, s.ring[(s.ringN-1-i)%failureRingSize])
+	}
+	return out
+}
+
+// record stores the failure reason in LastFailure and the diagnostic ring,
+// and emits it through Logf when configured.
+func (s *External) record(format string, args ...any) string {
 	reason := fmt.Sprintf(format, args...)
 	s.mu.Lock()
 	s.lastFailure = reason
+	s.ring[s.ringN%failureRingSize] = reason
+	s.ringN++
 	s.mu.Unlock()
 	if s.Logf != nil {
 		s.Logf("external system %q: %s", s.Name(), reason)
 	}
-	return 1
+	return reason
+}
+
+// transient records the reason and returns a retryable measurement failure.
+func (s *External) transient(format string, args ...any) ScoreResult {
+	reason := s.record(format, args...)
+	return ScoreResult{
+		Score:     math.NaN(),
+		Err:       fmt.Errorf("%s: %w", reason, ErrTransient),
+		Transient: true,
+		Attempts:  1,
+	}
+}
+
+// permanent records the reason and returns a non-retryable failure.
+func (s *External) permanent(format string, args ...any) ScoreResult {
+	reason := s.record(format, args...)
+	return ScoreResult{Score: math.NaN(), Err: errors.New(reason), Attempts: 1}
+}
+
+// deterministic records the reason and returns the extreme malfunction
+// score: the system demonstrably crashed on this exact input.
+func (s *External) deterministic(format string, args ...any) ScoreResult {
+	s.record(format, args...)
+	return ScoreResult{Score: 1, Deterministic: true, Attempts: 1}
 }
 
 // stderrExcerpt renders a short stderr tail for diagnostics.
@@ -144,9 +230,14 @@ func stderrExcerpt(b *cappedBuffer) string {
 	return "; stderr: " + clip(msg, 256)
 }
 
+// clip truncates s to at most n bytes plus an ellipsis, backing off to a
+// rune boundary so a multi-byte character is never split mid-sequence.
 func clip(s string, n int) string {
 	if len(s) <= n {
 		return s
+	}
+	for n > 0 && !utf8.RuneStart(s[n]) {
+		n--
 	}
 	return s[:n] + "…"
 }
@@ -173,3 +264,4 @@ func (b *cappedBuffer) Write(p []byte) (int, error) {
 }
 
 var _ io.Writer = (*cappedBuffer)(nil)
+var _ FallibleSystem = (*External)(nil)

@@ -1,0 +1,69 @@
+package pipeline
+
+import "testing"
+
+func TestCappedBufferExactLimitNotTruncated(t *testing.T) {
+	b := &cappedBuffer{limit: 8}
+	n, err := b.Write([]byte("12345678"))
+	if err != nil || n != 8 {
+		t.Fatalf("write = %d, %v", n, err)
+	}
+	if b.truncated {
+		t.Fatal("an exact-limit write must not be flagged as truncated")
+	}
+	if got := b.buf.String(); got != "12345678" {
+		t.Fatalf("buf = %q", got)
+	}
+}
+
+func TestCappedBufferMultiWriteTruncation(t *testing.T) {
+	b := &cappedBuffer{limit: 5}
+	if n, err := b.Write([]byte("abc")); err != nil || n != 3 {
+		t.Fatalf("first write = %d, %v", n, err)
+	}
+	// The second write overflows: the excess is dropped, but the writer must
+	// still report full consumption so the child keeps a working pipe.
+	if n, err := b.Write([]byte("defg")); err != nil || n != 4 {
+		t.Fatalf("overflow write = %d, %v", n, err)
+	}
+	if !b.truncated {
+		t.Fatal("overflow not flagged")
+	}
+	if got := b.buf.String(); got != "abcde" {
+		t.Fatalf("buf = %q, want the limit-bound prefix", got)
+	}
+	// Writes after the buffer is full are swallowed entirely.
+	if n, err := b.Write([]byte("xyz")); err != nil || n != 3 {
+		t.Fatalf("post-full write = %d, %v", n, err)
+	}
+	if got := b.buf.String(); got != "abcde" {
+		t.Fatalf("buf grew past the limit: %q", got)
+	}
+}
+
+func TestStderrExcerptEmpty(t *testing.T) {
+	if got := stderrExcerpt(&cappedBuffer{limit: 8}); got != "" {
+		t.Fatalf("excerpt of empty stderr = %q, want \"\"", got)
+	}
+	b := &cappedBuffer{limit: 64}
+	b.Write([]byte("  \n\t "))
+	if got := stderrExcerpt(b); got != "" {
+		t.Fatalf("excerpt of whitespace-only stderr = %q, want \"\"", got)
+	}
+}
+
+func TestClipRuneBoundary(t *testing.T) {
+	// "é" is 2 bytes; clipping at 3 bytes lands mid-rune and must back off.
+	if got := clip("ééé", 3); got != "é…" {
+		t.Fatalf("clip mid-rune = %q, want %q", got, "é…")
+	}
+	if got := clip("ééé", 4); got != "éé…" {
+		t.Fatalf("clip on boundary = %q, want %q", got, "éé…")
+	}
+	if got := clip("short", 10); got != "short" {
+		t.Fatalf("clip under limit = %q", got)
+	}
+	if got := clip("abcdef", 3); got != "abc…" {
+		t.Fatalf("clip ascii = %q", got)
+	}
+}

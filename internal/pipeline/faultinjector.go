@@ -1,0 +1,120 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/dataset"
+)
+
+// ErrInjected marks a fault manufactured by a FaultInjector; match with
+// errors.Is to tell injected chaos from organic failures in tests.
+var ErrInjected = errors.New("pipeline: injected fault")
+
+// FaultInjector wraps a FallibleSystem with a deterministic failure
+// schedule — the chaos harness behind the fault-tolerance tests. Faults are
+// always transient (the class Retry and Breaker exist for); deterministic
+// failures are the inner system's own business.
+//
+// Schedules that key on the dataset fingerprint (FailFirst, Rate) are
+// order-independent: the same dataset sees the same fault sequence no
+// matter how a worker pool interleaves evaluations, so chaos tests can
+// assert byte-identical results across Workers settings. FailCalls keys on
+// the global call index and is only deterministic with a single worker.
+type FaultInjector struct {
+	// System is the wrapped scorer.
+	System FallibleSystem
+	// FailFirst makes the first K attempts on each distinct dataset
+	// (by fingerprint) fail transiently before succeeding — the paper's
+	// Example 2 timeout that resolves on retry.
+	FailFirst int
+	// FailCalls lists 1-based global call indices that fail transiently.
+	// Deterministic only with Workers=1.
+	FailCalls map[int]bool
+	// Rate injects a transient failure with this probability, decided by
+	// hashing (Seed, fingerprint, attempt) — seeded and order-independent.
+	Rate float64
+	// Seed drives Rate's hash.
+	Seed int64
+	// PermanentFail makes every call fail transiently — a dead scorer
+	// that only the circuit breaker can contain.
+	PermanentFail bool
+	// Latency is added before each successful delegation, observing ctx.
+	Latency time.Duration
+
+	mu       sync.Mutex
+	calls    int
+	perFP    map[uint64]int
+	injected int
+}
+
+// Name implements FallibleSystem.
+func (f *FaultInjector) Name() string { return f.System.Name() }
+
+// Calls reports how many evaluations reached the injector.
+func (f *FaultInjector) Calls() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.calls
+}
+
+// Injected reports how many faults the injector manufactured.
+func (f *FaultInjector) Injected() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.injected
+}
+
+// BreakerTrips forwards the inner chain's trip count.
+func (f *FaultInjector) BreakerTrips() int {
+	if tc, ok := f.System.(TripCounter); ok {
+		return tc.BreakerTrips()
+	}
+	return 0
+}
+
+// splitmix64 is the SplitMix64 finalizer — a cheap, well-mixed hash for the
+// seeded fault decision.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// TryMalfunctionScore implements FallibleSystem.
+func (f *FaultInjector) TryMalfunctionScore(ctx context.Context, d *dataset.Dataset) ScoreResult {
+	fp := d.Fingerprint()
+	f.mu.Lock()
+	f.calls++
+	call := f.calls
+	if f.perFP == nil {
+		f.perFP = make(map[uint64]int)
+	}
+	f.perFP[fp]++
+	attempt := f.perFP[fp]
+	inject := f.PermanentFail ||
+		f.FailCalls[call] ||
+		attempt <= f.FailFirst ||
+		(f.Rate > 0 && float64(splitmix64(uint64(f.Seed)^fp^uint64(attempt)*0x9e3779b9))/(1<<64) < f.Rate)
+	if inject {
+		f.injected++
+	}
+	f.mu.Unlock()
+
+	if inject {
+		return transientResult(1, "injected transient fault (call %d, attempt %d): %w", call, attempt, ErrInjected)
+	}
+	if f.Latency > 0 {
+		timer := time.NewTimer(f.Latency)
+		select {
+		case <-timer.C:
+		case <-ctx.Done():
+			timer.Stop()
+			return transientResult(0, "latency injection interrupted: %v", context.Cause(ctx))
+		}
+	}
+	return f.System.TryMalfunctionScore(ctx, d)
+}

@@ -1,0 +1,115 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+)
+
+func fpData(v float64) *dataset.Dataset {
+	d := dataset.New()
+	d.MustAddNumeric("x", []float64{v})
+	return d
+}
+
+func constFallible(score float64) FallibleSystem {
+	return &TryFunc{SystemName: "const", Try: func(context.Context, *dataset.Dataset) ScoreResult {
+		return ScoreResult{Score: score, Attempts: 1}
+	}}
+}
+
+func TestFaultInjectorFailFirstPerDataset(t *testing.T) {
+	fi := &FaultInjector{System: constFallible(0.3), FailFirst: 2}
+	ctx := context.Background()
+	a, b := fpData(1), fpData(2)
+
+	for i := 0; i < 2; i++ {
+		res := fi.TryMalfunctionScore(ctx, a)
+		if !errors.Is(res.Err, ErrInjected) || !errors.Is(res.Err, ErrTransient) {
+			t.Fatalf("attempt %d on a: err = %v, want injected transient", i+1, res.Err)
+		}
+	}
+	if res := fi.TryMalfunctionScore(ctx, a); res.Err != nil || res.Score != 0.3 {
+		t.Fatalf("third attempt on a = %+v, want success", res)
+	}
+	// The schedule is per fingerprint: dataset b starts its own K failures
+	// even though the injector has globally seen 3 calls already.
+	if res := fi.TryMalfunctionScore(ctx, b); !errors.Is(res.Err, ErrInjected) {
+		t.Fatalf("first attempt on b = %+v, want injected fault", res)
+	}
+	if fi.Calls() != 4 || fi.Injected() != 3 {
+		t.Fatalf("calls = %d, injected = %d, want 4/3", fi.Calls(), fi.Injected())
+	}
+}
+
+func TestFaultInjectorFailCallsByGlobalIndex(t *testing.T) {
+	fi := &FaultInjector{System: constFallible(0.1), FailCalls: map[int]bool{2: true}}
+	ctx := context.Background()
+	d := fpData(1)
+	if res := fi.TryMalfunctionScore(ctx, d); res.Err != nil {
+		t.Fatalf("call 1 = %+v", res)
+	}
+	if res := fi.TryMalfunctionScore(ctx, d); !errors.Is(res.Err, ErrInjected) {
+		t.Fatalf("call 2 = %+v, want injected fault", res)
+	}
+	if res := fi.TryMalfunctionScore(ctx, d); res.Err != nil {
+		t.Fatalf("call 3 = %+v", res)
+	}
+}
+
+func TestFaultInjectorPermanentFail(t *testing.T) {
+	fi := &FaultInjector{System: constFallible(0.1), PermanentFail: true}
+	for i := 0; i < 4; i++ {
+		res := fi.TryMalfunctionScore(context.Background(), fpData(float64(i)))
+		if !errors.Is(res.Err, ErrInjected) || !res.Transient {
+			t.Fatalf("call %d = %+v, want injected transient", i, res)
+		}
+	}
+	if fi.Injected() != 4 {
+		t.Fatalf("injected = %d", fi.Injected())
+	}
+}
+
+func TestFaultInjectorRateIsSeedDeterministic(t *testing.T) {
+	pattern := func() []bool {
+		fi := &FaultInjector{System: constFallible(0.1), Rate: 0.5, Seed: 42}
+		var out []bool
+		for v := 0; v < 8; v++ {
+			d := fpData(float64(v))
+			for attempt := 0; attempt < 4; attempt++ {
+				res := fi.TryMalfunctionScore(context.Background(), d)
+				out = append(out, res.Err != nil)
+			}
+		}
+		return out
+	}
+	a, b := pattern(), pattern()
+	some, all := false, true
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("injection decision %d differs across identical runs", i)
+		}
+		some = some || a[i]
+		all = all && a[i]
+	}
+	if !some || all {
+		t.Fatalf("rate 0.5 should inject some but not all faults: %v", a)
+	}
+}
+
+func TestFaultInjectorLatencyObservesContext(t *testing.T) {
+	fi := &FaultInjector{System: constFallible(0.1), Latency: 10 * time.Second}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	res := fi.TryMalfunctionScore(ctx, fpData(1))
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("latency injection ignored the context")
+	}
+	if res.Err == nil || !res.Transient {
+		t.Fatalf("interrupted latency = %+v, want transient failure", res)
+	}
+}

@@ -1,0 +1,126 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/dataset"
+)
+
+// Retry wraps a FallibleSystem and re-attempts transient failures with
+// exponential backoff. Deterministic failures (the scorer crashed on the
+// input), permanent errors, and ErrBreakerOpen pass through immediately —
+// retrying them wastes the very oracle budget the engine is protecting.
+//
+// Backoff for attempt k (1-based) is BaseDelay·2^(k-1) capped at MaxDelay.
+// When Jitter > 0 and a Source is injected, each delay is shortened by up to
+// Jitter·delay using the seeded source, so backoff is reproducible per seed
+// instead of depending on the global RNG. Sleeps observe the context: a
+// cancelled caller aborts the backoff immediately with a transient failure.
+type Retry struct {
+	// System is the wrapped error-aware scorer.
+	System FallibleSystem
+	// Max bounds total attempts per evaluation (first try included);
+	// values below 1 mean the default of 3.
+	Max int
+	// BaseDelay is the first backoff; zero means 100ms.
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential growth; zero means 5s.
+	MaxDelay time.Duration
+	// Jitter in [0,1] is the fraction of each delay randomized away;
+	// zero disables jitter.
+	Jitter float64
+	// Source seeds the jitter; nil with Jitter > 0 falls back to a fixed
+	// seed so behavior stays reproducible.
+	Source rand.Source
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// Name implements FallibleSystem.
+func (r *Retry) Name() string { return r.System.Name() }
+
+func (r *Retry) max() int {
+	if r.Max < 1 {
+		return 3
+	}
+	return r.Max
+}
+
+func (r *Retry) baseDelay() time.Duration {
+	if r.BaseDelay <= 0 {
+		return 100 * time.Millisecond
+	}
+	return r.BaseDelay
+}
+
+func (r *Retry) maxDelay() time.Duration {
+	if r.MaxDelay <= 0 {
+		return 5 * time.Second
+	}
+	return r.MaxDelay
+}
+
+// delay computes the backoff before attempt k+1, k completed attempts in.
+func (r *Retry) delay(k int) time.Duration {
+	d := r.baseDelay()
+	for i := 1; i < k && d < r.maxDelay(); i++ {
+		d *= 2
+	}
+	if d > r.maxDelay() {
+		d = r.maxDelay()
+	}
+	if r.Jitter > 0 {
+		r.mu.Lock()
+		if r.rng == nil {
+			src := r.Source
+			if src == nil {
+				src = rand.NewSource(1)
+			}
+			r.rng = rand.New(src)
+		}
+		f := r.rng.Float64()
+		r.mu.Unlock()
+		d -= time.Duration(float64(d) * r.Jitter * f)
+	}
+	return d
+}
+
+// TryMalfunctionScore implements FallibleSystem: transient failures are
+// retried up to Max total attempts; the returned Attempts accumulates every
+// oracle invocation so the engine can report retries.
+func (r *Retry) TryMalfunctionScore(ctx context.Context, d *dataset.Dataset) ScoreResult {
+	attempts := 0
+	for k := 1; ; k++ {
+		res := r.System.TryMalfunctionScore(ctx, d)
+		attempts += res.Attempts
+		res.Attempts = attempts
+		if res.Err == nil || !res.Transient || errors.Is(res.Err, ErrBreakerOpen) {
+			return res
+		}
+		if k >= r.max() || ctx.Err() != nil {
+			return res
+		}
+		timer := time.NewTimer(r.delay(k))
+		select {
+		case <-timer.C:
+		case <-ctx.Done():
+			timer.Stop()
+			res := transientResult(attempts, "retry abandoned: %v", context.Cause(ctx))
+			return res
+		}
+	}
+}
+
+// BreakerTrips forwards the inner chain's trip count, keeping the optional
+// TripCounter capability visible when a Breaker sits below the Retry.
+func (r *Retry) BreakerTrips() int {
+	if tc, ok := r.System.(TripCounter); ok {
+		return tc.BreakerTrips()
+	}
+	return 0
+}

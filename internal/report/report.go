@@ -39,6 +39,10 @@ func (s Summary) Text() string {
 			st.CacheHits, st.CacheMisses, st.Batches)
 		fmt.Fprintf(&b, "oracle latency: %s\n", st.Latency)
 	}
+	if st := r.Stats; st.Retries+st.TransientFailures+st.DeterministicFailures+st.BreakerTrips > 0 {
+		fmt.Fprintf(&b, "oracle faults: %d retries, %d transient failures, %d deterministic failures, %d breaker trips\n",
+			st.Retries, st.TransientFailures, st.DeterministicFailures, st.BreakerTrips)
+	}
 	if len(r.Trace) > 0 {
 		b.WriteString("trace:\n")
 		for _, step := range r.Trace {
@@ -79,6 +83,12 @@ func (s Summary) Markdown() string {
 		if st.Latency.Count > 0 {
 			fmt.Fprintf(&b, "| mean oracle latency | %v |\n", st.Latency.Mean().Round(time.Microsecond))
 		}
+	}
+	if st := r.Stats; st.Retries+st.TransientFailures+st.DeterministicFailures+st.BreakerTrips > 0 {
+		fmt.Fprintf(&b, "| oracle retries | %d |\n", st.Retries)
+		fmt.Fprintf(&b, "| transient oracle failures | %d |\n", st.TransientFailures)
+		fmt.Fprintf(&b, "| deterministic oracle failures | %d |\n", st.DeterministicFailures)
+		fmt.Fprintf(&b, "| circuit-breaker trips | %d |\n", st.BreakerTrips)
 	}
 	fmt.Fprintf(&b, "| final score | %.3f |\n\n", r.FinalScore)
 	if r.Found {
