@@ -48,6 +48,8 @@ func main() {
 		jsonOut   = flag.Bool("json", false, "emit the result as JSON instead of text")
 		mdOut     = flag.Bool("markdown", false, "emit the result as a Markdown report")
 		workers   = flag.Int("workers", 0, "goroutines evaluating independent interventions (0 = GOMAXPROCS)")
+		profiles  = flag.String("profiles", "", "comma-separated PVT classes to discover (exact set), or +name/-name adjustments to the defaults; see -list-profiles")
+		listProfs = flag.Bool("list-profiles", false, "list the registered PVT profile classes and exit")
 		timeout   = flag.Duration("timeout", 0, "abort the search after this long (0 = no limit)")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the search to this file")
 		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -58,6 +60,10 @@ func main() {
 		breakerCool = flag.Duration("breaker-cooldown", 5*time.Second, "how long the open circuit breaker rejects evaluations before probing again")
 	)
 	flag.Parse()
+	if *listProfs {
+		listProfileClasses()
+		return
+	}
 	startProfiles(*cpuProf, *memProf)
 	defer stopProfiles()
 	defer func() { reportOracleFailures() }()
@@ -118,6 +124,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: dataprism -scenario <name> | -pass <csv> -fail <csv> -system-cmd <cmd>")
 		flag.PrintDefaults()
 		exit(2)
+	}
+
+	if err := applyProfileSelector(&opts, *profiles); err != nil {
+		fatal(err)
 	}
 
 	ctx := context.Background()
@@ -209,26 +219,97 @@ func builtinScenario(name string, rows int, seed int64) (pass, fail *dataprism.D
 	}
 }
 
+// listProfileClasses prints the PVT-class catalog for -list-profiles.
+func listProfileClasses() {
+	fmt.Println("registered PVT profile classes (* = discovered by default):")
+	for _, c := range dataprism.Classes() {
+		mark := "  "
+		if dataprism.ClassDefaultEnabled(c) {
+			mark = "* "
+		}
+		fmt.Printf("  %s%-13s %s\n", mark, c.Name(), c.Describe())
+	}
+	fmt.Println("\nselect with -profiles name,name (exact set) or -profiles +name,-name (adjust defaults)")
+}
+
+// applyProfileSelector folds the -profiles flag into the discovery options.
+// Bare names select the exact class set; +name/-name tokens adjust whatever
+// the scenario (or the defaults) enabled. The two styles don't mix.
+func applyProfileSelector(opts *dataprism.DiscoveryOptions, spec string) error {
+	if spec == "" {
+		return nil
+	}
+	known := make(map[string]bool)
+	for _, name := range dataprism.ClassNames() {
+		known[name] = true
+	}
+	var exact, adjust []string
+	for _, tok := range strings.Split(spec, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		if tok[0] == '+' || tok[0] == '-' {
+			adjust = append(adjust, tok)
+		} else {
+			exact = append(exact, tok)
+		}
+	}
+	if len(exact) > 0 && len(adjust) > 0 {
+		return fmt.Errorf("-profiles mixes exact names with +/- adjustments: %q", spec)
+	}
+	if opts.Classes == nil {
+		opts.Classes = make(map[string]bool)
+	}
+	check := func(name string) error {
+		if !known[name] {
+			return fmt.Errorf("unknown profile class %q (see -list-profiles)", name)
+		}
+		return nil
+	}
+	if len(exact) > 0 {
+		for name := range known {
+			opts.Classes[name] = false
+		}
+		for _, name := range exact {
+			if err := check(name); err != nil {
+				return err
+			}
+			opts.Classes[name] = true
+		}
+		return nil
+	}
+	for _, tok := range adjust {
+		name := tok[1:]
+		if err := check(name); err != nil {
+			return err
+		}
+		opts.Classes[name] = tok[0] == '+'
+	}
+	return nil
+}
+
 // jsonResult is the machine-readable output schema of -json.
 type jsonResult struct {
-	System         string          `json:"system"`
-	Tau            float64         `json:"tau"`
-	PassScore      float64         `json:"pass_score"`
-	FailScore      float64         `json:"fail_score"`
-	Found          bool            `json:"found"`
-	Discriminative int             `json:"discriminative_pvts"`
-	Interventions  int             `json:"interventions"`
-	CacheHits      int             `json:"cache_hits"`
-	ParallelBatch  int             `json:"parallel_batches"`
-	MeanOracleSecs float64         `json:"mean_oracle_seconds"`
-	Retries        int             `json:"retries"`
-	TransientFails int             `json:"transient_failures"`
-	DetermFails    int             `json:"deterministic_failures"`
-	BreakerTrips   int             `json:"breaker_trips"`
-	FinalScore     float64         `json:"final_score"`
-	RuntimeSecs    float64         `json:"runtime_seconds"`
-	Explanation    []string        `json:"explanation"`
-	Trace          []jsonTraceStep `json:"trace"`
+	System         string              `json:"system"`
+	Tau            float64             `json:"tau"`
+	PassScore      float64             `json:"pass_score"`
+	FailScore      float64             `json:"fail_score"`
+	Found          bool                `json:"found"`
+	Discriminative int                 `json:"discriminative_pvts"`
+	Interventions  int                 `json:"interventions"`
+	CacheHits      int                 `json:"cache_hits"`
+	ParallelBatch  int                 `json:"parallel_batches"`
+	MeanOracleSecs float64             `json:"mean_oracle_seconds"`
+	Retries        int                 `json:"retries"`
+	TransientFails int                 `json:"transient_failures"`
+	DetermFails    int                 `json:"deterministic_failures"`
+	BreakerTrips   int                 `json:"breaker_trips"`
+	FinalScore     float64             `json:"final_score"`
+	RuntimeSecs    float64             `json:"runtime_seconds"`
+	Explanation    []string            `json:"explanation"`
+	ExplByClass    map[string][]string `json:"explanation_by_class,omitempty"`
+	Trace          []jsonTraceStep     `json:"trace"`
 }
 
 type jsonTraceStep struct {
@@ -259,6 +340,11 @@ func emitJSON(sys dataprism.System, tau, passScore, failScore float64, res *data
 	}
 	for _, p := range res.Explanation {
 		out.Explanation = append(out.Explanation, p.String())
+		if out.ExplByClass == nil {
+			out.ExplByClass = make(map[string][]string)
+		}
+		c := dataprism.ClassOf(p.Profile)
+		out.ExplByClass[c] = append(out.ExplByClass[c], p.String())
 	}
 	for _, s := range res.Trace {
 		out.Trace = append(out.Trace, jsonTraceStep{PVTs: s.PVTs, Transform: s.Transform, Score: s.Score, Accepted: s.Accepted})

@@ -41,6 +41,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/pipeline"
 	"repro/internal/profile"
+	"repro/internal/pvt"
 	"repro/internal/transform"
 )
 
@@ -193,6 +194,41 @@ func DiscriminativeProfiles(pass, fail *Dataset, opts DiscoveryOptions, eps floa
 
 // TransformationsFor builds the intervention mechanisms for a profile.
 func TransformationsFor(p Profile) []Transformation { return transform.ForProfile(p) }
+
+// PVTClass is the extension point of the PVT catalog: one named profile
+// class bundling discovery (Discover) and repair (Transforms). Implement it
+// on your own type and RegisterClass it — discovery, transformation
+// routing, the CLI's -profiles selector, and report grouping all pick the
+// class up without touching any internal package. Implementations may also
+// provide DefaultEnabled() bool to require an explicit opt-in via
+// DiscoveryOptions.Classes (absent means enabled).
+type PVTClass = pvt.Class
+
+// RegisterClass adds a PVT class to the process-wide catalog. It fails on a
+// duplicate name, leaving the catalog unchanged.
+func RegisterClass(c PVTClass) error { return pvt.Register(c) }
+
+// MustRegisterClass is RegisterClass panicking on error — for registration
+// from package init.
+func MustRegisterClass(c PVTClass) { pvt.MustRegister(c) }
+
+// Classes returns the full PVT-class catalog (built-in and registered), in
+// deterministic name order.
+func Classes() []PVTClass { return pvt.All() }
+
+// ClassNames returns the registered PVT-class names, sorted.
+func ClassNames() []string { return pvt.Names() }
+
+// LookupClass returns the catalog class registered under name.
+func LookupClass(name string) (PVTClass, bool) { return pvt.Lookup(name) }
+
+// ClassDefaultEnabled reports whether a class is discovered without an
+// explicit opt-in in DiscoveryOptions.Classes.
+func ClassDefaultEnabled(c PVTClass) bool { return pvt.DefaultEnabled(c) }
+
+// ClassOf returns the catalog class name owning a profile, falling back to
+// the profile's Type() for unregistered classes.
+func ClassOf(p Profile) string { return pvt.ClassOf(p) }
 
 // DiscoverPVTs pairs the discriminative profiles with their transformations.
 func DiscoverPVTs(pass, fail *Dataset, opts DiscoveryOptions, eps float64) []*PVT {

@@ -60,7 +60,7 @@ func main() {
 	fmt.Printf("reading mean: %.1f → %.1f (the fleet switched units)\n\n", pm, fm)
 
 	opts := profile.DefaultOptions()
-	opts.EnableDistribution = true
+	opts.Classes = map[string]bool{"distribution": true}
 	e := &dataprism.Explainer{System: sys, Tau: 0.05, Options: &opts, Seed: 1}
 	res, err := e.ExplainGreedy(pass, fail)
 	if err != nil {

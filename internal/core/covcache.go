@@ -1,0 +1,70 @@
+package core
+
+import (
+	"repro/internal/dataset"
+	"repro/internal/transform"
+)
+
+// covKey identifies one transformation's coverage on one dataset content:
+// the PVT identity plus the candidate's index within it (never the
+// Transformation interface value itself, which user-registered classes may
+// make non-comparable), and the dataset's content fingerprint.
+type covKey struct {
+	p  *PVT
+	ti int
+	fp uint64
+}
+
+// coverageCache memoizes the coverage term of the benefit score within one
+// search. The greedy loop re-ranks every remaining candidate PVT after each
+// accepted intervention, but an intervention only reshapes the current
+// dataset when accepted — so across rounds most (transformation, dataset)
+// pairs repeat and Coverage, an O(rows) scan, is recomputed for nothing.
+// Keying by content fingerprint (cheap under copy-on-write: only touched
+// columns re-hash) makes the repeats free while staying exactly as correct
+// as recomputation: a changed dataset changes the fingerprint.
+//
+// A cache is created per search and used from the single search goroutine;
+// it is not safe for concurrent use.
+type coverageCache struct {
+	m            map[covKey]float64
+	hits, misses int
+}
+
+func newCoverageCache() *coverageCache {
+	return &coverageCache{m: make(map[covKey]float64)}
+}
+
+// maxCoverage returns the largest coverage among the PVT's candidate
+// transformations on d — the coverage term of Benefit — consulting the
+// cache per candidate.
+func (c *coverageCache) maxCoverage(p *PVT, d *dataset.Dataset) float64 {
+	fp := d.Fingerprint()
+	cov := 0.0
+	for i, t := range p.Transforms {
+		k := covKey{p: p, ti: i, fp: fp}
+		v, ok := c.m[k]
+		if ok {
+			c.hits++
+		} else {
+			c.misses++
+			v = t.Coverage(d)
+			c.m[k] = v
+		}
+		if v > cov {
+			cov = v
+		}
+	}
+	return cov
+}
+
+// maxCoverage is the uncached coverage term of Benefit.
+func maxCoverage(ts []transform.Transformation, d *dataset.Dataset) float64 {
+	cov := 0.0
+	for _, t := range ts {
+		if c := t.Coverage(d); c > cov {
+			cov = c
+		}
+	}
+	return cov
+}

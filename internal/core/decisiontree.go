@@ -140,6 +140,7 @@ func (e *Explainer) ExplainWithDecisionTreePVTsContext(ctx context.Context, pvts
 		}
 	}
 	tried := make(map[string]bool)
+	cov := newCoverageCache()
 	// Algorithm 5 main loop: extract candidate conjunctions from the tree's
 	// pure pass paths, verify by intervention, retrain on failures. The
 	// loop is inherently sequential — each verification reshapes the tree.
@@ -149,7 +150,7 @@ func (e *Explainer) ExplainWithDecisionTreePVTsContext(ctx context.Context, pvts
 		// Sort candidate conjunctions by total benefit on the failing
 		// dataset, descending (Algorithm 5 line 3).
 		sort.SliceStable(paths, func(a, b int) bool {
-			return conjunctionBenefit(pvts, paths[a], fail, e) > conjunctionBenefit(pvts, paths[b], fail, e)
+			return conjunctionBenefit(pvts, paths[a], fail, cov) > conjunctionBenefit(pvts, paths[b], fail, cov)
 		})
 		progressed := false
 		for _, conj := range paths {
@@ -231,11 +232,13 @@ func conjKey(conj []int) string {
 	return key
 }
 
-// conjunctionBenefit sums the benefit of a conjunction's PVTs on fail.
-func conjunctionBenefit(pvts []*PVT, conj []int, fail *dataset.Dataset, e *Explainer) float64 {
+// conjunctionBenefit sums the benefit of a conjunction's PVTs on fail. The
+// sort comparator calls this O(n log n) times against the same fail, so the
+// coverage terms come from the search's cache.
+func conjunctionBenefit(pvts []*PVT, conj []int, fail *dataset.Dataset, cov *coverageCache) float64 {
 	total := 0.0
 	for _, i := range conj {
-		total += Benefit(pvts[i], fail)
+		total += benefitCached(pvts[i], fail, cov)
 	}
 	return total
 }

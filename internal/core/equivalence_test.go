@@ -1,0 +1,126 @@
+package core_test
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/pipeline"
+	"repro/internal/profile"
+	"repro/internal/workload"
+)
+
+// searchSignature captures everything the registry refactor must preserve:
+// the discriminative PVT set (strings, in order), the minimal explanation,
+// the intervention count, and the final score.
+func searchSignature(t *testing.T, sys pipeline.System, tau float64, pass, fail *dataset.Dataset, opts profile.Options, workers int) string {
+	t.Helper()
+	opts.Workers = workers
+	pvts := core.DiscoverPVTs(pass, fail, opts, 1e-9)
+	keys := make([]string, len(pvts))
+	for i, p := range pvts {
+		keys[i] = p.String()
+	}
+	e := &core.Explainer{System: sys, Tau: tau, Seed: 7, Options: &opts, Workers: workers}
+	res, err := e.ExplainGreedy(pass, fail)
+	if err != nil && !errors.Is(err, core.ErrNoExplanation) {
+		t.Fatalf("search failed: %v", err)
+	}
+	return fmt.Sprintf("pvts=%s\nexpl=%s\ninterventions=%d\nfinal=%.12f\nfound=%v",
+		strings.Join(keys, ";"), res.ExplanationString(), res.Interventions, res.FinalScore, res.Found)
+}
+
+// TestClassesEquivalentToLegacyOptions pins the migration contract of the
+// registry refactor: for each case-study workload, spelling the class
+// selection through the deprecated Enable*/Disable knobs must stay
+// byte-identical — same discriminative PVTs, same explanation, same
+// intervention count, same final score — to the Classes map spelling, at
+// any worker count.
+func TestClassesEquivalentToLegacyOptions(t *testing.T) {
+	const rows = 300
+	type variant struct {
+		legacy  func(o *profile.Options) // deprecated spelling
+		classes func(o *profile.Options) // registry spelling
+	}
+	cases := []struct {
+		name string
+		load func() (pipeline.System, float64, *dataset.Dataset, *dataset.Dataset, profile.Options)
+		v    variant
+	}{
+		{
+			name: "sentiment",
+			load: func() (pipeline.System, float64, *dataset.Dataset, *dataset.Dataset, profile.Options) {
+				s := workload.NewSentimentScenario(rows, 1)
+				return s.System, s.Tau, s.Pass, s.Fail, s.Options
+			},
+			v: variant{
+				legacy: func(o *profile.Options) {
+					o.EnableDistribution = true
+					o.EnableFD = true
+				},
+				classes: func(o *profile.Options) {
+					o.Classes = map[string]bool{"distribution": true, "fd": true}
+				},
+			},
+		},
+		{
+			name: "income",
+			load: func() (pipeline.System, float64, *dataset.Dataset, *dataset.Dataset, profile.Options) {
+				s := workload.NewIncomeScenario(rows, 1)
+				return s.System, s.Tau, s.Pass, s.Fail, s.Options
+			},
+			v: variant{
+				legacy: func(o *profile.Options) {
+					o.EnableCausal = true
+					o.EnableUnique = true
+				},
+				classes: func(o *profile.Options) {
+					o.Classes = map[string]bool{"indep-causal": true, "unique": true}
+				},
+			},
+		},
+		{
+			name: "cardio",
+			load: func() (pipeline.System, float64, *dataset.Dataset, *dataset.Dataset, profile.Options) {
+				s := workload.NewCardioScenario(rows, 1)
+				return s.System, s.Tau, s.Pass, s.Fail, s.Options
+			},
+			v: variant{
+				legacy: func(o *profile.Options) {
+					o.Classes = nil
+					o.Disable = map[string]bool{"selectivity": true}
+				},
+				classes: func(o *profile.Options) {
+					o.Classes = map[string]bool{"selectivity": false}
+					o.Disable = nil
+				},
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sys, tau, pass, fail, base := tc.load()
+			for _, workers := range []int{1, 8} {
+				legacyOpts := base
+				tc.v.legacy(&legacyOpts)
+				classOpts := base
+				tc.v.classes(&classOpts)
+				lsig := searchSignature(t, sys, tau, pass, fail, legacyOpts, workers)
+				csig := searchSignature(t, sys, tau, pass, fail, classOpts, workers)
+				if lsig != csig {
+					t.Errorf("workers=%d: legacy and Classes spellings diverge\nlegacy:\n%s\nclasses:\n%s",
+						workers, lsig, csig)
+				}
+				if workers == 1 {
+					// The two worker counts must agree with each other too.
+					if w8 := searchSignature(t, sys, tau, pass, fail, classOpts, 8); w8 != csig {
+						t.Errorf("worker counts diverge\nworkers=1:\n%s\nworkers=8:\n%s", csig, w8)
+					}
+				}
+			}
+		})
+	}
+}

@@ -206,23 +206,21 @@ func finish(res *Result, ev *engine.Eval, start time.Time) {
 	res.Runtime = time.Since(start)
 }
 
-// benefit scores a PVT according to the configured mode.
-func (e *Explainer) benefit(p *PVT, d *dataset.Dataset, rng *rand.Rand) float64 {
+// benefit scores a PVT according to the configured mode. cov, when non-nil,
+// memoizes the coverage term for the duration of one search.
+func (e *Explainer) benefit(p *PVT, d *dataset.Dataset, rng *rand.Rand, cov *coverageCache) float64 {
 	switch e.Benefit {
 	case BenefitViolationOnly:
 		return p.Profile.Violation(d)
 	case BenefitCoverageOnly:
-		cov := 0.0
-		for _, t := range p.Transforms {
-			if c := t.Coverage(d); c > cov {
-				cov = c
-			}
+		if cov != nil {
+			return cov.maxCoverage(p, d)
 		}
-		return cov
+		return maxCoverage(p.Transforms, d)
 	case BenefitRandom:
 		return rng.Float64()
 	default:
-		return Benefit(p, d)
+		return benefitCached(p, d, cov)
 	}
 }
 

@@ -68,6 +68,7 @@ func (e *Explainer) ExplainGreedyPVTsContext(ctx context.Context, pvts []*PVT, f
 	score := res.InitialScore
 	var expl []*PVT
 	chosen := make(map[*PVT]transform.Transformation)
+	cov := newCoverageCache()
 
 	// Line 9: iterate until the malfunction is acceptable.
 	for score > e.Tau && !ev.Exhausted() {
@@ -84,7 +85,7 @@ func (e *Explainer) ExplainGreedyPVTsContext(ctx context.Context, pvts []*PVT, f
 		// Line 11: highest-benefit PVT among them.
 		best, bestB := -1, -1.0
 		for _, i := range candidates {
-			if b := e.benefit(pvts[i], d, rng); b > bestB {
+			if b := e.benefit(pvts[i], d, rng, cov); b > bestB {
 				bestB, best = b, i
 			}
 		}

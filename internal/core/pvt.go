@@ -66,13 +66,20 @@ func Benefit(p *PVT, d *dataset.Dataset) float64 {
 	if v == 0 {
 		return 0
 	}
-	cov := 0.0
-	for _, t := range p.Transforms {
-		if c := t.Coverage(d); c > cov {
-			cov = c
-		}
+	return v * maxCoverage(p.Transforms, d)
+}
+
+// benefitCached is Benefit with the coverage term served from a per-search
+// cache (see coverageCache); a nil cache falls back to direct computation.
+func benefitCached(p *PVT, d *dataset.Dataset, cov *coverageCache) float64 {
+	if cov == nil {
+		return Benefit(p, d)
 	}
-	return v * cov
+	v := p.Profile.Violation(d)
+	if v == 0 {
+		return 0
+	}
+	return v * cov.maxCoverage(p, d)
 }
 
 // buildGraph constructs the PVT-attribute bipartite graph for a PVT slice.

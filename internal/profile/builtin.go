@@ -1,0 +1,227 @@
+package profile
+
+import (
+	"math"
+
+	"repro/internal/causal"
+	"repro/internal/dataset"
+	"repro/internal/engine"
+)
+
+// The built-in profile classes of Figure 1 plus the extensions. Each class
+// registers its discovery half here; the matching transformation builders
+// register in internal/transform, and internal/pvt joins the two halves
+// into the unified Class catalog.
+func init() {
+	MustRegisterDiscoverer(Discoverer{
+		Name:      "domain",
+		Describe:  "value domains per attribute: categorical sets, numeric ranges, text patterns (Figure 1 rows 1-3)",
+		DefaultOn: true,
+		Discover:  discoverDomains,
+	})
+	MustRegisterDiscoverer(Discoverer{
+		Name:      "missing",
+		Describe:  "allowed NULL fraction per attribute (Figure 1 row 5)",
+		DefaultOn: true,
+		Discover:  discoverMissing,
+	})
+	MustRegisterDiscoverer(Discoverer{
+		Name:      "outlier",
+		Describe:  "allowed k-sigma outlier fraction for numeric attributes (Figure 1 row 4)",
+		DefaultOn: true,
+		Discover:  discoverOutliers,
+	})
+	MustRegisterDiscoverer(Discoverer{
+		Name:      "selectivity",
+		Describe:  "selectivity of equality predicates on small-domain categorical attributes (Figure 1 row 6)",
+		DefaultOn: true,
+		Discover:  discoverSelectivity,
+	})
+	MustRegisterDiscoverer(Discoverer{
+		Name:      "indep",
+		Describe:  "pairwise independence: chi-squared for categorical, Pearson for numeric pairs (Figure 1 rows 7-8)",
+		DefaultOn: true,
+		Discover:  discoverIndep,
+	})
+	MustRegisterDiscoverer(Discoverer{
+		Name:      "indep-causal",
+		Describe:  "pairwise causal coefficients for mixed categorical/numeric pairs (Figure 1 row 9)",
+		DefaultOn: false,
+		Discover:  discoverIndepCausal,
+	})
+	MustRegisterDiscoverer(Discoverer{
+		Name:      "distribution",
+		Describe:  "decile-grid distribution (drift) profiles for numeric attributes (extension)",
+		DefaultOn: false,
+		Discover:  discoverDistributions,
+	})
+	MustRegisterDiscoverer(Discoverer{
+		Name:      "frequency",
+		Describe:  "sampling cadence (median gap) of monotone numeric attributes (extension)",
+		DefaultOn: false,
+		Discover:  discoverFrequencies,
+	})
+	MustRegisterDiscoverer(Discoverer{
+		Name:      "fd",
+		Describe:  "approximate functional dependencies between categorical attribute pairs (extension)",
+		DefaultOn: false,
+		Discover:  discoverFDs,
+	})
+	MustRegisterDiscoverer(Discoverer{
+		Name:      "unique",
+		Describe:  "key-ness (near-unique) profiles per attribute (extension)",
+		DefaultOn: false,
+		Discover:  discoverUnique,
+	})
+	MustRegisterDiscoverer(Discoverer{
+		Name:      "inclusion",
+		Describe:  "inclusion dependencies between small-domain string attribute pairs (extension)",
+		DefaultOn: false,
+		Discover:  discoverInclusions,
+	})
+	MustRegisterDiscoverer(Discoverer{
+		Name:      "conditional",
+		Describe:  "Domain and Missing profiles scoped to single-attribute equality conditions (extension)",
+		DefaultOn: false,
+		Discover:  DiscoverConditional,
+	})
+}
+
+// perColumn fans an independent per-column discovery over the engine worker
+// pool; results are assembled in column order, keeping the output
+// deterministic for any worker count. This per-column parallelism composes
+// with Discover's per-class fan-out.
+func perColumn(d *dataset.Dataset, opts Options, fn func(c *dataset.Column) []Profile) []Profile {
+	cols := d.Columns()
+	per := make([][]Profile, len(cols))
+	engine.ParallelFor(opts.workers(), len(cols), func(i int) {
+		per[i] = fn(cols[i])
+	})
+	var out []Profile
+	for _, ps := range per {
+		out = append(out, ps...)
+	}
+	return out
+}
+
+// discoverDomains learns one Domain profile per column (kind-appropriate:
+// categorical value set, numeric range, or text pattern/alternation).
+func discoverDomains(d *dataset.Dataset, opts Options) []Profile {
+	return perColumn(d, opts, func(c *dataset.Column) []Profile {
+		if p := discoverDomain(d, c, opts); p != nil {
+			return []Profile{p}
+		}
+		return nil
+	})
+}
+
+// discoverMissing learns the observed NULL fraction of every column.
+func discoverMissing(d *dataset.Dataset, opts Options) []Profile {
+	return perColumn(d, opts, func(c *dataset.Column) []Profile {
+		theta := float64(d.NullCount(c.Name))
+		if d.NumRows() > 0 {
+			theta /= float64(d.NumRows())
+		}
+		return []Profile{&Missing{Attr: c.Name, Theta: theta}}
+	})
+}
+
+// discoverOutliers learns the observed k-sigma outlier fraction of every
+// numeric column.
+func discoverOutliers(d *dataset.Dataset, opts Options) []Profile {
+	return perColumn(d, opts, func(c *dataset.Column) []Profile {
+		if c.Kind != dataset.Numeric {
+			return nil
+		}
+		p := &Outlier{Attr: c.Name, K: opts.OutlierK}
+		p.Theta = p.OutlierFraction(d)
+		return []Profile{p}
+	})
+}
+
+// discoverDistributions learns decile-grid Distribution profiles for
+// numeric columns.
+func discoverDistributions(d *dataset.Dataset, opts Options) []Profile {
+	return perColumn(d, opts, func(c *dataset.Column) []Profile {
+		if c.Kind != dataset.Numeric {
+			return nil
+		}
+		if p := DiscoverDistribution(d, c.Name); p != nil {
+			return []Profile{p}
+		}
+		return nil
+	})
+}
+
+// discoverFrequencies learns sampling-cadence profiles for numeric columns.
+func discoverFrequencies(d *dataset.Dataset, opts Options) []Profile {
+	return perColumn(d, opts, func(c *dataset.Column) []Profile {
+		if c.Kind != dataset.Numeric {
+			return nil
+		}
+		if p := DiscoverFrequency(d, c.Name); p != nil {
+			return []Profile{p}
+		}
+		return nil
+	})
+}
+
+// discoverIndep enumerates homogeneous Indep profiles: chi-squared for
+// categorical pairs and Pearson for numeric pairs. The causal mixed-pair
+// variant is its own class (discoverIndepCausal).
+func discoverIndep(d *dataset.Dataset, opts Options) []Profile {
+	cols := d.Columns()
+	// Enumerate eligible pairs first, then fit the pairwise statistics in
+	// parallel — each fit touches only its own pair of columns.
+	type pair struct{ a, b *dataset.Column }
+	var pairs []pair
+	for i := 0; i < len(cols); i++ {
+		for j := i + 1; j < len(cols); j++ {
+			a, b := cols[i], cols[j]
+			if (a.Kind == dataset.Categorical && b.Kind == dataset.Categorical) ||
+				(a.Kind == dataset.Numeric && b.Kind == dataset.Numeric) {
+				pairs = append(pairs, pair{a, b})
+			}
+		}
+	}
+	out := make([]Profile, len(pairs))
+	engine.ParallelFor(opts.workers(), len(pairs), func(i int) {
+		a, b := pairs[i].a, pairs[i].b
+		if a.Kind == dataset.Categorical {
+			p := &IndepChi{AttrA: a.Name, AttrB: b.Name}
+			chi2, _ := p.Statistic(d)
+			p.Alpha = chi2
+			out[i] = p
+		} else {
+			p := &IndepPearson{AttrA: a.Name, AttrB: b.Name}
+			r, _ := p.Statistic(d)
+			p.Alpha = math.Abs(r)
+			out[i] = p
+		}
+	})
+	return out
+}
+
+// discoverIndepCausal enumerates causal Indep profiles for mixed
+// categorical/numeric attribute pairs (neither side text).
+func discoverIndepCausal(d *dataset.Dataset, opts Options) []Profile {
+	cols := d.Columns()
+	type pair struct{ a, b *dataset.Column }
+	var pairs []pair
+	for i := 0; i < len(cols); i++ {
+		for j := i + 1; j < len(cols); j++ {
+			a, b := cols[i], cols[j]
+			if a.Kind == dataset.Text || b.Kind == dataset.Text || a.Kind == b.Kind {
+				continue
+			}
+			pairs = append(pairs, pair{a, b})
+		}
+	}
+	out := make([]Profile, len(pairs))
+	engine.ParallelFor(opts.workers(), len(pairs), func(i int) {
+		p := &IndepCausal{AttrA: pairs[i].a.Name, AttrB: pairs[i].b.Name}
+		p.Alpha = causal.PairCoefficient(d, p.AttrA, p.AttrB)
+		out[i] = p
+	})
+	return out
+}

@@ -1,11 +1,9 @@
 package profile
 
 import (
-	"math"
 	"runtime"
 	"sort"
 
-	"repro/internal/causal"
 	"repro/internal/dataset"
 	"repro/internal/engine"
 	"repro/internal/pattern"
@@ -28,14 +26,26 @@ type Options struct {
 	// MaxSelectivityProfiles caps the number of enumerated Selectivity
 	// profiles. Zero means 1000.
 	MaxSelectivityProfiles int
+	// Classes selects profile classes by registry name (see Discoverers):
+	// true includes a class, false excludes it, and names absent from the
+	// map fall back to each class's registered default — after the
+	// deprecated Enable*/Disable fields below have been applied. This is
+	// the one class-selection surface; everything else translates into it.
+	Classes map[string]bool
 	// EnableCausal additionally discovers causal Indep profiles
 	// (Figure 1, row 9) for mixed categorical/numeric attribute pairs.
+	//
+	// Deprecated: set Classes["indep-causal"] = true instead.
 	EnableCausal bool
 	// EnableDistribution additionally discovers Distribution (drift)
 	// profiles for numeric attributes — an extension beyond Figure 1.
+	//
+	// Deprecated: set Classes["distribution"] = true instead.
 	EnableDistribution bool
 	// EnableFD additionally discovers approximate functional dependencies
 	// between categorical attribute pairs — an extension beyond Figure 1.
+	//
+	// Deprecated: set Classes["fd"] = true instead.
 	EnableFD bool
 	// TextAlternations, when above 1, learns text Domain profiles as
 	// alternations of up to that many structured formats instead of a
@@ -43,26 +53,38 @@ type Options struct {
 	TextAlternations int
 	// EnableUnique additionally discovers key-ness (Unique) profiles for
 	// attributes that are near-keys — an extension beyond Figure 1.
+	//
+	// Deprecated: set Classes["unique"] = true instead.
 	EnableUnique bool
 	// EnableInclusion additionally discovers inclusion dependencies between
 	// small-domain string attribute pairs — an extension beyond Figure 1.
+	//
+	// Deprecated: set Classes["inclusion"] = true instead.
 	EnableInclusion bool
 	// EnableConditional additionally discovers conditional Domain and
 	// Missing profiles, scoped to single-attribute equality conditions —
 	// the Section 3 extension analogous to conditional FDs.
+	//
+	// Deprecated: set Classes["conditional"] = true instead.
 	EnableConditional bool
 	// EnableFrequency additionally discovers sampling-cadence profiles for
 	// numeric attributes — the weekly-vs-daily feed example of the paper's
 	// introduction.
+	//
+	// Deprecated: set Classes["frequency"] = true instead.
 	EnableFrequency bool
-	// Disable suppresses discovery of entire profile classes by Type name
-	// ("domain", "outlier", "missing", "selectivity", "indep").
+	// Disable suppresses discovery of entire profile classes by legacy Type
+	// name ("domain", "outlier", "missing", "selectivity", "indep", …).
+	// Disabling "indep" also disables "indep-causal", mirroring the
+	// pre-registry behavior.
+	//
+	// Deprecated: set Classes[name] = false instead.
 	Disable map[string]bool
 	// Workers bounds the goroutines fanning independent discovery work
-	// (per-column profiles, independence pairs, selectivity estimates) out
-	// on the engine worker pool. Zero means GOMAXPROCS; one forces
-	// sequential discovery. The discovered profile set is identical for any
-	// value.
+	// (profile classes, per-column profiles, independence pairs,
+	// selectivity estimates) out on the engine worker pool. Zero means
+	// GOMAXPROCS; one forces sequential discovery. The discovered profile
+	// set is identical for any value.
 	Workers int
 }
 
@@ -89,8 +111,6 @@ func (o *Options) fill() {
 	}
 }
 
-func (o *Options) enabled(class string) bool { return !o.Disable[class] }
-
 func (o *Options) workers() int {
 	if o.Workers <= 0 {
 		return runtime.GOMAXPROCS(0)
@@ -99,73 +119,28 @@ func (o *Options) workers() int {
 }
 
 // Discover learns the exhaustive set of minimal profiles that d satisfies,
-// per the discovery column of Figure 1. The result is deterministic: sorted
-// by profile Key.
+// per the discovery column of Figure 1. It iterates the registered profile
+// classes (see Discoverers) that the options enable, fanning the classes
+// out on the engine worker pool — each class may additionally parallelize
+// internally (per column, per pair) with the same worker budget. The result
+// is deterministic for any worker count: sorted by profile Key.
 func Discover(d *dataset.Dataset, opts Options) []Profile {
 	opts.fill()
-	var out []Profile
-
-	// Per-column profile classes are independent across columns, so they fan
-	// out on the engine worker pool; results are assembled in column order,
-	// keeping the output deterministic.
-	cols := d.Columns()
-	perCol := make([][]Profile, len(cols))
-	engine.ParallelFor(opts.workers(), len(cols), func(i int) {
-		c := cols[i]
-		var ps []Profile
-		if opts.enabled("domain") {
-			if p := discoverDomain(d, c, opts); p != nil {
-				ps = append(ps, p)
-			}
+	enabled := opts.classSet()
+	var active []Discoverer
+	for _, c := range Discoverers() {
+		if enabled[c.Name] {
+			active = append(active, c)
 		}
-		if opts.enabled("missing") {
-			theta := float64(d.NullCount(c.Name))
-			if d.NumRows() > 0 {
-				theta /= float64(d.NumRows())
-			}
-			ps = append(ps, &Missing{Attr: c.Name, Theta: theta})
-		}
-		if opts.enabled("outlier") && c.Kind == dataset.Numeric {
-			p := &Outlier{Attr: c.Name, K: opts.OutlierK}
-			p.Theta = p.OutlierFraction(d)
-			ps = append(ps, p)
-		}
-		if opts.EnableDistribution && opts.enabled("distribution") && c.Kind == dataset.Numeric {
-			if p := DiscoverDistribution(d, c.Name); p != nil {
-				ps = append(ps, p)
-			}
-		}
-		if opts.EnableFrequency && opts.enabled("frequency") && c.Kind == dataset.Numeric {
-			if p := DiscoverFrequency(d, c.Name); p != nil {
-				ps = append(ps, p)
-			}
-		}
-		perCol[i] = ps
+	}
+	perClass := make([][]Profile, len(active))
+	engine.ParallelFor(opts.workers(), len(active), func(i int) {
+		perClass[i] = active[i].Discover(d, opts)
 	})
-	for _, ps := range perCol {
+	var out []Profile
+	for _, ps := range perClass {
 		out = append(out, ps...)
 	}
-
-	if opts.EnableFD && opts.enabled("fd") {
-		out = append(out, discoverFDs(d, opts)...)
-	}
-	if opts.EnableUnique && opts.enabled("unique") {
-		out = append(out, discoverUnique(d, opts)...)
-	}
-	if opts.EnableInclusion && opts.enabled("inclusion") {
-		out = append(out, discoverInclusions(d, opts)...)
-	}
-	if opts.EnableConditional && opts.enabled("conditional") {
-		out = append(out, DiscoverConditional(d, opts)...)
-	}
-
-	if opts.enabled("selectivity") && opts.MaxSelectivityClauses > 0 {
-		out = append(out, discoverSelectivity(d, opts)...)
-	}
-	if opts.enabled("indep") {
-		out = append(out, discoverIndep(d, opts)...)
-	}
-
 	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
 	return out
 }
@@ -208,6 +183,9 @@ func discoverDomain(d *dataset.Dataset, c *dataset.Column, opts Options) Profile
 // on small-domain categorical attributes: all single clauses, plus all
 // two-clause conjunctions across distinct attributes when configured.
 func discoverSelectivity(d *dataset.Dataset, opts Options) []Profile {
+	if opts.MaxSelectivityClauses <= 0 {
+		return nil
+	}
 	type attrValue struct {
 		attr string
 		val  string
@@ -267,56 +245,13 @@ func discoverSelectivity(d *dataset.Dataset, opts Options) []Profile {
 	return out
 }
 
-// discoverIndep enumerates Indep profiles: chi-squared for categorical
-// pairs, Pearson for numeric pairs, and (optionally) causal coefficients
-// for mixed pairs.
-func discoverIndep(d *dataset.Dataset, opts Options) []Profile {
-	cols := d.Columns()
-	// Enumerate eligible pairs first, then fit the pairwise statistics in
-	// parallel — each fit touches only its own pair of columns.
-	type pair struct{ a, b *dataset.Column }
-	var pairs []pair
-	for i := 0; i < len(cols); i++ {
-		for j := i + 1; j < len(cols); j++ {
-			a, b := cols[i], cols[j]
-			switch {
-			case a.Kind == dataset.Categorical && b.Kind == dataset.Categorical,
-				a.Kind == dataset.Numeric && b.Kind == dataset.Numeric,
-				opts.EnableCausal && a.Kind != dataset.Text && b.Kind != dataset.Text:
-				pairs = append(pairs, pair{a, b})
-			}
-		}
-	}
-	out := make([]Profile, len(pairs))
-	engine.ParallelFor(opts.workers(), len(pairs), func(i int) {
-		a, b := pairs[i].a, pairs[i].b
-		switch {
-		case a.Kind == dataset.Categorical && b.Kind == dataset.Categorical:
-			p := &IndepChi{AttrA: a.Name, AttrB: b.Name}
-			chi2, _ := p.Statistic(d)
-			p.Alpha = chi2
-			out[i] = p
-		case a.Kind == dataset.Numeric && b.Kind == dataset.Numeric:
-			p := &IndepPearson{AttrA: a.Name, AttrB: b.Name}
-			r, _ := p.Statistic(d)
-			p.Alpha = math.Abs(r)
-			out[i] = p
-		default:
-			p := &IndepCausal{AttrA: a.Name, AttrB: b.Name}
-			p.Alpha = causal.PairCoefficient(d, a.Name, b.Name)
-			out[i] = p
-		}
-	})
-	return out
-}
-
 // Discriminative returns the profiles discovered on pass whose violation on
 // fail exceeds eps — the discriminative PVT candidates of Definition 10
 // (X_V(D_pass, X_P) = 0 by construction, X_V(D_fail, X_P) > 0 by the filter).
 // Profiles are returned in discovery (Key) order.
 func Discriminative(pass, fail *dataset.Dataset, opts Options, eps float64) []Profile {
 	// The two discoveries are independent datasets, so they run concurrently
-	// (each additionally fans out per-column inside Discover).
+	// (each additionally fans out per-class and per-column inside Discover).
 	var passProfiles, failProfiles []Profile
 	ds := [2]*dataset.Dataset{pass, fail}
 	res := [2][]Profile{}

@@ -1,0 +1,149 @@
+package profile
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/dataset"
+)
+
+// Discoverer is the discovery half of a PVT class: a named, self-describing
+// strategy that learns the minimal profiles of its class a dataset
+// satisfies. The process-wide catalog of discoverers is what Discover
+// iterates — adding a profile class is one RegisterDiscoverer call (or, for
+// classes that also carry transformations, one pvt.Register call).
+type Discoverer struct {
+	// Name is the registry key, e.g. "domain" or "indep". It doubles as the
+	// selector in Options.Classes and the CLI's -profiles flag.
+	Name string
+	// Describe is a one-line human-readable summary for -list-profiles.
+	Describe string
+	// DefaultOn reports whether the class is discovered without an explicit
+	// opt-in (the paper's Figure 1 core classes are on; extensions are off).
+	DefaultOn bool
+	// Discover learns the class's profiles on d. It must be deterministic
+	// and safe for concurrent use: Discover runs once per dataset per
+	// discovery, possibly on a worker goroutine.
+	Discover func(d *dataset.Dataset, opts Options) []Profile
+}
+
+var (
+	regMu       sync.RWMutex
+	discoverers = make(map[string]Discoverer)
+)
+
+// RegisterDiscoverer adds a discoverer to the process-wide catalog. It
+// fails loudly on an empty name, a nil Discover function, or a duplicate
+// name — silently replacing a class would make discovery depend on
+// registration order.
+func RegisterDiscoverer(c Discoverer) error {
+	if c.Name == "" {
+		return fmt.Errorf("profile: RegisterDiscoverer with empty name")
+	}
+	if c.Discover == nil {
+		return fmt.Errorf("profile: RegisterDiscoverer %q with nil Discover", c.Name)
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := discoverers[c.Name]; dup {
+		return fmt.Errorf("profile: duplicate profile class %q", c.Name)
+	}
+	discoverers[c.Name] = c
+	return nil
+}
+
+// MustRegisterDiscoverer is RegisterDiscoverer panicking on error — for
+// package-init registration of built-in classes.
+func MustRegisterDiscoverer(c Discoverer) {
+	if err := RegisterDiscoverer(c); err != nil {
+		panic(err)
+	}
+}
+
+// UnregisterDiscoverer removes a class from the catalog. It exists for
+// tests and for rolling back a partially failed pvt.Register; production
+// code should never unregister built-in classes.
+func UnregisterDiscoverer(name string) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	delete(discoverers, name)
+}
+
+// LookupDiscoverer returns the discoverer registered under name.
+func LookupDiscoverer(name string) (Discoverer, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	c, ok := discoverers[name]
+	return c, ok
+}
+
+// Discoverers returns the registered discoverers sorted by name — the
+// deterministic iteration order every registry-driven surface (discovery,
+// -list-profiles, reports) uses.
+func Discoverers() []Discoverer {
+	regMu.RLock()
+	out := make([]Discoverer, 0, len(discoverers))
+	for _, c := range discoverers {
+		out = append(out, c)
+	}
+	regMu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// classSet resolves the effective enabled-class set for one discovery run:
+// registry defaults first, then the deprecated Enable* booleans (opt-ins),
+// then the deprecated Disable map (opt-outs), and finally the explicit
+// Classes entries, which take precedence over everything.
+func (o *Options) classSet() map[string]bool {
+	s := make(map[string]bool)
+	for _, c := range Discoverers() {
+		s[c.Name] = c.DefaultOn
+	}
+	if o.EnableCausal {
+		s["indep-causal"] = true
+	}
+	if o.EnableDistribution {
+		s["distribution"] = true
+	}
+	if o.EnableFD {
+		s["fd"] = true
+	}
+	if o.EnableUnique {
+		s["unique"] = true
+	}
+	if o.EnableInclusion {
+		s["inclusion"] = true
+	}
+	if o.EnableConditional {
+		s["conditional"] = true
+	}
+	if o.EnableFrequency {
+		s["frequency"] = true
+	}
+	for name, off := range o.Disable {
+		if !off {
+			continue
+		}
+		s[name] = false
+		if name == "indep" {
+			// The legacy "indep" switch covered the causal subclass too.
+			s["indep-causal"] = false
+		}
+	}
+	for name, on := range o.Classes {
+		s[name] = on
+	}
+	return s
+}
+
+// ClassEnabled reports whether the named profile class would be discovered
+// under these options (after translating the deprecated Enable*/Disable
+// fields). Unregistered names report false.
+func (o *Options) ClassEnabled(name string) bool {
+	if _, ok := LookupDiscoverer(name); !ok {
+		return false
+	}
+	return o.classSet()[name]
+}

@@ -1,0 +1,146 @@
+package profile
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func TestRegistryNameSorted(t *testing.T) {
+	ds := Discoverers()
+	if len(ds) < 12 {
+		t.Fatalf("built-in classes = %d, want at least 12", len(ds))
+	}
+	names := make([]string, len(ds))
+	for i, c := range ds {
+		names[i] = c.Name
+	}
+	if !sort.StringsAreSorted(names) {
+		t.Errorf("Discoverers not name-sorted: %v", names)
+	}
+	for _, want := range []string{"domain", "missing", "outlier", "selectivity", "indep",
+		"indep-causal", "distribution", "frequency", "fd", "unique", "inclusion", "conditional"} {
+		if _, ok := LookupDiscoverer(want); !ok {
+			t.Errorf("built-in class %q not registered", want)
+		}
+	}
+}
+
+func TestRegistryDuplicateRejected(t *testing.T) {
+	c := Discoverer{
+		Name:     "dup-test-class",
+		Discover: func(d *dataset.Dataset, opts Options) []Profile { return nil },
+	}
+	if err := RegisterDiscoverer(c); err != nil {
+		t.Fatalf("first registration failed: %v", err)
+	}
+	defer UnregisterDiscoverer(c.Name)
+	if err := RegisterDiscoverer(c); err == nil {
+		t.Fatal("duplicate registration did not fail")
+	} else if !strings.Contains(err.Error(), "dup-test-class") {
+		t.Errorf("duplicate error does not name the class: %v", err)
+	}
+	if err := RegisterDiscoverer(Discoverer{Name: "", Discover: c.Discover}); err == nil {
+		t.Error("empty-name registration did not fail")
+	}
+	if err := RegisterDiscoverer(Discoverer{Name: "nil-discover"}); err == nil {
+		t.Error("nil-Discover registration did not fail")
+	}
+}
+
+func TestClassSetPrecedence(t *testing.T) {
+	// Defaults: core classes on, extensions off.
+	o := DefaultOptions()
+	if !o.ClassEnabled("domain") || !o.ClassEnabled("indep") {
+		t.Error("default-on class reported disabled")
+	}
+	if o.ClassEnabled("fd") || o.ClassEnabled("indep-causal") {
+		t.Error("default-off class reported enabled")
+	}
+	if o.ClassEnabled("no-such-class") {
+		t.Error("unregistered class reported enabled")
+	}
+
+	// Deprecated Enable* booleans opt classes in.
+	o = DefaultOptions()
+	o.EnableFD = true
+	o.EnableCausal = true
+	if !o.ClassEnabled("fd") || !o.ClassEnabled("indep-causal") {
+		t.Error("Enable* shim did not enable its class")
+	}
+
+	// Deprecated Disable overrides Enable* (legacy double-gating order),
+	// and disabling "indep" covers the causal subclass.
+	o.Disable = map[string]bool{"fd": true, "indep": true}
+	if o.ClassEnabled("fd") {
+		t.Error("Disable did not override EnableFD")
+	}
+	if o.ClassEnabled("indep") || o.ClassEnabled("indep-causal") {
+		t.Error(`Disable["indep"] did not cover indep-causal`)
+	}
+
+	// Explicit Classes entries beat everything.
+	o.Classes = map[string]bool{"fd": true, "domain": false}
+	if !o.ClassEnabled("fd") {
+		t.Error("Classes include did not override Disable")
+	}
+	if o.ClassEnabled("domain") {
+		t.Error("Classes exclude did not override default")
+	}
+}
+
+func TestDiscoverClassesSelector(t *testing.T) {
+	d := peopleLike()
+	opts := DefaultOptions()
+	opts.Classes = map[string]bool{"selectivity": false, "indep": false, "outlier": false}
+	ps := Discover(d, opts)
+	if countType(ps, "selectivity")+countType(ps, "indep")+countType(ps, "outlier") != 0 {
+		t.Error("Classes-excluded classes still discovered")
+	}
+	if countType(ps, "domain") == 0 || countType(ps, "missing") == 0 {
+		t.Error("default-on classes missing")
+	}
+
+	// Byte-identical to the deprecated Disable spelling.
+	legacy := DefaultOptions()
+	legacy.Disable = map[string]bool{"selectivity": true, "indep": true, "outlier": true}
+	lp := Discover(d, legacy)
+	if len(lp) != len(ps) {
+		t.Fatalf("Classes path found %d profiles, Disable path %d", len(ps), len(lp))
+	}
+	for i := range ps {
+		if ps[i].String() != lp[i].String() {
+			t.Fatalf("profile %d differs: %s vs %s", i, ps[i], lp[i])
+		}
+	}
+}
+
+// TestDiscoverCustomClass registers a throwaway class and checks Discover
+// consults it exactly once per dataset, honoring the include/exclude set.
+func TestDiscoverCustomClass(t *testing.T) {
+	calls := 0
+	MustRegisterDiscoverer(Discoverer{
+		Name:      "zz-custom-test",
+		Describe:  "test-only class",
+		DefaultOn: false,
+		Discover: func(d *dataset.Dataset, opts Options) []Profile {
+			calls++
+			return []Profile{&Missing{Attr: d.Columns()[0].Name, Theta: 0}}
+		},
+	})
+	defer UnregisterDiscoverer("zz-custom-test")
+
+	d := peopleLike()
+	opts := DefaultOptions()
+	opts.Workers = 1
+	if Discover(d, opts); calls != 0 {
+		t.Fatalf("default-off custom class consulted %d times, want 0", calls)
+	}
+	opts.Classes = map[string]bool{"zz-custom-test": true}
+	Discover(d, opts)
+	if calls != 1 {
+		t.Fatalf("custom class consulted %d times, want exactly 1", calls)
+	}
+}

@@ -1,0 +1,154 @@
+// Package pvt is the extensible seam for DataPrism's PVT catalog — the
+// ⟨Profile, Violation, Transformation⟩ triplet classes of Figure 1, which
+// the paper frames as a catalog users grow. A Class bundles the two halves
+// of one catalog row: how profiles of the class are discovered on a dataset
+// (the P, whose Violation function rides on the Profile itself) and which
+// candidate transformations repair a discovered profile (the T).
+//
+// Registering a Class installs its discovery half into the profile
+// package's discoverer registry and its transformation half into the
+// transform package's builder registry, so every registry-driven surface —
+// profile.Discover/Discriminative, transform.ForProfile, core.DiscoverPVTs,
+// the CLI's -profiles/-list-profiles selectors, and the report's per-class
+// grouping — picks the class up without any further wiring. Adding a
+// profile class is one Register call instead of a five-package surgery.
+//
+// The catalog is process-wide, iterated in deterministic name order, and
+// rejects duplicate names loudly. The built-in classes register themselves
+// from the profile and transform packages' package init, so they are
+// present wherever either package is linked.
+package pvt
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dataset"
+	"repro/internal/profile"
+	"repro/internal/transform"
+)
+
+// Class is one row of the PVT catalog: a named, self-describing profile
+// class with discovery and repair strategies. Implementations may
+// additionally implement DefaultEnabled() bool to control whether the
+// class is discovered without an explicit opt-in (absent means enabled);
+// built-in extension classes beyond Figure 1 default to disabled.
+type Class interface {
+	// Name is the registry key, e.g. "domain"; it is the selector used by
+	// profile.Options.Classes and the CLI's -profiles flag.
+	Name() string
+	// Describe returns a one-line human-readable summary of the class.
+	Describe() string
+	// Discover learns the class's profiles on d. It must be deterministic
+	// and safe for concurrent use.
+	Discover(d *dataset.Dataset, opts profile.Options) []profile.Profile
+	// Transforms returns the candidate repairs for a profile of this class,
+	// and nil for profiles of other classes (claim only your own).
+	Transforms(p profile.Profile) []transform.Transformation
+}
+
+// defaultToggler is the optional interface controlling default activation.
+type defaultToggler interface{ DefaultEnabled() bool }
+
+// DefaultEnabled reports whether a class is discovered without an explicit
+// opt-in: the class's DefaultEnabled method when implemented, true
+// otherwise (a user registering a class presumably wants it active).
+func DefaultEnabled(c Class) bool {
+	if t, ok := c.(defaultToggler); ok {
+		return t.DefaultEnabled()
+	}
+	return true
+}
+
+// Register installs a class into the process-wide catalog, wiring its
+// discovery half into profile.Discover and its transformation half into
+// transform.ForProfile. It fails loudly on a duplicate name, leaving the
+// catalog unchanged.
+func Register(c Class) error {
+	name := c.Name()
+	if err := profile.RegisterDiscoverer(profile.Discoverer{
+		Name:      name,
+		Describe:  c.Describe(),
+		DefaultOn: DefaultEnabled(c),
+		Discover:  c.Discover,
+	}); err != nil {
+		return fmt.Errorf("pvt: %w", err)
+	}
+	if err := transform.RegisterBuilder(name, c.Transforms); err != nil {
+		profile.UnregisterDiscoverer(name) // roll back to keep the halves in sync
+		return fmt.Errorf("pvt: %w", err)
+	}
+	return nil
+}
+
+// MustRegister is Register panicking on error.
+func MustRegister(c Class) {
+	if err := Register(c); err != nil {
+		panic(err)
+	}
+}
+
+// Unregister removes a class from both halves of the catalog. It exists
+// for tests; production code should never unregister built-in classes.
+func Unregister(name string) {
+	profile.UnregisterDiscoverer(name)
+	transform.UnregisterBuilder(name)
+}
+
+// registered presents one catalog entry (built-in or user-registered)
+// through the Class interface by joining the two registry halves.
+type registered struct {
+	disc  profile.Discoverer
+	build transform.BuildFunc
+}
+
+func (c *registered) Name() string         { return c.disc.Name }
+func (c *registered) Describe() string     { return c.disc.Describe }
+func (c *registered) DefaultEnabled() bool { return c.disc.DefaultOn }
+
+func (c *registered) Discover(d *dataset.Dataset, opts profile.Options) []profile.Profile {
+	return c.disc.Discover(d, opts)
+}
+
+func (c *registered) Transforms(p profile.Profile) []transform.Transformation {
+	if c.build == nil {
+		return nil
+	}
+	return c.build(p)
+}
+
+// Lookup returns the catalog entry registered under name.
+func Lookup(name string) (Class, bool) {
+	d, ok := profile.LookupDiscoverer(name)
+	if !ok {
+		return nil, false
+	}
+	b, _ := transform.LookupBuilder(name)
+	return &registered{disc: d, build: b}, true
+}
+
+// All returns the full catalog in deterministic name order.
+func All() []Class {
+	ds := profile.Discoverers()
+	out := make([]Class, 0, len(ds))
+	for _, d := range ds {
+		b, _ := transform.LookupBuilder(d.Name)
+		out = append(out, &registered{disc: d, build: b})
+	}
+	return out
+}
+
+// Names returns the registered class names, sorted.
+func Names() []string {
+	ds := profile.Discoverers()
+	out := make([]string, len(ds))
+	for i, d := range ds {
+		out[i] = d.Name
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ClassOf returns the catalog class name owning a profile (the class whose
+// Transforms claims it), falling back to the profile's Type().
+func ClassOf(p profile.Profile) string { return transform.ClassOf(p) }

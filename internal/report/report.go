@@ -6,11 +6,30 @@ package report
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/transform"
 )
+
+// byClass groups an explanation's PVTs by their registry class (falling
+// back to the profile's own type for unregistered classes), preserving
+// explanation order within a class; class names come out sorted.
+func byClass(expl []*core.PVT) ([]string, map[string][]string) {
+	groups := make(map[string][]string)
+	var names []string
+	for _, p := range expl {
+		c := transform.ClassOf(p.Profile)
+		if _, ok := groups[c]; !ok {
+			names = append(names, c)
+		}
+		groups[c] = append(groups[c], p.String())
+	}
+	sort.Strings(names)
+	return names, groups
+}
 
 // Summary bundles a Result with the run's context for rendering.
 type Summary struct {
@@ -56,6 +75,13 @@ func (s Summary) Text() string {
 	}
 	if r.Found {
 		fmt.Fprintf(&b, "minimal explanation: %s\n", r.ExplanationString())
+		names, groups := byClass(r.Explanation)
+		if len(names) > 0 {
+			b.WriteString("root causes by class:\n")
+			for _, n := range names {
+				fmt.Fprintf(&b, "  %s: %s\n", n, strings.Join(groups[n], ", "))
+			}
+		}
 		fmt.Fprintf(&b, "malfunction after repair: %.3f\n", r.FinalScore)
 	} else {
 		fmt.Fprintf(&b, "no explanation found (final score %.3f)\n", r.FinalScore)
@@ -93,8 +119,12 @@ func (s Summary) Markdown() string {
 	fmt.Fprintf(&b, "| final score | %.3f |\n\n", r.FinalScore)
 	if r.Found {
 		b.WriteString("### Root causes (minimal explanation)\n\n")
-		for _, p := range r.Explanation {
-			fmt.Fprintf(&b, "- `%s`\n", p.String())
+		names, groups := byClass(r.Explanation)
+		for _, n := range names {
+			fmt.Fprintf(&b, "- **%s**\n", n)
+			for _, s := range groups[n] {
+				fmt.Fprintf(&b, "  - `%s`\n", s)
+			}
 		}
 	} else {
 		b.WriteString("**No explanation found** among the discriminative profiles.\n")

@@ -32,6 +32,7 @@ func TestTextReport(t *testing.T) {
 		"system: synthetic-dnf",
 		"malfunction(pass) = 0.000",
 		"minimal explanation:",
+		"root causes by class:",
 		"ACCEPTED",
 		"interventions:",
 	} {
@@ -48,6 +49,7 @@ func TestMarkdownReport(t *testing.T) {
 		"## DataPrism report: synthetic-dnf",
 		"| discriminative PVTs | 10 |",
 		"### Root causes (minimal explanation)",
+		"- **",
 		"### Intervention trace",
 		"| 1 |",
 	} {

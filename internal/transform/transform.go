@@ -5,8 +5,9 @@
 // verification and the suggested fix reported in explanations.
 //
 // ForProfile builds the candidate transformations for a profile discovered
-// on the passing dataset; transformations compute everything they need from
-// the dataset they are applied to, so they compose under the ◦ operator of
+// on the passing dataset by consulting the class registry (see registry.go
+// and builtin.go); transformations compute everything they need from the
+// dataset they are applied to, so they compose under the ◦ operator of
 // Definition 9.
 package transform
 
@@ -35,63 +36,6 @@ type Transformation interface {
 	// Coverage returns the fraction of tuples of d the transformation
 	// would modify — the coverage term of the benefit score (Section 4.2).
 	Coverage(d *dataset.Dataset) float64
-}
-
-// ForProfile returns the candidate transformations for a profile, in the
-// order the paper lists them in Figure 1. The returned slice is empty for
-// profile classes with no registered intervention.
-func ForProfile(p profile.Profile) []Transformation {
-	switch q := p.(type) {
-	case *profile.DomainCategorical:
-		return []Transformation{&MapToDomain{Profile: q}}
-	case *profile.DomainNumeric:
-		return []Transformation{
-			&LinearMap{Profile: q},
-			&Winsorize{Profile: q},
-		}
-	case *profile.DomainText:
-		return []Transformation{&ConformText{Profile: q}}
-	case *profile.DomainTextMulti:
-		return []Transformation{&ConformTextMulti{Profile: q}}
-	case *profile.Outlier:
-		return []Transformation{
-			&ReplaceOutliers{Profile: q, Stat: "mean"},
-			&ClampOutliers{Profile: q},
-		}
-	case *profile.Missing:
-		return []Transformation{&Impute{Profile: q}}
-	case *profile.Selectivity:
-		return []Transformation{&Resample{Profile: q}}
-	case *profile.IndepChi:
-		return []Transformation{
-			&ShuffleBreak{Prof: q, Attr: q.AttrB},
-			&ShuffleBreak{Prof: q, Attr: q.AttrA},
-		}
-	case *profile.IndepPearson:
-		return []Transformation{
-			&NoiseBreak{Prof: q, Attr: q.AttrB},
-			&NoiseBreak{Prof: q, Attr: q.AttrA},
-		}
-	case *profile.IndepCausal:
-		return []Transformation{&CausalBreak{Prof: q}}
-	case *profile.Distribution:
-		return []Transformation{
-			&QuantileMap{Profile: q},
-			&MedianShift{Profile: q},
-		}
-	case *profile.FuncDep:
-		return []Transformation{&FDRepair{Profile: q}}
-	case *profile.Unique:
-		return []Transformation{&Deduplicate{Profile: q}}
-	case *profile.Inclusion:
-		return []Transformation{&RepairInclusion{Profile: q}}
-	case *profile.Frequency:
-		return []Transformation{&Recadence{Profile: q}}
-	case *profile.Conditional:
-		return forConditional(q)
-	default:
-		return nil
-	}
 }
 
 // ---------------------------------------------------------------------------

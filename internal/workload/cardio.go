@@ -36,7 +36,7 @@ func NewCardioScenario(n int, seed int64) *CardioScenario {
 	// format and dependence drifts, so selectivity profiles are excluded
 	// from the candidate classes for this pipeline.
 	opts := profile.DefaultOptions()
-	opts.Disable = map[string]bool{"selectivity": true}
+	opts.Classes = map[string]bool{"selectivity": false}
 	return &CardioScenario{
 		Pass:    pass,
 		Fail:    fail,
