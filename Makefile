@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: build test race lint vet bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Repo-specific contract analyzers (CoW mutation, map-order determinism,
+# seeded randomness, context flow, fault contract). Exits non-zero on any
+# finding; see DESIGN.md "Enforced invariants".
+lint: vet
+	$(GO) run ./cmd/dataprismlint ./...
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...

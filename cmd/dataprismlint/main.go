@@ -1,0 +1,140 @@
+// Command dataprismlint runs the dataprism static-analysis suite — the
+// machine-enforced CoW, determinism, cancellation, and fault-contract
+// invariants — over the repository's packages.
+//
+// Usage:
+//
+//	dataprismlint [flags] [packages]
+//
+// Packages are go-style patterns relative to the module root ("./...",
+// "./internal/engine", "repro/internal/..."); the default is "./...". The
+// module root is found by walking up from the working directory to go.mod.
+//
+// Exit status is 0 when the tree is clean, 1 when findings were reported,
+// and 2 on a load or usage error. Suppress a finding with an adjacent
+// "//lint:ignore analyzer reason" comment; the reason is mandatory.
+//
+// Flags:
+//
+//	-json      emit findings as a JSON array instead of text
+//	-unscoped  run every analyzer on every package, ignoring the default
+//	           per-analyzer package scopes (useful when auditing new code)
+//	-list      print the analyzers and their scopes, then exit
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("dataprismlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit findings as JSON")
+	unscoped := fs.Bool("unscoped", false, "ignore per-analyzer package scopes")
+	list := fs.Bool("list", false, "list analyzers and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	root, err := findModuleRoot()
+	if err != nil {
+		fmt.Fprintln(stderr, "dataprismlint:", err)
+		return 2
+	}
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		fmt.Fprintln(stderr, "dataprismlint:", err)
+		return 2
+	}
+
+	scopes := lint.DefaultScopes(loader.Module)
+	if *list {
+		for _, az := range lint.Suite() {
+			scope := "all packages"
+			if s := scopes[az.Name]; len(s) > 0 {
+				scope = strings.Join(s, ", ")
+			}
+			fmt.Fprintf(stdout, "%-16s %s\n%18sscope: %s\n", az.Name, az.Doc, "", scope)
+		}
+		return 0
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := loader.Load(patterns)
+	if err != nil {
+		fmt.Fprintln(stderr, "dataprismlint:", err)
+		return 2
+	}
+	if *unscoped {
+		scopes = nil
+	}
+	findings, err := lint.Run(pkgs, lint.Suite(), scopes)
+	if err != nil {
+		fmt.Fprintln(stderr, "dataprismlint:", err)
+		return 2
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []lint.Finding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(stderr, "dataprismlint:", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintln(stdout, relativize(root, f))
+		}
+		if len(findings) > 0 {
+			fmt.Fprintf(stderr, "dataprismlint: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
+		}
+	}
+	if len(findings) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// relativize shortens the file path in a finding's rendering relative to
+// the module root for stable, readable output.
+func relativize(root string, f lint.Finding) string {
+	if rel, err := filepath.Rel(root, f.File); err == nil && !strings.HasPrefix(rel, "..") {
+		f.File = rel
+	}
+	return f.String()
+}
+
+// findModuleRoot walks up from the working directory to the first go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

@@ -59,6 +59,7 @@ func (e *Explainer) ExplainWithDecisionTreePVTs(pvts []*PVT, examples []*dataset
 // ExplainWithDecisionTreePVTsContext is ExplainWithDecisionTreePVTs
 // honoring the caller's context.
 func (e *Explainer) ExplainWithDecisionTreePVTsContext(ctx context.Context, pvts []*PVT, examples []*dataset.Dataset, fail *dataset.Dataset) (*Result, error) {
+	//lint:ignore seededrand wall-clock stamp for Result.Runtime reporting; never feeds scoring
 	start := time.Now()
 	ev, err := e.newEval()
 	if err != nil {

@@ -41,6 +41,7 @@ func (e *Explainer) ExplainGreedyPVTs(pvts []*PVT, fail *dataset.Dataset) (*Resu
 // ExplainGreedyPVTsContext is ExplainGreedyPVTs honoring the caller's
 // context.
 func (e *Explainer) ExplainGreedyPVTsContext(ctx context.Context, pvts []*PVT, fail *dataset.Dataset) (*Result, error) {
+	//lint:ignore seededrand wall-clock stamp for Result.Runtime reporting; never feeds scoring
 	start := time.Now()
 	ev, err := e.newEval()
 	if err != nil {

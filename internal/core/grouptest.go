@@ -64,6 +64,7 @@ func (e *Explainer) ExplainGroupTestPVTs(pvts []*PVT, fail *dataset.Dataset) (*R
 // ExplainGroupTestPVTsContext is ExplainGroupTestPVTs honoring the caller's
 // context.
 func (e *Explainer) ExplainGroupTestPVTsContext(ctx context.Context, pvts []*PVT, fail *dataset.Dataset) (*Result, error) {
+	//lint:ignore seededrand wall-clock stamp for Result.Runtime reporting; never feeds scoring
 	start := time.Now()
 	ev, err := e.newEval()
 	if err != nil {

@@ -34,6 +34,7 @@ package engine
 import (
 	"context"
 	"errors"
+	"fmt"
 	"math"
 	"runtime"
 	"sync"
@@ -342,10 +343,14 @@ func (ev *Eval) EvalBatchErrs(ctx context.Context, ds []*dataset.Dataset) ([]flo
 	for j := range jobs {
 		if !evaluated[j] {
 			refund++
-			skipErr := context.Cause(ctx)
+			// ContextFailure (not the raw cancel cause) so the per-slot
+			// error always satisfies errors.Is(err, context.Canceled) even
+			// under a custom context.WithCancelCause cause.
+			skipErr := pipeline.ContextFailure(ctx)
 			if skipErr == nil {
 				skipErr = context.Canceled
 			}
+			skipErr = fmt.Errorf("engine: evaluation skipped: %w", skipErr)
 			for _, i := range jobs[j].out {
 				errs[i] = skipErr
 			}
@@ -371,8 +376,8 @@ func (ev *Eval) EvalBatchErrs(ctx context.Context, ds []*dataset.Dataset) ([]flo
 	ev.stats.Interventions -= refund
 	ev.mu.Unlock()
 
-	if err := ctx.Err(); err != nil {
-		return scores, errs, err
+	if err := pipeline.ContextFailure(ctx); err != nil {
+		return scores, errs, fmt.Errorf("engine: batch interrupted: %w", err)
 	}
 	if truncated > 0 {
 		return scores, errs, ErrBudgetExhausted
@@ -387,11 +392,12 @@ func (ev *Eval) EvalBatchErrs(ctx context.Context, ds []*dataset.Dataset) ([]flo
 // passed. The budget itself is not checked here: EvalBatch charges for what
 // it can afford and reports ErrBudgetExhausted only when truncating.
 func (ev *Eval) gate(ctx context.Context) error {
-	if err := ctx.Err(); err != nil {
-		return err
+	if err := pipeline.ContextFailure(ctx); err != nil {
+		return fmt.Errorf("engine: evaluation refused: %w", err)
 	}
+	//lint:ignore seededrand Config.Deadline is a wall-clock budget by definition; the comparison gates work and never feeds a score
 	if !ev.deadline.IsZero() && time.Now().After(ev.deadline) {
-		return context.DeadlineExceeded
+		return fmt.Errorf("engine: search deadline passed: %w", context.DeadlineExceeded)
 	}
 	return nil
 }
@@ -400,6 +406,7 @@ func (ev *Eval) gate(ctx context.Context) error {
 // histogram, and accounts retries and failures. Budget accounting is the
 // caller's business.
 func (ev *Eval) evalOne(ctx context.Context, d *dataset.Dataset) pipeline.ScoreResult {
+	//lint:ignore seededrand latency-histogram timing only; never feeds scoring or search order
 	start := time.Now()
 	r := ev.fall.TryMalfunctionScore(ctx, d)
 	elapsed := time.Since(start)

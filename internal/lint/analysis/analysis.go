@@ -1,0 +1,59 @@
+// Package analysis is a minimal, dependency-free re-implementation of the
+// golang.org/x/tools/go/analysis driver contract: an Analyzer is a named
+// check with a Run function that inspects one type-checked package through a
+// Pass and reports Diagnostics.
+//
+// The build environment for this repository is hermetic (no module proxy),
+// so the real x/tools module is unavailable; this package mirrors the subset
+// of its API the dataprismlint suite needs — Name/Doc/Run, Pass with
+// Fset/Files/Pkg/TypesInfo, and positioned diagnostics — keeping the
+// analyzers themselves source-compatible with a future switch to the
+// upstream framework. Facts, require-graphs, and SSA are intentionally out
+// of scope: the suite's checks are per-function syntactic + type-based
+// dataflow, which the AST and go/types cover.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and //lint:ignore
+	// directives. It must be a valid identifier.
+	Name string
+	// Doc is a one-paragraph description: the invariant enforced and the
+	// idiom that satisfies it.
+	Doc string
+	// Run applies the check to a single package. Diagnostics go through
+	// pass.Report; the returned value is unused by this driver (kept for
+	// x/tools signature compatibility).
+	Run func(*Pass) (any, error)
+}
+
+// Pass is the interface between one Analyzer and one package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic. The driver installs it; analyzers
+	// should prefer Reportf.
+	Report func(Diagnostic)
+}
+
+// Diagnostic is a positioned finding.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}

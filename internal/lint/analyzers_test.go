@@ -1,0 +1,25 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+// The golden fixtures under testdata/src pair every violating idiom with
+// the sanctioned rewrite, so each analyzer's positive and negative space is
+// pinned: cowmutate must not flag MutableColumn-routed writes or defensive
+// copies, mapdeterminism must not flag sorted-key or post-loop-sort loops,
+// and so on.
+
+func TestCowMutate(t *testing.T)      { linttest.Run(t, lint.CowMutate, "cowmutate") }
+func TestMapDeterminism(t *testing.T) { linttest.Run(t, lint.MapDeterminism, "mapdeterminism") }
+func TestSeededRand(t *testing.T)     { linttest.Run(t, lint.SeededRand, "seededrand") }
+func TestCtxFlow(t *testing.T)        { linttest.Run(t, lint.CtxFlow, "ctxflow") }
+func TestFaultContract(t *testing.T)  { linttest.Run(t, lint.FaultContract, "faultcontract") }
+
+// TestIgnoreDirectives exercises the suppression path: well-formed named
+// and wildcard directives silence a finding; a reason-less directive is
+// itself a finding and silences nothing.
+func TestIgnoreDirectives(t *testing.T) { linttest.Run(t, lint.SeededRand, "ignores") }

@@ -1,0 +1,262 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// CowMutate flags writes through columns and value slices obtained from the
+// dataset read accessors. Since PR 2, Dataset.Clone shares columns
+// copy-on-write: Column/Columns hand out the shared *Column, and
+// NumericValues/SortedNumericValues/StringValues/DistinctStrings hand out
+// slices owned by the shared ColumnStats cache. Mutating any of them writes
+// through every clone and poisons the per-column stats and digest caches —
+// the aliasing bug class the CoW contract (dataset/cow.go) exists to
+// prevent. All mutation must route through MutableColumn or the Set*
+// helpers, which copy a shared column before granting write access.
+//
+// The analyzer performs a forward, per-function taint walk: variables
+// assigned from a read accessor (directly, via propagation through
+// assignments, slicing, field selection, or ranging over Columns()) are
+// tainted, and any write whose base is tainted — element assignment, field
+// replacement, copy-into, append-to, or an in-place sort — is reported.
+// Reassigning the variable from MutableColumn clears its taint.
+var CowMutate = &analysis.Analyzer{
+	Name: "cowmutate",
+	Doc:  "flags mutation of CoW-shared dataset columns and stats slices obtained from Column/Columns/NumericValues/SortedNumericValues/StringValues/DistinctStrings; mutate via MutableColumn or Set* instead",
+	Run:  runCowMutate,
+}
+
+// taintSources maps dataset read-accessor methods to the kind of shared
+// state they expose.
+var taintSources = map[string]string{
+	"Column":              "Column",
+	"Columns":             "Columns",
+	"NumericValues":       "NumericValues",
+	"SortedNumericValues": "SortedNumericValues",
+	"StringValues":        "StringValues",
+	"DistinctStrings":     "DistinctStrings",
+}
+
+// inPlaceSorters are stdlib functions that mutate their slice argument; a
+// tainted argument means sorting a shared stats slice in place.
+var inPlaceSorters = map[string]map[string]bool{
+	"sort":   {"Float64s": true, "Strings": true, "Ints": true, "Slice": true, "SliceStable": true},
+	"slices": {"Sort": true, "SortFunc": true, "SortStableFunc": true, "Reverse": true},
+}
+
+func runCowMutate(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		funcBodies(f, func(_ ast.Node, body *ast.BlockStmt) {
+			cowWalk(pass, body)
+		})
+	}
+	return nil, nil
+}
+
+// cowWalk runs the taint pass over one function body. Nested function
+// literals are visited again by funcBodies with a fresh taint set; closures
+// capturing a tainted variable are therefore checked against taint sourced
+// inside the literal only — an accepted imprecision of the AST-level
+// approximation (the SSA-based upstream version would track captures).
+func cowWalk(pass *analysis.Pass, body *ast.BlockStmt) {
+	taint := make(map[types.Object]string) // object -> accessor it came from
+
+	// taintOf reports the accessor behind e: a direct read-accessor call, a
+	// tainted identifier, or a derivation (slice/field/index) of one.
+	var taintOf func(e ast.Expr) string
+	taintOf = func(e ast.Expr) string {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.CallExpr:
+			if src := accessorCall(pass.TypesInfo, x); src != "" {
+				return src
+			}
+		case *ast.Ident:
+			if obj := pass.TypesInfo.Uses[x]; obj != nil {
+				return taint[obj]
+			}
+		case *ast.IndexExpr:
+			return taintOf(x.X) // element of a tainted []*Column, etc.
+		case *ast.SliceExpr:
+			return taintOf(x.X) // re-slice shares the backing array
+		case *ast.SelectorExpr:
+			// c.Nums / c.Strs / c.Null of a tainted column alias the
+			// shared storage.
+			if root, _ := baseIdent(x); root != nil {
+				if obj := pass.TypesInfo.Uses[root]; obj != nil && taint[obj] != "" {
+					return taint[obj]
+				}
+			}
+			if call, ok := ast.Unparen(rootExpr(x)).(*ast.CallExpr); ok {
+				return accessorCall(pass.TypesInfo, call)
+			}
+		}
+		return ""
+	}
+
+	// reportWrite flags a write whose written-to expression derives from a
+	// tainted source; it returns true when reported.
+	reportWrite := func(at ast.Node, target ast.Expr, verb string) bool {
+		src := ""
+		switch root := ast.Unparen(rootExpr(target)).(type) {
+		case *ast.CallExpr:
+			src = accessorCall(pass.TypesInfo, root)
+		case *ast.Ident:
+			if obj := pass.TypesInfo.Uses[root]; obj != nil {
+				src = taint[obj]
+			}
+		}
+		if src == "" {
+			return false
+		}
+		pass.Reportf(at.Pos(), "%s %s obtained from dataset.%s mutates CoW-shared state; route the write through MutableColumn (see internal/dataset/cow.go)", verb, describeTarget(target), src)
+		return true
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.FuncLit:
+			return false // analyzed separately with its own taint set
+		case *ast.AssignStmt:
+			// Writes through tainted bases (LHS is an index/selector chain).
+			for _, lhs := range st.Lhs {
+				if _, peeled := baseIdent(lhs); peeled || isCallRooted(lhs) {
+					reportWrite(lhs, lhs, "assignment to")
+				}
+			}
+			// Taint bookkeeping for plain variable (re)binding.
+			if len(st.Lhs) == len(st.Rhs) {
+				for i, lhs := range st.Lhs {
+					id, ok := ast.Unparen(lhs).(*ast.Ident)
+					if !ok || id.Name == "_" {
+						continue
+					}
+					obj := pass.TypesInfo.Defs[id]
+					if obj == nil {
+						obj = pass.TypesInfo.Uses[id]
+					}
+					if obj == nil {
+						continue
+					}
+					if src := taintOf(st.Rhs[i]); src != "" {
+						taint[obj] = src
+					} else {
+						delete(taint, obj) // incl. re-bind from MutableColumn
+					}
+				}
+			}
+		case *ast.GenDecl:
+			for _, spec := range st.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if i >= len(vs.Values) {
+						break
+					}
+					if obj := pass.TypesInfo.Defs[name]; obj != nil {
+						if src := taintOf(vs.Values[i]); src != "" {
+							taint[obj] = src
+						}
+					}
+				}
+			}
+		case *ast.RangeStmt:
+			// for _, c := range d.Columns() — the element aliases shared
+			// state whenever it is itself a pointer or slice.
+			src := taintOf(st.X)
+			if src == "" {
+				break
+			}
+			id, ok := st.Value.(*ast.Ident)
+			if !ok || id.Name == "_" {
+				break
+			}
+			obj := pass.TypesInfo.Defs[id]
+			if obj == nil {
+				break
+			}
+			switch obj.Type().Underlying().(type) {
+			case *types.Pointer, *types.Slice:
+				taint[obj] = src
+			}
+		case *ast.CallExpr:
+			f := calleeFunc(pass.TypesInfo, st)
+			// copy(dst, ...) with a tainted destination.
+			if id, ok := ast.Unparen(st.Fun).(*ast.Ident); ok && id.Name == "copy" && len(st.Args) == 2 {
+				if _, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+					reportWrite(st, st.Args[0], "copy into")
+				}
+			}
+			// append(s, ...) growing a tainted slice may write into the
+			// shared backing array when capacity allows.
+			if id, ok := ast.Unparen(st.Fun).(*ast.Ident); ok && id.Name == "append" && len(st.Args) > 0 {
+				if _, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+					reportWrite(st, st.Args[0], "append to")
+				}
+			}
+			// In-place sorts of a tainted slice.
+			if f != nil && f.Pkg() != nil && len(st.Args) > 0 {
+				if names := inPlaceSorters[f.Pkg().Path()]; names[f.Name()] {
+					if src := taintOf(st.Args[0]); src != "" {
+						pass.Reportf(st.Pos(), "%s.%s sorts a slice obtained from dataset.%s in place, reordering CoW-shared stats for every clone; sort a copy instead", f.Pkg().Name(), f.Name(), src)
+					}
+				}
+			}
+		case *ast.IncDecStmt:
+			if _, peeled := baseIdent(st.X); peeled || isCallRooted(st.X) {
+				reportWrite(st, st.X, "increment of")
+			}
+		}
+		return true
+	})
+}
+
+// accessorCall reports which dataset read accessor (or "") the call invokes.
+// MutableColumn deliberately maps to "": it is the sanctioned write path.
+func accessorCall(info *types.Info, call *ast.CallExpr) string {
+	f := calleeFunc(info, call)
+	if f == nil {
+		return ""
+	}
+	src, ok := taintSources[f.Name()]
+	if !ok {
+		return ""
+	}
+	if methodOn(f, datasetPath, "Dataset", f.Name()) {
+		return src
+	}
+	return ""
+}
+
+// isCallRooted reports whether the expression chain bottoms out in a call,
+// e.g. d.Column("x").Nums[i].
+func isCallRooted(e ast.Expr) bool {
+	_, ok := ast.Unparen(rootExpr(e)).(*ast.CallExpr)
+	return ok
+}
+
+// describeTarget renders a short source-like description of the written
+// expression for diagnostics.
+func describeTarget(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.IndexExpr:
+		return describeTarget(x.X) + "[...]"
+	case *ast.SliceExpr:
+		return describeTarget(x.X) + "[...]"
+	case *ast.SelectorExpr:
+		return describeTarget(x.X) + "." + x.Sel.Name
+	case *ast.CallExpr:
+		return describeTarget(x.Fun) + "(...)"
+	case *ast.ParenExpr:
+		return describeTarget(x.X)
+	case *ast.StarExpr:
+		return "*" + describeTarget(x.X)
+	}
+	return "expression"
+}

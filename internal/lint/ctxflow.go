@@ -1,0 +1,81 @@
+package lint
+
+import (
+	"go/ast"
+
+	"repro/internal/lint/analysis"
+)
+
+// CtxFlow enforces the cancellation contract of the engine and pipeline
+// layers: every blocking operation must observe the caller's
+// context.Context. It flags
+//
+//   - time.Sleep — an uninterruptible block; select on time.NewTimer and
+//     ctx.Done() instead (pipeline.Retry's backoff is the reference
+//     implementation);
+//   - exec.Command — spawns a child the search cannot kill on
+//     cancellation; use exec.CommandContext (pipeline.External does);
+//   - dropped context parameters — a named ctx parameter the function body
+//     never reads, which silently severs the cancellation chain for every
+//     callee. Rename deliberate drops to _ (interface-satisfaction
+//     adapters do this) so the severing is visible at the signature.
+var CtxFlow = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc:  "flags time.Sleep, exec.Command, and dropped context.Context parameters in cancellation-bearing packages; blocking work must observe ctx",
+	Run:  runCtxFlow,
+}
+
+func runCtxFlow(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				fn := calleeFunc(pass.TypesInfo, n)
+				if isPkgFunc(fn, "time", "Sleep") {
+					pass.Reportf(n.Pos(), "time.Sleep blocks without observing the context; select on a time.NewTimer and ctx.Done() (see pipeline.Retry)")
+				}
+				if isPkgFunc(fn, "os/exec", "Command") {
+					pass.Reportf(n.Pos(), "exec.Command spawns a process cancellation cannot kill; use exec.CommandContext(ctx, ...)")
+				}
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkDroppedCtx(pass, n)
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkDroppedCtx reports named context.Context parameters that the
+// function body never references.
+func checkDroppedCtx(pass *analysis.Pass, fn *ast.FuncDecl) {
+	for _, field := range fn.Type.Params.List {
+		if path, name := namedType(pass.TypesInfo.TypeOf(field.Type)); path != "context" || name != "Context" {
+			continue
+		}
+		for _, pname := range field.Names {
+			if pname.Name == "_" {
+				continue
+			}
+			obj := pass.TypesInfo.Defs[pname]
+			if obj == nil {
+				continue
+			}
+			used := false
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				if used {
+					return false
+				}
+				if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+					used = true
+				}
+				return true
+			})
+			if !used {
+				pass.Reportf(pname.Pos(), "context parameter %s is dropped: no callee observes cancellation through %s; thread it or rename it _ to mark the break explicitly", pname.Name, fn.Name.Name)
+			}
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Import paths of the packages whose contracts the analyzers enforce.
+const (
+	datasetPath  = "repro/internal/dataset"
+	pipelinePath = "repro/internal/pipeline"
+	enginePath   = "repro/internal/engine"
+)
+
+// calleeFunc resolves the called function or method of a call expression,
+// or nil when the callee is not a declared func (conversions, func-typed
+// variables, builtins).
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := info.Uses[fun].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := info.Uses[fun.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// isPkgFunc reports whether f is the package-level function path.name.
+func isPkgFunc(f *types.Func, path, name string) bool {
+	if f == nil || f.Pkg() == nil || f.Name() != name || f.Pkg().Path() != path {
+		return false
+	}
+	sig, ok := f.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+// namedType returns the defining package path and name of t's core named
+// type, dereferencing one level of pointer, or ("", "") when t is not named.
+func namedType(t types.Type) (path, name string) {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return "", ""
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil {
+		return "", obj.Name()
+	}
+	return obj.Pkg().Path(), obj.Name()
+}
+
+// methodOn reports whether f is a method named name whose receiver's named
+// type is recvPath.recvName.
+func methodOn(f *types.Func, recvPath, recvName, name string) bool {
+	if f == nil || f.Name() != name {
+		return false
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	p, n := namedType(sig.Recv().Type())
+	return p == recvPath && n == recvName
+}
+
+// baseIdent peels index, slice, selector, star, and paren expressions off e
+// and returns the root identifier, or nil when the root is not an
+// identifier (e.g. a call). peeled reports whether anything was removed.
+func baseIdent(e ast.Expr) (root *ast.Ident, peeled bool) {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x, peeled
+		case *ast.IndexExpr:
+			e, peeled = x.X, true
+		case *ast.SliceExpr:
+			e, peeled = x.X, true
+		case *ast.SelectorExpr:
+			e, peeled = x.X, true
+		case *ast.StarExpr:
+			e, peeled = x.X, true
+		case *ast.UnaryExpr:
+			e = x.X // &x aliases x
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil, peeled
+		}
+	}
+}
+
+// rootExpr peels like baseIdent but returns the innermost expression, so
+// call-rooted chains (d.Column("x").Nums) resolve to the call.
+func rootExpr(e ast.Expr) ast.Expr {
+	for {
+		switch x := e.(type) {
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return e
+		}
+	}
+}
+
+// funcBodies yields every function body in the file along with its
+// enclosing node (FuncDecl or FuncLit), outermost first.
+func funcBodies(f *ast.File, visit func(node ast.Node, body *ast.BlockStmt)) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			if fn.Body != nil {
+				visit(fn, fn.Body)
+			}
+		case *ast.FuncLit:
+			visit(fn, fn.Body)
+		}
+		return true
+	})
+}

@@ -1,0 +1,116 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// ignoreDirective is one parsed //lint:ignore comment.
+//
+// The accepted form is
+//
+//	//lint:ignore analyzer[,analyzer...] reason
+//
+// where analyzer is an analyzer name or * for all, and reason is a
+// non-empty justification. A directive suppresses matching diagnostics on
+// its own line (inline comment placement) and on the next source line
+// (leading comment placement).
+type ignoreDirective struct {
+	file      string
+	line      int
+	analyzers map[string]bool // nil unless specific analyzers are named
+	all       bool
+	reason    string
+	pos       token.Pos
+}
+
+// malformed reports whether the directive is missing its analyzer list or
+// its reason.
+func (d *ignoreDirective) malformed() bool { return !d.all && d.analyzers == nil }
+
+// ignoreIndex resolves diagnostics against the //lint:ignore directives of
+// one package.
+type ignoreIndex struct {
+	fset *token.FileSet
+	// byLine maps file:line to the directives governing that line.
+	byLine map[string][]*ignoreDirective
+	// malformed holds directives missing an analyzer list or a reason; the
+	// driver reports these as findings so an ignore can never silently
+	// fail to justify itself.
+	malformed []*ignoreDirective
+}
+
+const ignorePrefix = "//lint:ignore"
+
+// buildIgnoreIndex scans every comment of the files for lint:ignore
+// directives.
+func buildIgnoreIndex(fset *token.FileSet, files []*ast.File) *ignoreIndex {
+	idx := &ignoreIndex{fset: fset, byLine: make(map[string][]*ignoreDirective)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				d := parseIgnore(c.Text)
+				pos := fset.Position(c.Pos())
+				d.file, d.line, d.pos = pos.Filename, pos.Line, c.Pos()
+				if d.malformed() {
+					idx.malformed = append(idx.malformed, d)
+					continue
+				}
+				idx.add(d, pos.Line)
+				idx.add(d, pos.Line+1)
+			}
+		}
+	}
+	return idx
+}
+
+func (idx *ignoreIndex) add(d *ignoreDirective, line int) {
+	key := ignoreKey(d.file, line)
+	idx.byLine[key] = append(idx.byLine[key], d)
+}
+
+func ignoreKey(file string, line int) string {
+	return fmt.Sprintf("%s:%d", file, line)
+}
+
+// parseIgnore splits "//lint:ignore a,b reason..." into its parts.
+func parseIgnore(text string) *ignoreDirective {
+	rest := strings.TrimSpace(strings.TrimPrefix(text, ignorePrefix))
+	fields := strings.Fields(rest)
+	d := &ignoreDirective{}
+	if len(fields) < 2 {
+		return d // malformed: needs an analyzer list and a reason
+	}
+	d.reason = strings.TrimSpace(strings.TrimPrefix(rest, fields[0]))
+	if fields[0] == "*" {
+		d.all = true
+		return d
+	}
+	d.analyzers = make(map[string]bool)
+	for _, a := range strings.Split(fields[0], ",") {
+		if a != "" {
+			d.analyzers[a] = true
+		}
+	}
+	if len(d.analyzers) == 0 {
+		d.analyzers = nil
+	}
+	return d
+}
+
+// suppressed reports whether a diagnostic from the named analyzer at pos is
+// covered by a directive.
+func (idx *ignoreIndex) suppressed(analyzer string, pos token.Pos) bool {
+	p := idx.fset.Position(pos)
+	for _, d := range idx.byLine[ignoreKey(p.Filename, p.Line)] {
+		if d.all || d.analyzers[analyzer] {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,138 @@
+// Package lint is dataprismlint: a suite of static analyzers that
+// machine-enforce the repository's cross-cutting invariants — the
+// copy-on-write dataset contract, the engine's determinism contract, the
+// cancellation contract, and the fault-tolerant scoring contract. The
+// analyzers are written against the minimal go/analysis-compatible
+// framework in the analysis subpackage (the upstream x/tools module is not
+// available in the hermetic build environment) and run through
+// cmd/dataprismlint.
+//
+// Findings can be suppressed per line with
+//
+//	//lint:ignore analyzer reason
+//
+// where the reason is mandatory; a malformed directive is itself a finding.
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// Suite returns the dataprismlint analyzers in stable order.
+func Suite() []*analysis.Analyzer {
+	return []*analysis.Analyzer{CowMutate, MapDeterminism, SeededRand, CtxFlow, FaultContract}
+}
+
+// DefaultScopes maps analyzer names to the import-path prefixes they apply
+// to when run by the driver; analyzers absent from the map run everywhere.
+// The scopes mirror where each invariant is load-bearing:
+//
+//   - mapdeterminism and seededrand guard the deterministic search/scoring
+//     and reporting paths;
+//   - ctxflow guards the two packages that own blocking work and
+//     cancellation plumbing.
+//
+// cowmutate and faultcontract run tree-wide: shared columns and fallible
+// scores flow everywhere.
+func DefaultScopes(module string) map[string][]string {
+	p := func(rel string) string { return module + "/" + rel }
+	return map[string][]string{
+		MapDeterminism.Name: {
+			p("internal/core"), p("internal/profile"), p("internal/transform"),
+			p("internal/pvt"), p("internal/engine"), p("internal/report"),
+		},
+		SeededRand.Name: {
+			p("internal/core"), p("internal/profile"), p("internal/transform"),
+			p("internal/pvt"), p("internal/engine"),
+		},
+		CtxFlow.Name: {p("internal/engine"), p("internal/pipeline")},
+	}
+}
+
+// Finding is one diagnostic after suppression filtering.
+type Finding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Message  string `json:"message"`
+}
+
+// String renders the conventional file:line:col form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s [%s]", f.File, f.Line, f.Column, f.Message, f.Analyzer)
+}
+
+// inScope reports whether pkgPath falls under any of the prefixes (empty
+// prefix list means everywhere).
+func inScope(pkgPath string, prefixes []string) bool {
+	if len(prefixes) == 0 {
+		return true
+	}
+	for _, p := range prefixes {
+		if pkgPath == p || strings.HasPrefix(pkgPath, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// Run applies the analyzers to the packages, honoring scopes and
+// //lint:ignore directives, and returns findings sorted by position. A nil
+// scopes map runs every analyzer everywhere.
+func Run(pkgs []*Package, analyzers []*analysis.Analyzer, scopes map[string][]string) ([]Finding, error) {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		idx := buildIgnoreIndex(pkg.Fset, pkg.Files)
+		for _, d := range idx.malformed {
+			findings = append(findings, toFinding("lint", pkg.Fset, d.pos,
+				"malformed //lint:ignore directive: want \"//lint:ignore analyzer reason\" with a non-empty reason"))
+		}
+		for _, az := range analyzers {
+			if scopes != nil && !inScope(pkg.Path, scopes[az.Name]) {
+				continue
+			}
+			pass := &analysis.Pass{
+				Analyzer:  az,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+			}
+			name := az.Name
+			pass.Report = func(d analysis.Diagnostic) {
+				if idx.suppressed(name, d.Pos) {
+					return
+				}
+				findings = append(findings, toFinding(name, pkg.Fset, d.Pos, d.Message))
+			}
+			if _, err := az.Run(pass); err != nil {
+				return nil, fmt.Errorf("lint: %s on %s: %w", az.Name, pkg.Path, err)
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}
+
+func toFinding(analyzer string, fset *token.FileSet, pos token.Pos, msg string) Finding {
+	p := fset.Position(pos)
+	return Finding{Analyzer: analyzer, File: p.Filename, Line: p.Line, Column: p.Column, Message: msg}
+}

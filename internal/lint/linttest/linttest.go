@@ -1,0 +1,146 @@
+// Package linttest is the analysistest-style golden harness for the
+// dataprismlint analyzers: it loads a fixture package from
+// internal/lint/testdata/src/<name>, runs one analyzer over it through the
+// real driver (so //lint:ignore suppression is part of the tested surface),
+// and compares the diagnostics against expectation comments in the fixture
+// source.
+//
+// Expectations use the x/tools analysistest convention
+//
+//	expr // want `regexp`
+//
+// where the line of the comment is the line the diagnostic must land on.
+// Multiple backquoted (or double-quoted) regexps in one want comment expect
+// that many diagnostics on the line. Because a //lint:ignore comment
+// consumes its whole source line, expectations may also be anchored
+// relative to the comment's own line with an offset:
+//
+//	// want@-1 `regexp`   (diagnostic expected one line above)
+package linttest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysis"
+)
+
+// expectation is one want clause, resolved to an absolute line.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	met  bool
+}
+
+var wantRe = regexp.MustCompile("^//\\s*want(@[+-]?\\d+)?\\s+(.*)$")
+var patRe = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+
+// Run applies az to the fixture package testdata/src/<name> and fails t on
+// any mismatch between reported and expected diagnostics.
+func Run(t *testing.T, az *analysis.Analyzer, name string) {
+	t.Helper()
+	root := moduleRoot(t)
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	dir := filepath.Join(root, "internal", "lint", "testdata", "src", name)
+	pkg, err := loader.LoadDir(dir, "dataprismlint.test/"+name)
+	if err != nil {
+		t.Fatalf("linttest: loading fixture %s: %v", name, err)
+	}
+	findings, err := lint.Run([]*lint.Package{pkg}, []*analysis.Analyzer{az}, nil)
+	if err != nil {
+		t.Fatalf("linttest: running %s: %v", az.Name, err)
+	}
+
+	expects, err := collectWants(pkg)
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+
+	for _, f := range findings {
+		matched := false
+		for _, e := range expects {
+			if !e.met && e.file == f.File && e.line == f.Line && e.re.MatchString(f.Message) {
+				e.met = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", f)
+		}
+	}
+	for _, e := range expects {
+		if !e.met {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", e.file, e.line, e.re)
+		}
+	}
+}
+
+// collectWants parses the want comments of every fixture file.
+func collectWants(pkg *lint.Package) ([]*expectation, error) {
+	var out []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				line := pos.Line
+				if m[1] != "" {
+					off, err := strconv.Atoi(strings.TrimPrefix(m[1][1:], "+"))
+					if err != nil {
+						return nil, fmt.Errorf("%s: bad want offset %q", pos, m[1])
+					}
+					line += off
+				}
+				pats := patRe.FindAllStringSubmatch(m[2], -1)
+				if len(pats) == 0 {
+					return nil, fmt.Errorf("%s: want comment with no quoted pattern: %s", pos, c.Text)
+				}
+				for _, p := range pats {
+					text := p[1]
+					if p[1] == "" && p[2] != "" {
+						text = p[2]
+					}
+					re, err := regexp.Compile(text)
+					if err != nil {
+						return nil, fmt.Errorf("%s: bad want pattern %q: %v", pos, text, err)
+					}
+					out = append(out, &expectation{file: pos.Filename, line: line, re: re})
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// moduleRoot walks up from the working directory to the enclosing go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatalf("linttest: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,157 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// MapDeterminism flags `range` loops over maps that feed order-sensitive
+// sinks — appending to a slice, writing to a strings.Builder or
+// bytes.Buffer, or fmt.Fprint-ing into one — declared outside the loop. Go
+// randomizes map iteration order, so anything ordered that such a loop
+// produces (candidate lists, report lines, cache keys) differs between
+// runs, which breaks the engine's determinism contract: same seed, same
+// explanation, same intervention trace, regardless of scheduling.
+//
+// The sanctioned idioms are exempt: collect keys first and sort them before
+// iterating, or sort the produced collection after the loop. The analyzer
+// recognizes the second form directly (a sort.*/slices.Sort* call after the
+// loop in the same function); the first form never ranges over the map for
+// emission, so it is structurally clean.
+var MapDeterminism = &analysis.Analyzer{
+	Name: "mapdeterminism",
+	Doc:  "flags range-over-map loops that emit into ordered sinks (slices, string builders, writers) without a post-loop sort; map order is randomized per run",
+	Run:  runMapDeterminism,
+}
+
+// builderWriteMethods are the emission methods of strings.Builder and
+// bytes.Buffer.
+var builderWriteMethods = map[string]bool{
+	"WriteString": true, "WriteByte": true, "WriteRune": true, "Write": true,
+}
+
+func runMapDeterminism(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		funcBodies(f, func(_ ast.Node, body *ast.BlockStmt) {
+			mapDetWalk(pass, body)
+		})
+	}
+	return nil, nil
+}
+
+func mapDetWalk(pass *analysis.Pass, body *ast.BlockStmt) {
+	// Positions of sort calls in this function, for the post-loop
+	// exemption.
+	var sortPositions []token.Pos
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n, ok := n.(*ast.FuncLit); ok && n.Body != body {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if f := calleeFunc(pass.TypesInfo, call); f != nil && f.Pkg() != nil {
+			path, name := f.Pkg().Path(), f.Name()
+			if path == "sort" || (path == "slices" && (strings.HasPrefix(name, "Sort") || name == "Reverse")) {
+				sortPositions = append(sortPositions, call.Pos())
+			}
+		}
+		return true
+	})
+	sortedAfter := func(end token.Pos) bool {
+		for _, p := range sortPositions {
+			if p > end {
+				return true
+			}
+		}
+		return false
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n, ok := n.(*ast.FuncLit); ok && n.Body != body {
+			return false
+		}
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := pass.TypesInfo.TypeOf(rng.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		sink := orderedSink(pass.TypesInfo, rng.Body)
+		if sink == "" {
+			return true
+		}
+		if sortedAfter(rng.End()) {
+			return true
+		}
+		pass.Reportf(rng.Pos(), "range over map feeds the order-sensitive sink %s; map iteration order is randomized — iterate sorted keys, or sort the result after the loop", sink)
+		return true
+	})
+}
+
+// orderedSink scans a range body for an emission into an ordered collector
+// declared outside the body, returning a description of the first one
+// found ("" when clean).
+func orderedSink(info *types.Info, body *ast.BlockStmt) string {
+	sink := ""
+	declaredOutside := func(e ast.Expr) (types.Object, bool) {
+		root, _ := baseIdent(e)
+		if root == nil {
+			return nil, false
+		}
+		obj := info.Uses[root]
+		if obj == nil {
+			obj = info.Defs[root]
+		}
+		if obj == nil {
+			return nil, false
+		}
+		return obj, obj.Pos() < body.Pos() || obj.Pos() >= body.End()
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if sink != "" {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		// append(outer, ...)
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "append" && len(call.Args) > 0 {
+			if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+				if obj, outside := declaredOutside(call.Args[0]); outside {
+					sink = "slice " + obj.Name()
+					return false
+				}
+			}
+		}
+		// outer.WriteString(...) on strings.Builder / bytes.Buffer.
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && builderWriteMethods[sel.Sel.Name] {
+			if path, name := namedType(info.TypeOf(sel.X)); (path == "strings" && name == "Builder") || (path == "bytes" && name == "Buffer") {
+				if obj, outside := declaredOutside(sel.X); outside {
+					sink = "builder " + obj.Name()
+					return false
+				}
+			}
+		}
+		// fmt.Fprint*(outer, ...).
+		if f := calleeFunc(info, call); f != nil && f.Pkg() != nil && f.Pkg().Path() == "fmt" && strings.HasPrefix(f.Name(), "Fprint") && len(call.Args) > 0 {
+			if obj, outside := declaredOutside(call.Args[0]); outside {
+				sink = "writer " + obj.Name()
+				return false
+			}
+		}
+		return true
+	})
+	return sink
+}

@@ -1,0 +1,60 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// SeededRand forbids ambient nondeterminism in search and scoring code:
+// calls to time.Now and to the package-level math/rand functions (which
+// draw from the global, process-seeded source). DataPrism's causal claims
+// rest on reproducible runs — Explainer.Seed must be the only entropy a
+// search consumes — so randomness is threaded as explicit *rand.Rand values
+// built from rand.NewSource(seed), and wall-clock reads are confined to
+// reporting.
+//
+// rand.New and rand.NewSource are allowed: they are exactly the seeded
+// construction idiom. Methods on a *rand.Rand value are likewise allowed.
+// The two sanctioned wall-clock uses — runtime stamping for reports and
+// deadline arithmetic — carry //lint:ignore seededrand justifications.
+var SeededRand = &analysis.Analyzer{
+	Name: "seededrand",
+	Doc:  "forbids time.Now and global math/rand calls in search/scoring paths; thread a seeded *rand.Rand (rand.New(rand.NewSource(seed))) instead",
+	Run:  runSeededRand,
+}
+
+// seededConstructors are the math/rand package-level functions that build
+// explicitly seeded state rather than consuming the global source.
+var seededConstructors = map[string]bool{"New": true, "NewSource": true, "NewZipf": true}
+
+func runSeededRand(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			if isPkgFunc(fn, "time", "Now") {
+				pass.Reportf(call.Pos(), "time.Now in a search/scoring path makes runs wall-clock dependent; derive timing from injected state or justify with //lint:ignore seededrand <reason>")
+				return true
+			}
+			if fn.Pkg().Path() == "math/rand" || fn.Pkg().Path() == "math/rand/v2" {
+				sig, ok := fn.Type().(*types.Signature)
+				if !ok || sig.Recv() != nil {
+					return true // methods on an explicit *rand.Rand are fine
+				}
+				if !seededConstructors[fn.Name()] {
+					pass.Reportf(call.Pos(), "rand.%s draws from the global math/rand source, so two runs with the same Explainer.Seed diverge; thread a seeded *rand.Rand instead", fn.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}

@@ -1,0 +1,106 @@
+// Package cowmutate is the golden fixture for the cowmutate analyzer:
+// every flagged line mutates CoW-shared dataset state obtained from a read
+// accessor; the good* functions prove the MutableColumn route and
+// defensive-copy idioms are not flagged.
+package cowmutate
+
+import (
+	"sort"
+
+	"repro/internal/dataset"
+)
+
+func badColumnWrite(d *dataset.Dataset) {
+	c := d.Column("x")
+	c.Nums[0] = 1 // want `obtained from dataset\.Column mutates CoW-shared state`
+}
+
+func badNullWrite(d *dataset.Dataset) {
+	d.Column("x").Null[0] = true // want `dataset\.Column`
+}
+
+func badFieldReplace(d *dataset.Dataset) {
+	c := d.Column("x")
+	c.Nums = nil // want `dataset\.Column`
+}
+
+func badValuesWrite(d *dataset.Dataset) {
+	nums := d.NumericValues("x")
+	nums[0] = 2 // want `dataset\.NumericValues`
+}
+
+func badSortedInPlaceSort(d *dataset.Dataset) {
+	sort.Float64s(d.SortedNumericValues("x")) // want `sorts a slice obtained from dataset\.SortedNumericValues in place`
+}
+
+func badPropagatedSort(d *dataset.Dataset) {
+	vals := d.StringValues("x")
+	alias := vals
+	sort.Strings(alias) // want `dataset\.StringValues`
+}
+
+func badRangeColumns(d *dataset.Dataset) {
+	for _, col := range d.Columns() {
+		col.Strs[0] = "z" // want `dataset\.Columns`
+	}
+}
+
+func badCopyInto(d *dataset.Dataset, src []float64) {
+	copy(d.NumericValues("x"), src) // want `copy into .* dataset\.NumericValues`
+}
+
+func badAppendTo(d *dataset.Dataset) []float64 {
+	return append(d.NumericValues("x"), 3) // want `append to .* dataset\.NumericValues`
+}
+
+func badReslice(d *dataset.Dataset) {
+	head := d.SortedNumericValues("x")[:2]
+	head[0] = 0 // want `dataset\.SortedNumericValues`
+}
+
+func badIncrement(d *dataset.Dataset) {
+	d.Column("x").Nums[0]++ // want `dataset\.Column`
+}
+
+// goodMutableColumn: the sanctioned write path is never flagged.
+func goodMutableColumn(d *dataset.Dataset) {
+	c := d.MutableColumn("x")
+	c.Nums[0] = 1
+	c.Null[0] = false
+	sort.Float64s(c.Nums)
+}
+
+// goodRetaint: re-binding a previously tainted variable from MutableColumn
+// clears its taint.
+func goodRetaint(d *dataset.Dataset) {
+	c := d.Column("x")
+	_ = c.Len()
+	c = d.MutableColumn("x")
+	c.Nums[1] = 4
+}
+
+// goodDefensiveCopy: mutating an owned copy of a stats slice is fine.
+func goodDefensiveCopy(d *dataset.Dataset) []float64 {
+	vals := append([]float64(nil), d.NumericValues("x")...)
+	vals[0] = 9
+	sort.Float64s(vals)
+	return vals
+}
+
+// goodReads: reading through the accessors is the whole point.
+func goodReads(d *dataset.Dataset) float64 {
+	total := 0.0
+	for _, v := range d.NumericValues("x") {
+		total += v
+	}
+	if c := d.Column("x"); c != nil {
+		total += float64(c.Len())
+	}
+	return total
+}
+
+// goodSetters: Dataset.Set* route through MutableColumn internally.
+func goodSetters(d *dataset.Dataset) {
+	d.SetNum("x", 0, 1)
+	d.SetNull("x", 1)
+}

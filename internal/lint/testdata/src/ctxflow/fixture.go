@@ -1,0 +1,50 @@
+// Package ctxflow is the golden fixture for the ctxflow analyzer:
+// uninterruptible blocking (time.Sleep), unkillable children
+// (exec.Command), and silently dropped context parameters are flagged; the
+// timer-select idiom, CommandContext, and explicit _ drops are not.
+package ctxflow
+
+import (
+	"context"
+	"os/exec"
+	"time"
+)
+
+func badSleep() {
+	time.Sleep(time.Millisecond) // want `time\.Sleep blocks without observing the context`
+}
+
+func badExec() error {
+	return exec.Command("true").Run() // want `exec\.Command spawns a process cancellation cannot kill`
+}
+
+func badDroppedCtx(ctx context.Context, n int) int { // want `context parameter ctx is dropped`
+	return n * 2
+}
+
+// goodTimerSelect: the sanctioned interruptible wait.
+func goodTimerSelect(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// goodCommandContext: the child dies with the context.
+func goodCommandContext(ctx context.Context) error {
+	return exec.CommandContext(ctx, "true").Run()
+}
+
+// goodExplicitDrop: renaming to _ marks the cancellation break visibly.
+func goodExplicitDrop(_ context.Context, n int) int {
+	return n * 2
+}
+
+// goodThreaded: passing ctx on counts as observing it.
+func goodThreaded(ctx context.Context) error {
+	return goodTimerSelect(ctx, time.Millisecond)
+}

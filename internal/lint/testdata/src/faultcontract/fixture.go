@@ -1,0 +1,61 @@
+// Package faultcontract is the golden fixture for the faultcontract
+// analyzer: discarding the error paired with an engine/pipeline score, or
+// reading ScoreResult.Score without consulting the failure classification,
+// is flagged; error-checked flows are not.
+package faultcontract
+
+import (
+	"context"
+
+	"repro/internal/dataset"
+	"repro/internal/engine"
+	"repro/internal/pipeline"
+)
+
+func badDiscardScore(ctx context.Context, ev *engine.Eval, d *dataset.Dataset, cache map[uint64]float64) {
+	s, _ := ev.Score(ctx, d) // want `discards the error paired with engine\.Score's score`
+	cache[d.Fingerprint()] = s
+}
+
+func badDiscardBaseline(ctx context.Context, ev *engine.Eval, d *dataset.Dataset) float64 {
+	s, _ := ev.Baseline(ctx, d) // want `discards the error paired with engine\.Baseline's score`
+	return s
+}
+
+func badScoreOnly(r pipeline.ScoreResult, stats map[string]float64) {
+	stats["score"] = r.Score // want `ScoreResult\.Score read without consulting Err/Transient/Deterministic`
+}
+
+// goodChecked: the error is consulted before the score is trusted.
+func goodChecked(ctx context.Context, ev *engine.Eval, d *dataset.Dataset) (float64, error) {
+	s, err := ev.Score(ctx, d)
+	if err != nil {
+		return 0, err
+	}
+	return s, nil
+}
+
+// goodResultChecked: branching on Err legitimizes the Score read.
+func goodResultChecked(r pipeline.ScoreResult) (float64, error) {
+	if r.Err != nil {
+		return 0, r.Err
+	}
+	return r.Score, nil
+}
+
+// goodTransientBranch: consulting the classification also counts.
+func goodTransientBranch(r pipeline.ScoreResult) float64 {
+	if r.Transient {
+		return -1
+	}
+	return r.Score
+}
+
+// goodClosureCheck: an Err check outside a closure vouches for the Score
+// read inside it — one consultation scope per declared function.
+func goodClosureCheck(r pipeline.ScoreResult) func() float64 {
+	if r.Err != nil {
+		return func() float64 { return -1 }
+	}
+	return func() float64 { return r.Score }
+}

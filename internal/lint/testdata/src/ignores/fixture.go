@@ -1,0 +1,27 @@
+// Package ignores is the golden fixture for //lint:ignore handling: a
+// well-formed directive (named analyzer or *) suppresses the next line, and
+// a directive without a reason is itself reported and suppresses nothing.
+package ignores
+
+import "time"
+
+func malformedDirective() int64 {
+	//lint:ignore seededrand
+	// want@-1 `malformed //lint:ignore directive`
+	return time.Now().UnixNano() // want `time\.Now`
+}
+
+func wildcardDirective() int64 {
+	//lint:ignore * fixture-sanctioned wall-clock read
+	return time.Now().UnixNano()
+}
+
+func namedDirective() int64 {
+	//lint:ignore seededrand fixture-sanctioned wall-clock read
+	return time.Now().UnixNano()
+}
+
+func wrongAnalyzerNamed() int64 {
+	//lint:ignore cowmutate reason aimed at a different analyzer
+	return time.Now().UnixNano() // want `time\.Now`
+}

@@ -1,0 +1,97 @@
+// Package mapdeterminism is the golden fixture for the mapdeterminism
+// analyzer: flagged loops emit into ordered sinks straight out of
+// randomized map iteration; the good* functions use the sanctioned idioms
+// (sorted keys, post-loop sort, order-insensitive sinks).
+package mapdeterminism
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+func badAppend(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `order-sensitive sink slice out`
+		out = append(out, k)
+	}
+	return out
+}
+
+func badBuilder(m map[string]int) string {
+	var b strings.Builder
+	for k, v := range m { // want `order-sensitive sink builder b`
+		b.WriteString(fmt.Sprintf("%s=%d;", k, v))
+	}
+	return b.String()
+}
+
+func badFprintf(m map[string]int) string {
+	var b strings.Builder
+	for k, v := range m { // want `order-sensitive sink writer b`
+		fmt.Fprintf(&b, "%s=%d\n", k, v)
+	}
+	return b.String()
+}
+
+func badNestedValue(m map[string][]int) []int {
+	var flat []int
+	for _, vs := range m { // want `order-sensitive sink slice flat`
+		flat = append(flat, vs...)
+	}
+	return flat
+}
+
+// goodPostLoopSort: sorting the collected result restores determinism.
+func goodPostLoopSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// goodSortedKeys: iterate a sorted key slice, not the map.
+func goodSortedKeys(m map[string]int) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s=%d\n", k, m[k])
+	}
+	return b.String()
+}
+
+// goodMapSink: map-to-map transfer is order-insensitive.
+func goodMapSink(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// goodAccumulator: scalar reduction does not depend on order.
+func goodAccumulator(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// goodLoopLocal: the sink lives inside the loop body, so its order is
+// per-iteration only.
+func goodLoopLocal(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		var local []int
+		local = append(local, vs...)
+		n += len(local)
+	}
+	return n
+}

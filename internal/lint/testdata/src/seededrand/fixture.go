@@ -1,0 +1,49 @@
+// Package seededrand is the golden fixture for the seededrand analyzer:
+// ambient entropy (time.Now, the global math/rand source) is flagged, the
+// seeded *rand.Rand idiom is not, and a justified //lint:ignore suppresses
+// a finding.
+package seededrand
+
+import (
+	"math/rand"
+	"time"
+)
+
+func badNow() int64 {
+	return time.Now().UnixNano() // want `time\.Now in a search/scoring path`
+}
+
+func badGlobalFloat() float64 {
+	return rand.Float64() // want `rand\.Float64 draws from the global math/rand source`
+}
+
+func badGlobalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `rand\.Shuffle`
+}
+
+func badSeedTheGlobal() {
+	rand.Seed(42) // want `rand\.Seed`
+}
+
+// goodSeeded: the sanctioned construction and use of explicit randomness.
+func goodSeeded(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(10, func(i, j int) {})
+	return rng.Float64()
+}
+
+// goodThreaded: methods on an injected *rand.Rand are fine.
+func goodThreaded(rng *rand.Rand, n int) int {
+	return rng.Intn(n)
+}
+
+// goodIgnored: a justified suppression silences the finding.
+func goodIgnored() time.Time {
+	//lint:ignore seededrand report timestamping only; never feeds a score
+	return time.Now()
+}
+
+// goodIgnoredInline: inline placement works too.
+func goodIgnoredInline() time.Time {
+	return time.Now() //lint:ignore seededrand wall-clock for logs only
+}

@@ -2,9 +2,29 @@ package pipeline
 
 import (
 	"context"
+	"errors"
+	"fmt"
 
 	"repro/internal/dataset"
 )
+
+// ContextFailure renders a done context as an error that always wraps the
+// context's sentinel (context.Canceled or context.DeadlineExceeded), and
+// additionally wraps the cancel cause when one was set via
+// context.WithCancelCause. A raw context.Cause value is not guaranteed to
+// wrap the sentinel, so propagating it alone breaks every
+// errors.Is(err, context.Canceled) check downstream — the engine's Fatal
+// classification among them. Returns nil while ctx is still live.
+func ContextFailure(ctx context.Context) error {
+	err := ctx.Err()
+	if err == nil {
+		return nil
+	}
+	if cause := context.Cause(ctx); cause != nil && !errors.Is(cause, err) {
+		return fmt.Errorf("%w (cause: %w)", err, cause)
+	}
+	return err
+}
 
 // ContextSystem is the context-aware form of System: a malfunction
 // evaluation that observes the caller's context, so searches can be

@@ -120,12 +120,13 @@ func (s *External) TryMalfunctionScore(ctx context.Context, d *dataset.Dataset) 
 		switch {
 		case parent.Err() != nil:
 			// The caller's context expired or was cancelled — not this
-			// evaluation's own Timeout.
-			return s.transient("cancelled: %v", context.Cause(parent))
+			// evaluation's own Timeout. ContextFailure keeps the context
+			// sentinel errors.Is-visible alongside any cancel cause.
+			return s.transient("cancelled: %w", ContextFailure(parent))
 		case errors.Is(ctx.Err(), context.DeadlineExceeded):
 			return s.transient("timeout after %v%s", timeout, stderrExcerpt(&stderr))
 		case ctx.Err() != nil:
-			return s.transient("cancelled: %v", context.Cause(ctx))
+			return s.transient("cancelled: %w", ContextFailure(ctx))
 		case errors.As(err, &exitErr):
 			// The process ran to completion and exited non-zero: it crashed
 			// on this input, which is deterministic in the data.
@@ -199,10 +200,14 @@ func (s *External) record(format string, args ...any) string {
 
 // transient records the reason and returns a retryable measurement failure.
 func (s *External) transient(format string, args ...any) ScoreResult {
-	reason := s.record(format, args...)
+	// Errorf rather than Sprintf so %w verbs in format wrap their operands:
+	// the cancellation paths pass ContextFailure(ctx) and must keep
+	// context.Canceled / context.DeadlineExceeded errors.Is-visible.
+	reasonErr := fmt.Errorf(format, args...)
+	s.record("%s", reasonErr)
 	return ScoreResult{
 		Score:     math.NaN(),
-		Err:       fmt.Errorf("%s: %w", reason, ErrTransient),
+		Err:       fmt.Errorf("%w: %w", reasonErr, ErrTransient),
 		Transient: true,
 		Attempts:  1,
 	}

@@ -91,11 +91,11 @@ func AsFallible(sys ContextSystem) FallibleSystem {
 		SystemName: sys.Name(),
 		Try: func(ctx context.Context, d *dataset.Dataset) ScoreResult {
 			if err := ctx.Err(); err != nil {
-				return transientResult(0, "not evaluated: %v", context.Cause(ctx))
+				return transientResult(0, "not evaluated: %w", ContextFailure(ctx))
 			}
 			s := sys.MalfunctionScore(ctx, d)
 			if err := ctx.Err(); err != nil {
-				return transientResult(1, "cancelled mid-evaluation: %v", context.Cause(ctx))
+				return transientResult(1, "cancelled mid-evaluation: %w", ContextFailure(ctx))
 			}
 			return ScoreResult{Score: s, Attempts: 1}
 		},

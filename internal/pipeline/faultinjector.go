@@ -113,7 +113,7 @@ func (f *FaultInjector) TryMalfunctionScore(ctx context.Context, d *dataset.Data
 		case <-timer.C:
 		case <-ctx.Done():
 			timer.Stop()
-			return transientResult(0, "latency injection interrupted: %v", context.Cause(ctx))
+			return transientResult(0, "latency injection interrupted: %w", ContextFailure(ctx))
 		}
 	}
 	return f.System.TryMalfunctionScore(ctx, d)

@@ -110,7 +110,10 @@ func (r *Retry) TryMalfunctionScore(ctx context.Context, d *dataset.Dataset) Sco
 		case <-timer.C:
 		case <-ctx.Done():
 			timer.Stop()
-			res := transientResult(attempts, "retry abandoned: %v", context.Cause(ctx))
+			// %w keeps the context sentinel in the chain: a retry abandoned
+			// by cancellation must satisfy errors.Is(err, context.Canceled)
+			// so the engine treats it as a fatal stop, not a skippable slot.
+			res := transientResult(attempts, "retry abandoned: %w", ContextFailure(ctx))
 			return res
 		}
 	}
