@@ -1,0 +1,114 @@
+package dataprism_test
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"strings"
+	"testing"
+)
+
+// benchArtifact is the shared schema of the BENCH_pr*.json files checked
+// into the repo root: one machine-readable before/after record per
+// performance-focused PR, comparable across PRs.
+type benchArtifact struct {
+	Description string       `json:"description"`
+	CPU         string       `json:"cpu"`
+	Goos        string       `json:"goos"`
+	Goarch      string       `json:"goarch"`
+	Benchtime   string       `json:"benchtime"`
+	Acceptance  string       `json:"acceptance"`
+	Benchmarks  []benchEntry `json:"benchmarks"`
+}
+
+type benchEntry struct {
+	Name          string  `json:"name"`
+	BeforeNsOp    float64 `json:"before_ns_op"`
+	AfterNsOp     float64 `json:"after_ns_op"`
+	Speedup       float64 `json:"speedup"`
+	BeforeBytesOp float64 `json:"before_bytes_op"`
+	AfterBytesOp  float64 `json:"after_bytes_op"`
+}
+
+func loadBenchArtifact(t *testing.T, path string) benchArtifact {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%s: %v", path, err)
+	}
+	var a benchArtifact
+	if err := json.Unmarshal(raw, &a); err != nil {
+		t.Fatalf("%s: %v", path, err)
+	}
+	return a
+}
+
+// checkBenchArtifact asserts the invariants every bench artifact shares.
+func checkBenchArtifact(t *testing.T, path string, a benchArtifact) {
+	t.Helper()
+	for field, v := range map[string]string{
+		"description": a.Description, "cpu": a.CPU, "goos": a.Goos,
+		"goarch": a.Goarch, "benchtime": a.Benchtime, "acceptance": a.Acceptance,
+	} {
+		if v == "" {
+			t.Errorf("%s: missing %s", path, field)
+		}
+	}
+	if len(a.Benchmarks) == 0 {
+		t.Fatalf("%s: no benchmarks", path)
+	}
+	for _, e := range a.Benchmarks {
+		if !strings.HasPrefix(e.Name, "Benchmark") {
+			t.Errorf("%s: entry %q is not a benchmark name", path, e.Name)
+		}
+		if e.AfterNsOp <= 0 {
+			t.Errorf("%s: %s: after_ns_op = %g", path, e.Name, e.AfterNsOp)
+		}
+		if e.BeforeNsOp > 0 {
+			if e.Speedup <= 0 {
+				t.Errorf("%s: %s: before present but speedup = %g", path, e.Name, e.Speedup)
+			} else if ratio := e.BeforeNsOp / e.AfterNsOp; math.Abs(ratio-e.Speedup)/e.Speedup > 0.05 {
+				t.Errorf("%s: %s: speedup %g inconsistent with before/after ratio %.1f", path, e.Name, e.Speedup, ratio)
+			}
+		}
+	}
+}
+
+// TestBenchArtifactShapes validates BENCH_pr2.json and BENCH_pr6.json
+// against the shared schema, and asserts that the chunked-storage artifact
+// (PR 6) covers its acceptance benchmarks — Clone, FingerprintIncremental,
+// TransformApply, and Mask at the 10M×20 shape — in the same entry shape as
+// the CoW artifact (PR 2).
+func TestBenchArtifactShapes(t *testing.T) {
+	pr2 := loadBenchArtifact(t, "BENCH_pr2.json")
+	checkBenchArtifact(t, "BENCH_pr2.json", pr2)
+	pr6 := loadBenchArtifact(t, "BENCH_pr6.json")
+	checkBenchArtifact(t, "BENCH_pr6.json", pr6)
+
+	want := []string{
+		"BenchmarkDatasetClone/rows=10000000",
+		"BenchmarkFingerprintIncremental/rows=10000000",
+		"BenchmarkTransformApply/rows=10000000",
+		"BenchmarkPredicateMask/rows=10000000",
+	}
+	for _, prefix := range want {
+		found := false
+		for _, e := range pr6.Benchmarks {
+			if strings.HasPrefix(e.Name, prefix) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("BENCH_pr6.json: missing acceptance benchmark %s", prefix)
+		}
+	}
+	// The headline sublinearity claim: at 10M rows the chunked re-fingerprint
+	// after a one-cell write must beat the flat-layout (single-chunk) path by
+	// a wide margin — dirty-chunk cost, not column cost.
+	for _, e := range pr6.Benchmarks {
+		if strings.HasPrefix(e.Name, "BenchmarkFingerprintIncremental/rows=10000000") && e.Speedup < 10 {
+			t.Errorf("BENCH_pr6.json: %s speedup %g < 10x — chunked re-fingerprint is not sublinear", e.Name, e.Speedup)
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"os"
 	"testing"
 	"time"
 
@@ -317,14 +318,40 @@ func BenchmarkEngineGroupTestWorkers8(b *testing.B) { benchEngineGroupTest(b, 8)
 // --- Dataset substrate benchmarks --------------------------------------
 //
 // These measure the data side of a search: cloning a candidate dataset,
-// re-fingerprinting it for the memo key after a one-column transform, and a
-// full single-attribute transform apply. The 100k×20 shape is the
-// acceptance target of the copy-on-write dataset work.
+// re-fingerprinting it for the memo key after a one-column transform, a
+// full single-attribute transform apply, and predicate mask evaluation.
+// Each runs under two layouts: "chunked" is the default 64Ki-row chunk
+// layout; "flat" stores every column in a single chunk — the pre-chunking
+// memory model, kept as the in-repo baseline that the chunked numbers in
+// BENCH_pr6.json are compared against. The 100k×20 shape was the acceptance
+// target of the copy-on-write work (PR 2); the 10M×20 shape is the
+// acceptance target of the chunked-storage work and only runs when
+// DATAPRISM_BENCH_LARGE is set — it allocates multiple GB and is too heavy
+// for the CI -benchtime=1x smoke run.
+
+// cowBenchRows returns the row counts for the dataset-substrate benchmarks.
+func cowBenchRows() []int {
+	rows := []int{10_000, 100_000}
+	if os.Getenv("DATAPRISM_BENCH_LARGE") != "" {
+		rows = append(rows, 10_000_000)
+	}
+	return rows
+}
+
+// benchLayout is one chunk-layout configuration of a substrate benchmark.
+type benchLayout struct {
+	name  string
+	csize int // 0 = default chunk size
+}
+
+func benchLayouts(rows int) []benchLayout {
+	return []benchLayout{{"chunked", 0}, {"flat", rows}}
+}
 
 // cowBenchDataset builds a rows×20 dataset: 10 numeric and 10 categorical
-// columns, deterministic contents.
-func cowBenchDataset(rows int) *dataset.Dataset {
-	d := dataset.New()
+// columns, deterministic contents, chunked at csize (0 = default).
+func cowBenchDataset(rows, csize int) *dataset.Dataset {
+	d := dataset.NewChunked(csize)
 	levels := []string{"a", "b", "c", "d"}
 	for c := 0; c < 10; c++ {
 		nums := make([]float64, rows)
@@ -343,58 +370,77 @@ func cowBenchDataset(rows int) *dataset.Dataset {
 	return d
 }
 
+// benchSubstrate runs fn once per rows×layout configuration.
+func benchSubstrate(b *testing.B, fn func(b *testing.B, d *dataset.Dataset, rows int)) {
+	b.Helper()
+	for _, rows := range cowBenchRows() {
+		for _, lay := range benchLayouts(rows) {
+			b.Run(fmt.Sprintf("rows=%d/layout=%s", rows, lay.name), func(b *testing.B) {
+				d := cowBenchDataset(rows, lay.csize)
+				b.ReportAllocs()
+				fn(b, d, rows)
+			})
+		}
+	}
+}
+
 // BenchmarkDatasetClone measures Dataset.Clone at search-relevant shapes.
 func BenchmarkDatasetClone(b *testing.B) {
-	for _, rows := range []int{10_000, 100_000} {
-		b.Run(fmt.Sprintf("rows=%d", rows), func(b *testing.B) {
-			d := cowBenchDataset(rows)
-			b.ReportAllocs()
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				_ = d.Clone()
-			}
-		})
-	}
+	benchSubstrate(b, func(b *testing.B, d *dataset.Dataset, rows int) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = d.Clone()
+		}
+	})
 }
 
 // BenchmarkFingerprintIncremental measures the engine's memo-key cost for a
 // candidate dataset that differs from an already-fingerprinted source in a
-// single column: clone, write one cell, fingerprint.
+// single column: clone, write one cell, fingerprint. Under the chunked
+// layout the write dirties one 64Ki-row chunk, so the re-fingerprint cost is
+// dirty-chunk count × chunk cost plus a cached-partial merge — sublinear in
+// rows — while the flat layout re-hashes the whole column.
 func BenchmarkFingerprintIncremental(b *testing.B) {
-	for _, rows := range []int{10_000, 100_000} {
-		b.Run(fmt.Sprintf("rows=%d", rows), func(b *testing.B) {
-			d := cowBenchDataset(rows)
-			_ = d.Fingerprint() // warm the source digests
-			b.ReportAllocs()
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				cp := d.Clone()
-				cp.SetNum("n0", i%rows, 1234.5)
-				_ = cp.Fingerprint()
-			}
-		})
-	}
+	benchSubstrate(b, func(b *testing.B, d *dataset.Dataset, rows int) {
+		_ = d.Fingerprint() // warm the source digests
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			cp := d.Clone()
+			cp.SetNum("n0", i%rows, 1234.5)
+			_ = cp.Fingerprint()
+		}
+	})
 }
 
 // BenchmarkTransformApply measures a full single-attribute intervention the
 // way the search runs it: Winsorize one numeric column of a cloned dataset
 // and fingerprint the result for the score memo.
 func BenchmarkTransformApply(b *testing.B) {
-	for _, rows := range []int{10_000, 100_000} {
-		b.Run(fmt.Sprintf("rows=%d", rows), func(b *testing.B) {
-			d := cowBenchDataset(rows)
-			_ = d.Fingerprint() // warm the source digests
-			tr := &transform.Winsorize{Profile: &profile.DomainNumeric{Attr: "n0", Lo: 0.1, Hi: 0.9}}
-			rng := rand.New(rand.NewSource(1))
-			b.ReportAllocs()
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				out, err := tr.Apply(d, rng)
-				if err != nil {
-					b.Fatal(err)
-				}
-				_ = out.Fingerprint()
+	benchSubstrate(b, func(b *testing.B, d *dataset.Dataset, rows int) {
+		_ = d.Fingerprint() // warm the source digests
+		_ = d.Stats("n0")   // warm the stats the transform fits on
+		tr := &transform.Winsorize{Profile: &profile.DomainNumeric{Attr: "n0", Lo: 0.1, Hi: 0.9}}
+		rng := rand.New(rand.NewSource(1))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			out, err := tr.Apply(d, rng)
+			if err != nil {
+				b.Fatal(err)
 			}
-		})
-	}
+			_ = out.Fingerprint()
+		}
+	})
+}
+
+// BenchmarkPredicateMask measures chunk-at-a-time evaluation of a two-clause
+// predicate mask over the full dataset.
+func BenchmarkPredicateMask(b *testing.B) {
+	benchSubstrate(b, func(b *testing.B, d *dataset.Dataset, rows int) {
+		p := dataset.And(dataset.EqStr("c0", "a"), dataset.CmpNum("n0", dataset.Gt, 0.5))
+		var buf []bool
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			buf = p.Mask(d, buf)
+		}
+	})
 }

@@ -21,7 +21,7 @@ func ExampleExplain() {
 		}
 		bad := 0
 		for i := 0; i < d.NumRows(); i++ {
-			if v := c.Strs[i]; v != "ok" && v != "error" {
+			if v := c.StrAt(i); v != "ok" && v != "error" {
 				bad++
 			}
 		}

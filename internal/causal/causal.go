@@ -87,10 +87,10 @@ func encode(d *dataset.Dataset, attr string) []float64 {
 			mean = 0
 		}
 		for i := 0; i < n; i++ {
-			if c.Null[i] {
+			if c.NullAt(i) {
 				out[i] = mean
 			} else {
-				out[i] = c.Nums[i]
+				out[i] = c.NumAt(i)
 			}
 		}
 		return out
@@ -101,8 +101,8 @@ func encode(d *dataset.Dataset, attr string) []float64 {
 		idx[l] = float64(i)
 	}
 	for i := 0; i < n; i++ {
-		if !c.Null[i] {
-			out[i] = idx[c.Strs[i]]
+		if !c.NullAt(i) {
+			out[i] = idx[c.StrAt(i)]
 		}
 	}
 	return out

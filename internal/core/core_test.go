@@ -345,7 +345,7 @@ func TestDecisionTreeInteractingPVTs(t *testing.T) {
 	repair := func(idx ...int) *dataset.Dataset {
 		d := synth.FailingDataset(k)
 		for _, i := range idx {
-			d.MutableColumn(synth.FlagColumn).Nums[i] = 0
+			d.SetNum(synth.FlagColumn, i, 0)
 		}
 		return d
 	}

@@ -134,8 +134,11 @@ func TestExtendedProfilesEndToEnd(t *testing.T) {
 		fail.SetStr("city", i, "WRONG")
 	}
 	fc := fail.MutableColumn("v")
-	for i := range fc.Nums {
-		fc.Nums[i] = fc.Nums[i]*2 + 30
+	for k := 0; k < fc.NumChunks(); k++ {
+		w := fc.MutableChunk(k)
+		for i := range w.Nums {
+			w.Nums[i] = w.Nums[i]*2 + 30
+		}
 	}
 
 	fd := &profile.FuncDep{Det: "zip", Dep: "city"}

@@ -20,7 +20,7 @@ func statusScenario() (sys pipeline.System, pass, fail *dataset.Dataset) {
 		}
 		bad := 0
 		for i := 0; i < d.NumRows(); i++ {
-			if v := c.Strs[i]; v != "ok" && v != "error" {
+			if v := c.StrAt(i); v != "ok" && v != "error" {
 				bad++
 			}
 		}

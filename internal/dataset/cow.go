@@ -1,35 +1,43 @@
 // Copy-on-write column sharing, column versioning, and the shared per-column
-// statistics block.
+// statistics block, all at chunk granularity.
 //
 // Dataset.Clone is an O(#cols) header copy: the clone references the same
 // *Column values as the source, and both sides mark the columns shared. The
 // first write to a shared column — via MutableColumn or the Set* methods —
-// copies just that column, so a single-attribute intervention costs O(rows of
-// the touched column) instead of O(all cells).
+// copies just the column header (O(#chunks) pointers), marking the chunks
+// shared; each chunk is then deep-copied individually on its first write
+// (MutableChunk), so a single-attribute, single-chunk intervention costs
+// O(chunk size), not O(rows).
 //
-// Every column carries a version counter bumped on each mutation grant. The
-// cached content digest (fingerprint.go) and the cached ColumnStats block are
-// keyed by that counter, so they survive sharing across clones and are
-// recomputed only for columns that actually changed.
+// Every column carries a version counter bumped on each chunk mutation
+// grant, and every chunk carries its own. The cached content digest
+// (fingerprint.go) and the cached ColumnStats block are keyed by the column
+// counter; the per-chunk digest partials and statistics roll-ups are keyed
+// by the chunk counters. After a mutation only the dirty chunks rescan —
+// the column-level values are cheap merges of the per-chunk blocks.
 //
-// Contract for writers: never mutate Column slices obtained from Column() or
-// Columns() — request MutableColumn first, finish reading any statistics of
-// the column before that, and do all raw writes before the column is next
-// observed (Digest, Stats, Fingerprint). The Set* methods follow this
-// protocol internally and are always safe.
+// Contract for writers: never mutate slices obtained from Chunk views or
+// the statistics block — request MutableColumn, then MutableChunk for each
+// chunk written, and do all raw writes before the column is next observed
+// (Digest, Stats, Fingerprint). The Set* methods follow this protocol
+// internally and are always safe. The cowmutate analyzer (internal/lint)
+// flags violations statically.
 package dataset
 
 import (
+	"container/heap"
+	"math"
 	"sort"
 
 	"repro/internal/stats"
 )
 
 // MutableColumn returns the named column prepared for in-place mutation: if
-// the column is shared with another dataset (after a Clone), it is deep-
-// copied first and the copy replaces it in d, so writes never leak into
-// other datasets. The column's version is bumped, invalidating its cached
-// digest and statistics. Returns nil if the column does not exist.
+// the column is shared with another dataset (after a Clone), its header is
+// copied first — an O(#chunks) pointer copy that marks every chunk shared —
+// and the copy replaces it in d, so writes never leak into other datasets.
+// Cell writes then go through MutableChunk, which copies and dirties only
+// the touched chunk. Returns nil if the column does not exist.
 func (d *Dataset) MutableColumn(name string) *Column {
 	i, ok := d.byName[name]
 	if !ok {
@@ -42,22 +50,73 @@ func (d *Dataset) MutableColumn(name string) *Column {
 func (d *Dataset) mutableAt(i int) *Column {
 	c := d.cols[i]
 	if c.shared.Load() {
-		c = c.clone()
+		c = c.cloneHeader()
 		d.cols[i] = c
 	}
-	c.markDirty()
 	return c
 }
 
-// markDirty invalidates the column's cached digest and statistics.
+// markDirty invalidates the column's cached digest and statistics. Chunk
+// caches are invalidated by the per-chunk version bump in MutableChunk.
 func (c *Column) markDirty() { c.version.Add(1) }
+
+// chunkStats is the per-chunk statistics roll-up: NULL count, the chunk's
+// non-NULL values in row order, an ascending numeric copy, and domain
+// counts for string chunks. Column-level ColumnStats blocks are merges of
+// these, so after a mutation only the dirty chunks rescan.
+type chunkStats struct {
+	version uint64 // chunk version the block was computed at
+
+	nulls  int
+	nums   []float64 // non-NULL numeric values, row order
+	sorted []float64 // nums, ascending
+	strs   []string  // non-NULL string values, row order
+	counts map[string]int
+}
+
+// statsBlock returns the chunk's statistics roll-up, computing and caching
+// it on first use, keyed by the chunk version.
+func (ch *chunk) statsBlock(kind Kind) *chunkStats {
+	v := ch.version.Load()
+	if s := ch.stats.Load(); s != nil && s.version == v {
+		return s
+	}
+	s := &chunkStats{version: v}
+	for _, isNull := range ch.null {
+		if isNull {
+			s.nulls++
+		}
+	}
+	if kind == Numeric {
+		s.nums = make([]float64, 0, len(ch.nums)-s.nulls)
+		for i, val := range ch.nums {
+			if !ch.null[i] {
+				s.nums = append(s.nums, val)
+			}
+		}
+		s.sorted = append([]float64(nil), s.nums...)
+		sort.Float64s(s.sorted)
+	} else {
+		s.strs = make([]string, 0, len(ch.strs)-s.nulls)
+		s.counts = make(map[string]int)
+		for i, val := range ch.strs {
+			if !ch.null[i] {
+				s.strs = append(s.strs, val)
+				s.counts[val]++
+			}
+		}
+	}
+	ch.stats.Store(s)
+	return s
+}
 
 // ColumnStats is the shared per-column statistics block: NULL counts, the
 // non-NULL value vectors, moments, extrema, a sorted numeric copy for
 // quantiles, and domain counts for string columns. It is computed once per
-// column version and reused across profile discovery, discriminative
-// filtering, transform parameter fitting, and coverage scoring. All fields
-// are read-only for callers; the slices are shared, never mutate them.
+// column version by merging the per-chunk roll-ups and reused across
+// profile discovery, discriminative filtering, transform parameter fitting,
+// and coverage scoring. All fields are read-only for callers; the slices
+// are shared, never mutate them.
 type ColumnStats struct {
 	version uint64 // column version the block was computed at
 
@@ -81,8 +140,13 @@ type ColumnStats struct {
 }
 
 // Stats returns the column's statistics block, computing and caching it on
-// first use. The cache is invalidated by MutableColumn/Set* and shared by
-// every dataset referencing the column.
+// first use. The cache is invalidated by chunk mutation grants and shared
+// by every dataset referencing the column. Recomputation merges the cached
+// per-chunk roll-ups, so it rescans only chunks mutated since the last
+// observation. The merged values are bit-identical for any chunk layout:
+// the concatenated row-order vectors equal the flat ones, and the scalar
+// statistics are computed from those via the same internal/stats functions
+// as before.
 func (c *Column) Stats() *ColumnStats {
 	v := c.version.Load()
 	if s := c.stats.Load(); s != nil && s.version == v {
@@ -93,36 +157,42 @@ func (c *Column) Stats() *ColumnStats {
 	return s
 }
 
-// computeStats builds the statistics block from the column content. The
-// scalar statistics go through the same internal/stats functions the
-// call sites used before caching, so the values are bit-identical.
+// computeStats merges the per-chunk roll-ups into a column-level block.
 func (c *Column) computeStats(version uint64) *ColumnStats {
-	s := &ColumnStats{version: version, Rows: c.Len()}
-	for _, isNull := range c.Null {
-		if isNull {
-			s.Nulls++
-		}
+	s := &ColumnStats{version: version, Rows: c.rows}
+	parts := make([]*chunkStats, len(c.chunks))
+	for i, ch := range c.chunks {
+		parts[i] = ch.statsBlock(c.Kind)
+		s.Nulls += parts[i].nulls
 	}
 	if c.Kind == Numeric {
-		s.Nums = make([]float64, 0, len(c.Nums))
-		for i, v := range c.Nums {
-			if !c.Null[i] {
-				s.Nums = append(s.Nums, v)
+		if len(parts) == 1 {
+			// Alias the chunk's vectors: both blocks are immutable caches.
+			s.Nums = parts[0].nums
+			s.SortedNums = parts[0].sorted
+		} else {
+			s.Nums = make([]float64, 0, c.rows-s.Nulls)
+			for _, p := range parts {
+				s.Nums = append(s.Nums, p.nums...)
 			}
+			s.SortedNums = mergeSortedFloat64s(parts, c.rows-s.Nulls)
 		}
-		s.SortedNums = append([]float64(nil), s.Nums...)
-		sort.Float64s(s.SortedNums)
 		s.Mean = stats.Mean(s.Nums)
 		s.StdDev = stats.StdDev(s.Nums)
 		s.Min, s.Max = stats.MinMax(s.Nums)
 		return s
 	}
-	s.Strs = make([]string, 0, len(c.Strs))
-	s.Counts = make(map[string]int)
-	for i, v := range c.Strs {
-		if !c.Null[i] {
-			s.Strs = append(s.Strs, v)
-			s.Counts[v]++
+	if len(parts) == 1 {
+		s.Strs = parts[0].strs
+		s.Counts = parts[0].counts
+	} else {
+		s.Strs = make([]string, 0, c.rows-s.Nulls)
+		s.Counts = make(map[string]int)
+		for _, p := range parts {
+			s.Strs = append(s.Strs, p.strs...)
+			for v, n := range p.counts {
+				s.Counts[v] += n
+			}
 		}
 	}
 	s.Distinct = make([]string, 0, len(s.Counts))
@@ -131,6 +201,68 @@ func (c *Column) computeStats(version uint64) *ColumnStats {
 	}
 	sort.Strings(s.Distinct)
 	return s
+}
+
+// fpLess is the strict weak ordering sort.Float64s uses: ascending with
+// NaNs first. Merging per-chunk sorted runs under the same ordering yields
+// a vector equal (under ==, NaN slots aligned) to sorting the flat vector;
+// only the unobservable -0.0/+0.0 ordering may differ.
+func fpLess(a, b float64) bool { return a < b || (math.IsNaN(a) && !math.IsNaN(b)) }
+
+// mergeSortedFloat64s k-way-merges the per-chunk ascending vectors. Small
+// fan-ins use a linear scan over the run heads; larger ones a heap.
+func mergeSortedFloat64s(parts []*chunkStats, total int) []float64 {
+	out := make([]float64, 0, total)
+	runs := make([][]float64, 0, len(parts))
+	for _, p := range parts {
+		if len(p.sorted) > 0 {
+			runs = append(runs, p.sorted)
+		}
+	}
+	if len(runs) <= 8 {
+		for len(runs) > 0 {
+			best := 0
+			for i := 1; i < len(runs); i++ {
+				if fpLess(runs[i][0], runs[best][0]) {
+					best = i
+				}
+			}
+			out = append(out, runs[best][0])
+			if runs[best] = runs[best][1:]; len(runs[best]) == 0 {
+				runs[best] = runs[len(runs)-1]
+				runs = runs[:len(runs)-1]
+			}
+		}
+		return out
+	}
+	h := runHeap(runs)
+	heap.Init(&h)
+	for h.Len() > 0 {
+		r := h[0]
+		out = append(out, r[0])
+		if r = r[1:]; len(r) == 0 {
+			heap.Pop(&h)
+		} else {
+			h[0] = r
+			heap.Fix(&h, 0)
+		}
+	}
+	return out
+}
+
+// runHeap is a min-heap of sorted runs ordered by their head element.
+type runHeap [][]float64
+
+func (h runHeap) Len() int            { return len(h) }
+func (h runHeap) Less(i, j int) bool  { return fpLess(h[i][0], h[j][0]) }
+func (h runHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *runHeap) Push(x interface{}) { *h = append(*h, x.([]float64)) }
+func (h *runHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
 }
 
 // Stats returns the statistics block of the named column, or nil if the

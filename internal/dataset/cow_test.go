@@ -55,7 +55,10 @@ func TestCoWPropertyRandomMutations(t *testing.T) {
 			}
 		}
 
-		src := refDataset(nums, strs, nulls)
+		// Cycle through chunk layouts, including single-row chunks and the
+		// single-chunk default; all comparisons below are layout-agnostic.
+		csizes := []int{1, 7, 16, rows - 1, rows, rows + 1, DefaultChunkSize}
+		src := refDataset(nums, strs, nulls).Rechunk(csizes[trial%len(csizes)])
 		srcRef := refDataset(nums, strs, nulls)
 		srcFP := src.Fingerprint() // warm the digest caches before cloning
 
@@ -84,15 +87,20 @@ func TestCoWPropertyRandomMutations(t *testing.T) {
 				}
 				cur.SetNull(name, r)
 				nulls[c][r] = true
-			case 3: // bulk write through MutableColumn
+			case 3: // bulk write through MutableColumn + MutableChunk
 				c := rng.Intn(numCols)
 				mc := cur.MutableColumn(fmt.Sprintf("n%d", c))
-				for r := range mc.Nums {
-					if !mc.Null[r] {
-						mc.Nums[r] += 1
-						if !nulls[c][r] {
-							nums[c][r] += 1
+				for k := 0; k < mc.NumChunks(); k++ {
+					w := mc.MutableChunk(k)
+					for r := range w.Nums {
+						if !w.Null[r] {
+							w.Nums[r] += 1
 						}
+					}
+				}
+				for r := range nums[c] {
+					if !nulls[c][r] {
+						nums[c][r] += 1
 					}
 				}
 			case 4: // re-clone: the chain continues from a fresh CoW copy

@@ -20,6 +20,11 @@ type InferOptions struct {
 	MaxCategorical int
 	// TextColumns forces the named columns to Text regardless of inference.
 	TextColumns []string
+	// ChunkSize sets the rows-per-chunk capacity of the parsed dataset's
+	// columns; 0 means DefaultChunkSize. Chunk size affects only
+	// copy-on-write and recomputation granularity — the parsed contents,
+	// digests, and statistics are layout-agnostic.
+	ChunkSize int
 }
 
 // ReadCSV parses CSV data whose first record is the header, inferring column
@@ -51,7 +56,11 @@ func ReadCSV(r io.Reader, opts InferOptions) (*Dataset, error) {
 		forcedText[n] = true
 	}
 
-	d := New()
+	csize := opts.ChunkSize
+	if csize == 0 {
+		csize = DefaultChunkSize
+	}
+	d := NewChunked(csize)
 	for j, name := range header {
 		cells := make([]string, len(rows))
 		null := make([]bool, len(rows))
@@ -80,8 +89,7 @@ func ReadCSV(r io.Reader, opts InferOptions) (*Dataset, error) {
 		if forcedText[name] || distinctCount(cells, null) > maxCat {
 			kind = Text
 		}
-		col := &Column{Name: name, Kind: kind, Strs: cells, Null: null}
-		if err := d.addColumn(col); err != nil {
+		if err := d.addColumn(newColumn(name, kind, nil, cells, null, csize)); err != nil {
 			return nil, err
 		}
 	}
@@ -135,12 +143,12 @@ func (d *Dataset) WriteCSV(w io.Writer) error {
 	for r := 0; r < d.NumRows(); r++ {
 		for j, c := range d.cols {
 			switch {
-			case c.Null[r]:
+			case c.NullAt(r):
 				rec[j] = ""
 			case c.Kind == Numeric:
-				rec[j] = strconv.FormatFloat(c.Nums[r], 'g', -1, 64)
+				rec[j] = strconv.FormatFloat(c.NumAt(r), 'g', -1, 64)
 			default:
-				rec[j] = c.Strs[r]
+				rec[j] = c.StrAt(r)
 			}
 		}
 		if err := cw.Write(rec); err != nil {

@@ -2,10 +2,10 @@
 // profiles, transforms, and feeds to the systems under test.
 //
 // A Dataset is a columnar table over a fixed schema. Every column has a name,
-// a Kind (Numeric, Categorical, or Text), a value vector, and a NULL mask.
-// Datasets are value-semantic at the API level: transformations operate on
-// deep copies obtained via Clone, so interventions never mutate the original
-// failing dataset.
+// a Kind (Numeric, Categorical, or Text), a value vector, and a NULL mask,
+// stored as fixed-size chunks (chunk.go). Datasets are value-semantic at the
+// API level: transformations operate on copies obtained via Clone, so
+// interventions never mutate the original failing dataset.
 package dataset
 
 import (
@@ -42,24 +42,34 @@ func (k Kind) String() string {
 	}
 }
 
-// Column is a single named, typed column with a NULL mask.
-// Nums is populated for Numeric columns; Strs for Categorical and Text.
-// Null[i] reports whether row i is NULL; a NULL row's value slot is ignored.
+// Column is a single named, typed column with a NULL mask, stored as
+// fixed-size chunks (chunk.go). Cells are read through NumAt/StrAt/NullAt
+// or chunk-at-a-time through NumChunks/Chunk; the non-NULL value vectors
+// live on the cached statistics block (Stats).
 //
-// Columns are shared between datasets after Clone (copy-on-write): mutate
-// the value slices only through Dataset.MutableColumn or the Set* methods,
-// never directly through Column()/Columns() — see cow.go for the contract.
+// Columns and their chunks are shared between datasets after Clone
+// (copy-on-write): mutate cells only through Dataset.MutableColumn plus
+// MutableChunk, or the Set* methods — never through a Chunk view. See
+// cow.go for the contract.
 type Column struct {
 	Name string
 	Kind Kind
-	Nums []float64
-	Strs []string
-	Null []bool
 
-	// shared marks the column as referenced by more than one dataset; the
-	// next mutation grant copies it (cow.go). version counts mutation
-	// grants; digest/digestAt cache the content digest (fingerprint.go) and
-	// stats the ColumnStats block, both keyed by version.
+	// rows is the column length; csize the rows-per-chunk capacity, with
+	// shift/mask the fast-path decomposition for power-of-two sizes
+	// (mask < 0 selects the divide path). chunks holds the canonical
+	// layout: every chunk has exactly csize rows except the last.
+	rows   int
+	csize  int
+	shift  uint
+	mask   int
+	chunks []*chunk
+
+	// shared marks the column header as referenced by more than one
+	// dataset; the next mutation grant copies the header (cow.go). version
+	// counts chunk mutation grants; digest/digestAt cache the content
+	// digest (fingerprint.go) and stats the merged ColumnStats block, all
+	// keyed by version.
 	shared   atomic.Bool
 	version  atomic.Uint64
 	digest   atomic.Uint64
@@ -68,40 +78,34 @@ type Column struct {
 }
 
 // Len returns the number of rows in the column.
-func (c *Column) Len() int {
-	if c.Kind == Numeric {
-		return len(c.Nums)
-	}
-	return len(c.Strs)
-}
+func (c *Column) Len() int { return c.rows }
 
-// clone returns a deep copy of the column.
-func (c *Column) clone() *Column {
-	cp := &Column{Name: c.Name, Kind: c.Kind}
-	if c.Nums != nil {
-		cp.Nums = append([]float64(nil), c.Nums...)
-	}
-	if c.Strs != nil {
-		cp.Strs = append([]string(nil), c.Strs...)
-	}
-	if c.Null != nil {
-		cp.Null = append([]bool(nil), c.Null...)
-	}
-	return cp
-}
-
-// Dataset is a columnar relational table. The zero value is an empty table;
-// use New and the Add*Column methods to populate it.
+// Dataset is a columnar relational table. The zero value is not usable;
+// construct with New or NewChunked and the Add*Column methods.
 type Dataset struct {
 	cols   []*Column
 	byName map[string]int
 	rows   int
+	csize  int
 }
 
-// New returns an empty dataset with no columns and no rows.
-func New() *Dataset {
-	return &Dataset{byName: make(map[string]int)}
+// New returns an empty dataset with no columns and no rows, using the
+// default chunk size.
+func New() *Dataset { return NewChunked(DefaultChunkSize) }
+
+// NewChunked returns an empty dataset whose columns are stored in chunks of
+// the given number of rows. Sizes below 1 fall back to DefaultChunkSize.
+// Chunk size affects only copy-on-write and recomputation granularity:
+// digests, statistics, and Equal are layout-agnostic.
+func NewChunked(chunkSize int) *Dataset {
+	if chunkSize < 1 {
+		chunkSize = DefaultChunkSize
+	}
+	return &Dataset{byName: make(map[string]int), csize: chunkSize}
 }
+
+// ChunkSize returns the rows-per-chunk capacity of the dataset's columns.
+func (d *Dataset) ChunkSize() int { return d.csize }
 
 // NumRows returns the number of tuples in the dataset.
 func (d *Dataset) NumRows() int { return d.rows }
@@ -119,7 +123,7 @@ func (d *Dataset) ColumnNames() []string {
 }
 
 // Columns returns the underlying columns in schema order. Callers must not
-// mutate the returned slices unless they own the dataset.
+// mutate the returned slice.
 func (d *Dataset) Columns() []*Column { return d.cols }
 
 // Column returns the column with the given name, or nil if absent.
@@ -148,11 +152,6 @@ func (d *Dataset) addColumn(c *Column) error {
 	if len(d.cols) > 0 && c.Len() != d.rows {
 		return fmt.Errorf("dataset: column %q has %d rows, want %d", c.Name, c.Len(), d.rows)
 	}
-	if c.Null == nil {
-		c.Null = make([]bool, c.Len())
-	} else if len(c.Null) != c.Len() {
-		return fmt.Errorf("dataset: column %q null mask has %d entries, want %d", c.Name, len(c.Null), c.Len())
-	}
 	if len(d.cols) == 0 {
 		d.rows = c.Len()
 	}
@@ -163,17 +162,26 @@ func (d *Dataset) addColumn(c *Column) error {
 
 // AddNumericColumn appends a numeric column. A nil null mask means no NULLs.
 func (d *Dataset) AddNumericColumn(name string, vals []float64, null []bool) error {
-	return d.addColumn(&Column{Name: name, Kind: Numeric, Nums: vals, Null: null})
+	if null != nil && len(null) != len(vals) {
+		return fmt.Errorf("dataset: column %q null mask has %d entries, want %d", name, len(null), len(vals))
+	}
+	return d.addColumn(newColumn(name, Numeric, vals, nil, null, d.csize))
 }
 
 // AddCategoricalColumn appends a categorical column. A nil null mask means no NULLs.
 func (d *Dataset) AddCategoricalColumn(name string, vals []string, null []bool) error {
-	return d.addColumn(&Column{Name: name, Kind: Categorical, Strs: vals, Null: null})
+	if null != nil && len(null) != len(vals) {
+		return fmt.Errorf("dataset: column %q null mask has %d entries, want %d", name, len(null), len(vals))
+	}
+	return d.addColumn(newColumn(name, Categorical, nil, vals, null, d.csize))
 }
 
 // AddTextColumn appends a free-text column. A nil null mask means no NULLs.
 func (d *Dataset) AddTextColumn(name string, vals []string, null []bool) error {
-	return d.addColumn(&Column{Name: name, Kind: Text, Strs: vals, Null: null})
+	if null != nil && len(null) != len(vals) {
+		return fmt.Errorf("dataset: column %q null mask has %d entries, want %d", name, len(null), len(vals))
+	}
+	return d.addColumn(newColumn(name, Text, nil, vals, null, d.csize))
 }
 
 // MustAddNumeric is AddNumericColumn that panics on error; for literals in
@@ -204,7 +212,7 @@ func (d *Dataset) MustAddText(name string, vals []string) *Dataset {
 // IsNull reports whether the value at (attr, row) is NULL.
 func (d *Dataset) IsNull(attr string, row int) bool {
 	c := d.Column(attr)
-	return c != nil && c.Null[row]
+	return c != nil && c.NullAt(row)
 }
 
 // Num returns the numeric value at (attr, row). It panics if the column is
@@ -214,10 +222,12 @@ func (d *Dataset) Num(attr string, row int) float64 {
 	if c == nil || c.Kind != Numeric {
 		panic(fmt.Sprintf("dataset: %q is not a numeric column", attr))
 	}
-	if c.Null[row] {
+	ci, off := c.chunkOf(row)
+	ch := c.chunks[ci]
+	if ch.null[off] {
 		return math.NaN()
 	}
-	return c.Nums[row]
+	return ch.nums[off]
 }
 
 // Str returns the string value at (attr, row). It panics if the column is
@@ -227,56 +237,69 @@ func (d *Dataset) Str(attr string, row int) string {
 	if c == nil || c.Kind == Numeric {
 		panic(fmt.Sprintf("dataset: %q is not a string column", attr))
 	}
-	if c.Null[row] {
+	ci, off := c.chunkOf(row)
+	ch := c.chunks[ci]
+	if ch.null[off] {
 		return ""
 	}
-	return c.Strs[row]
+	return ch.strs[off]
 }
 
 // SetNum stores a numeric value, clearing the NULL flag. The write goes
-// through the copy-on-write path, so it never leaks into clones.
+// through the copy-on-write path, copying and dirtying only the chunk
+// containing the row, so it never leaks into clones.
 func (d *Dataset) SetNum(attr string, row int, v float64) {
 	c := d.Column(attr)
 	if c == nil || c.Kind != Numeric {
 		panic(fmt.Sprintf("dataset: %q is not a numeric column", attr))
 	}
 	c = d.MutableColumn(attr)
-	c.Nums[row] = v
-	c.Null[row] = false
+	ci, off := c.chunkOf(row)
+	w := c.MutableChunk(ci)
+	w.Nums[off] = v
+	w.Null[off] = false
 }
 
 // SetStr stores a string value, clearing the NULL flag. The write goes
-// through the copy-on-write path, so it never leaks into clones.
+// through the copy-on-write path, copying and dirtying only the chunk
+// containing the row, so it never leaks into clones.
 func (d *Dataset) SetStr(attr string, row int, v string) {
 	c := d.Column(attr)
 	if c == nil || c.Kind == Numeric {
 		panic(fmt.Sprintf("dataset: %q is not a string column", attr))
 	}
 	c = d.MutableColumn(attr)
-	c.Strs[row] = v
-	c.Null[row] = false
+	ci, off := c.chunkOf(row)
+	w := c.MutableChunk(ci)
+	w.Strs[off] = v
+	w.Null[off] = false
 }
 
 // SetNull marks the value at (attr, row) as NULL. The write goes through
-// the copy-on-write path, so it never leaks into clones.
+// the copy-on-write path, copying and dirtying only the chunk containing
+// the row, so it never leaks into clones.
 func (d *Dataset) SetNull(attr string, row int) {
 	c := d.MutableColumn(attr)
 	if c == nil {
 		panic(fmt.Sprintf("dataset: no column %q", attr))
 	}
-	c.Null[row] = true
+	ci, off := c.chunkOf(row)
+	w := c.MutableChunk(ci)
+	w.Null[off] = true
 }
 
 // Clone returns a logically independent copy of the dataset in O(#cols):
-// the clone shares the underlying columns copy-on-write, and the first
-// mutation of a shared column (MutableColumn, Set*) copies just that
-// column. Transformations always clone before mutating, so the source
-// dataset is never altered.
+// the clone shares the underlying columns copy-on-write. The first mutation
+// of a shared column copies its header (O(#chunks) pointers), and each
+// mutated chunk is copied individually — a single-attribute, single-chunk
+// intervention costs O(chunk size), not O(rows). Transformations always
+// clone before mutating, so the source dataset is never altered.
 func (d *Dataset) Clone() *Dataset {
 	cp := &Dataset{
 		cols:   make([]*Column, len(d.cols)),
 		byName: make(map[string]int, len(d.byName)),
 		rows:   d.rows,
+		csize:  d.csize,
 	}
 	for i, c := range d.cols {
 		c.shared.Store(true)
@@ -289,21 +312,28 @@ func (d *Dataset) Clone() *Dataset {
 // SelectRows returns a new dataset containing the rows at the given indices,
 // in order. Indices may repeat (used by over-sampling transformations).
 func (d *Dataset) SelectRows(idx []int) *Dataset {
-	out := New()
+	out := NewChunked(d.csize)
 	for _, c := range d.cols {
-		nc := &Column{Name: c.Name, Kind: c.Kind, Null: make([]bool, len(idx))}
+		null := make([]bool, len(idx))
+		var nc *Column
 		if c.Kind == Numeric {
-			nc.Nums = make([]float64, len(idx))
+			nums := make([]float64, len(idx))
 			for j, i := range idx {
-				nc.Nums[j] = c.Nums[i]
-				nc.Null[j] = c.Null[i]
+				ci, off := c.chunkOf(i)
+				ch := c.chunks[ci]
+				nums[j] = ch.nums[off]
+				null[j] = ch.null[off]
 			}
+			nc = newColumn(c.Name, c.Kind, nums, nil, null, d.csize)
 		} else {
-			nc.Strs = make([]string, len(idx))
+			strs := make([]string, len(idx))
 			for j, i := range idx {
-				nc.Strs[j] = c.Strs[i]
-				nc.Null[j] = c.Null[i]
+				ci, off := c.chunkOf(i)
+				ch := c.chunks[ci]
+				strs[j] = ch.strs[off]
+				null[j] = ch.null[off]
 			}
+			nc = newColumn(c.Name, c.Kind, nil, strs, null, d.csize)
 		}
 		if err := out.addColumn(nc); err != nil {
 			panic(err) // cannot happen: schema mirrors a valid dataset
@@ -324,28 +354,72 @@ func (d *Dataset) Filter(keep func(row int) bool) *Dataset {
 }
 
 // Append concatenates other's rows onto d and returns the combined dataset.
-// The schemas must match exactly (names, order, kinds).
+// The schemas must match exactly (names, order, kinds); the chunk layouts
+// need not — the result reflows other's rows into d's canonical geometry.
 func (d *Dataset) Append(other *Dataset) (*Dataset, error) {
 	if len(d.cols) != len(other.cols) {
 		return nil, fmt.Errorf("dataset: schema mismatch: %d vs %d columns", len(d.cols), len(other.cols))
 	}
+	for i := range d.cols {
+		oc := other.cols[i]
+		if oc.Name != d.cols[i].Name || oc.Kind != d.cols[i].Kind {
+			return nil, fmt.Errorf("dataset: schema mismatch at column %d: %s/%s vs %s/%s",
+				i, d.cols[i].Name, d.cols[i].Kind, oc.Name, oc.Kind)
+		}
+	}
 	out := d.Clone()
 	for i := range out.cols {
-		oc := other.cols[i]
-		if oc.Name != out.cols[i].Name || oc.Kind != out.cols[i].Kind {
-			return nil, fmt.Errorf("dataset: schema mismatch at column %d: %s/%s vs %s/%s",
-				i, out.cols[i].Name, out.cols[i].Kind, oc.Name, oc.Kind)
-		}
 		c := out.mutableAt(i)
-		if c.Kind == Numeric {
-			c.Nums = append(c.Nums, oc.Nums...)
-		} else {
-			c.Strs = append(c.Strs, oc.Strs...)
-		}
-		c.Null = append(c.Null, oc.Null...)
+		c.appendCells(other.cols[i])
 	}
 	out.rows += other.rows
 	return out, nil
+}
+
+// appendCells reflows every row of src onto the end of c, keeping c's
+// canonical chunk layout. The column header must be exclusively owned.
+func (c *Column) appendCells(src *Column) {
+	// The last chunk may need to grow: copy it out of sharing first.
+	if n := len(c.chunks); n > 0 && c.chunks[n-1].len() < c.csize {
+		last := c.chunks[n-1]
+		if last.shared.Load() {
+			last = last.clone()
+			c.chunks[n-1] = last
+		}
+		last.version.Add(1)
+		c.markDirty()
+	}
+	for _, sch := range src.chunks {
+		for off := 0; off < sch.len(); off++ {
+			var last *chunk
+			if n := len(c.chunks); n > 0 && c.chunks[n-1].len() < c.csize {
+				last = c.chunks[n-1]
+			} else {
+				last = &chunk{start: c.rows}
+				if c.Kind == Numeric {
+					last.nums = make([]float64, 0, c.csize)
+				} else {
+					last.strs = make([]string, 0, c.csize)
+				}
+				last.null = make([]bool, 0, c.csize)
+				c.chunks = append(c.chunks, last)
+				c.markDirty()
+			}
+			// Bulk-copy as many rows as fit in the last chunk.
+			n := c.csize - last.len()
+			if rem := sch.len() - off; n > rem {
+				n = rem
+			}
+			if c.Kind == Numeric {
+				last.nums = append(last.nums, sch.nums[off:off+n]...)
+			} else {
+				last.strs = append(last.strs, sch.strs[off:off+n]...)
+			}
+			last.null = append(last.null, sch.null[off:off+n]...)
+			c.rows += n
+			off += n - 1
+		}
+	}
 }
 
 // Shuffle returns a copy of the dataset with rows permuted by rng.
@@ -435,6 +509,7 @@ func (d *Dataset) NullCount(attr string) int {
 }
 
 // SchemaEqual reports whether two datasets share names, order, and kinds.
+// Chunk layout is not part of the schema.
 func (d *Dataset) SchemaEqual(other *Dataset) bool {
 	if len(d.cols) != len(other.cols) {
 		return false
@@ -448,31 +523,64 @@ func (d *Dataset) SchemaEqual(other *Dataset) bool {
 }
 
 // Equal reports whether two datasets have identical schema and cell values.
-// NaN numeric cells compare equal to NaN.
+// NaN numeric cells compare equal to NaN. The comparison is chunk-layout-
+// agnostic: datasets with different chunk sizes but identical contents
+// compare equal.
 func (d *Dataset) Equal(other *Dataset) bool {
 	if !d.SchemaEqual(other) || d.rows != other.rows {
 		return false
 	}
 	for i, c := range d.cols {
-		oc := other.cols[i]
-		if c == oc {
-			continue // CoW-shared column: trivially equal
+		if !c.contentEqual(other.cols[i]) {
+			return false
 		}
-		for r := 0; r < d.rows; r++ {
-			if c.Null[r] != oc.Null[r] {
+	}
+	return true
+}
+
+// contentEqual compares cell values across two columns of equal length with
+// a dual chunk cursor, so the chunk boundaries of the two sides need not
+// align. CoW-shared chunks compare pointer-equal and skip the cell walk.
+func (c *Column) contentEqual(o *Column) bool {
+	if c == o {
+		return true
+	}
+	var ci, co, offC, offO int
+	for done := 0; done < c.rows; {
+		chc, cho := c.chunks[ci], o.chunks[co]
+		if chc == cho && offC == 0 && offO == 0 {
+			done += chc.len()
+			ci, co = ci+1, co+1
+			continue
+		}
+		n := chc.len() - offC
+		if m := cho.len() - offO; m < n {
+			n = m
+		}
+		for k := 0; k < n; k++ {
+			if chc.null[offC+k] != cho.null[offO+k] {
 				return false
 			}
-			if c.Null[r] {
+			if chc.null[offC+k] {
 				continue
 			}
 			if c.Kind == Numeric {
-				a, b := c.Nums[r], oc.Nums[r]
+				a, b := chc.nums[offC+k], cho.nums[offO+k]
 				if a != b && !(math.IsNaN(a) && math.IsNaN(b)) {
 					return false
 				}
-			} else if c.Strs[r] != oc.Strs[r] {
+			} else if chc.strs[offC+k] != cho.strs[offO+k] {
 				return false
 			}
+		}
+		done += n
+		offC += n
+		offO += n
+		if offC == chc.len() {
+			ci, offC = ci+1, 0
+		}
+		if offO == cho.len() {
+			co, offO = co+1, 0
 		}
 	}
 	return true
@@ -493,12 +601,12 @@ func (d *Dataset) String() string {
 			if i > 0 {
 				b.WriteString(", ")
 			}
-			if c.Null[i] {
+			if c.NullAt(i) {
 				b.WriteString("NULL")
 			} else if c.Kind == Numeric {
-				fmt.Fprintf(&b, "%g", c.Nums[i])
+				fmt.Fprintf(&b, "%g", c.NumAt(i))
 			} else {
-				fmt.Fprintf(&b, "%q", c.Strs[i])
+				fmt.Fprintf(&b, "%q", c.StrAt(i))
 			}
 		}
 		if c.Len() > 5 {

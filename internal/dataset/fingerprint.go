@@ -11,11 +11,15 @@ import "math"
 // position, keeping semantically equal datasets fingerprint-equal.
 //
 // The fingerprint combines independent per-column digests (Column.Digest),
-// which are cached and invalidated by the column version counter, so after a
-// CoW clone plus a one-column transform only the touched column is
-// re-hashed: the memo key costs O(rows of that column), not O(all cells).
-// The incremental result is bit-identical to recomputing every column digest
-// from scratch.
+// each of which is a merge of cached per-chunk partials invalidated by the
+// chunk version counters. After a CoW clone plus a one-chunk transform only
+// the dirty chunks are re-hashed: the memo key costs
+// O(dirty chunks × chunk size), not O(rows). The incremental result is
+// bit-identical to recomputing every partial from scratch, and — because
+// each cell's contribution is salted with its global row index and the
+// partials combine by wrapping addition — the digest is chunk-layout-
+// agnostic: a single-chunk column and any multi-chunk layout of the same
+// content produce the same value.
 //
 // Collisions are possible in principle (64-bit digest) but astronomically
 // unlikely for the dataset counts a search evaluates; a collision would
@@ -31,24 +35,30 @@ func (d *Dataset) Fingerprint() uint64 {
 	return h.sum()
 }
 
-// fingerprintScratch recomputes the fingerprint ignoring every cached column
-// digest — the reference the property tests compare the incremental path
-// against.
+// fingerprintScratch recomputes the fingerprint ignoring every cached chunk
+// partial and column digest — the reference the property tests compare the
+// incremental path against.
 func (d *Dataset) fingerprintScratch() uint64 {
 	var h fpHash
 	h.init()
 	h.word(uint64(len(d.cols)))
 	h.word(uint64(d.rows))
 	for _, c := range d.cols {
-		h.word(c.computeDigest())
+		var total uint64
+		for _, ch := range c.chunks {
+			total += ch.computePartial(c.Kind)
+		}
+		h.word(c.finalizeDigest(total))
 	}
 	return h.sum()
 }
 
-// Digest returns the column's 64-bit content digest (name, kind, NULL mask,
-// values), cached per column version. Writers must follow the cow.go
-// contract: all raw writes to a mutable column happen before the column is
-// next observed.
+// Digest returns the column's 64-bit content digest (name, kind, row count,
+// NULL mask, values), cached per column version. Recomputation sums the
+// per-chunk partials, which are themselves cached per chunk version, so
+// only chunks mutated since the last observation rescan. Writers must
+// follow the cow.go contract: all raw writes to a mutable chunk happen
+// before the column is next observed.
 func (c *Column) Digest() uint64 {
 	v := c.version.Load()
 	// digestAt stores version+1 so the zero value means "no cached digest".
@@ -58,35 +68,92 @@ func (c *Column) Digest() uint64 {
 	if at := c.digestAt.Load(); at == v+1 {
 		return c.digest.Load()
 	}
-	dg := c.computeDigest()
+	var total uint64
+	for _, ch := range c.chunks {
+		total += ch.digestPartial(c.Kind)
+	}
+	dg := c.finalizeDigest(total)
 	c.digest.Store(dg)
 	c.digestAt.Store(v + 1)
 	return dg
 }
 
-// computeDigest hashes the column content from scratch.
-func (c *Column) computeDigest() uint64 {
+// finalizeDigest folds the schema header and the summed cell partials into
+// the column digest.
+func (c *Column) finalizeDigest(total uint64) uint64 {
 	var h fpHash
 	h.init()
 	h.str(c.Name)
 	h.word(uint64(c.Kind))
-	if c.Kind == Numeric {
-		for i, v := range c.Nums {
-			if i < len(c.Null) && c.Null[i] {
-				h.word(fpNullMarker)
+	h.word(uint64(c.rows))
+	h.word(total)
+	return h.sum()
+}
+
+// digestPartial returns the chunk's cell-content partial, cached per chunk
+// version. The same store/load ordering convention as Column.Digest applies.
+func (ch *chunk) digestPartial(kind Kind) uint64 {
+	v := ch.version.Load()
+	if at := ch.digestAt.Load(); at == v+1 {
+		return ch.digest.Load()
+	}
+	p := ch.computePartial(kind)
+	ch.digest.Store(p)
+	ch.digestAt.Store(v + 1)
+	return p
+}
+
+// computePartial hashes the chunk's cells from scratch. Each cell hashes
+// independently, salted with its global row index, and the per-cell hashes
+// combine by wrapping addition — a commutative merge, so partials summed in
+// any grouping (any chunk layout) give the same column total, and one dirty
+// chunk re-hashes without touching its neighbours.
+func (ch *chunk) computePartial(kind Kind) uint64 {
+	var total uint64
+	if kind == Numeric {
+		for i, v := range ch.nums {
+			if ch.null[i] {
+				total += hashNullCell(ch.start + i)
 				continue
 			}
-			h.word(math.Float64bits(v))
+			total += hashNumCell(ch.start+i, v)
 		}
 	} else {
-		for i, v := range c.Strs {
-			if i < len(c.Null) && c.Null[i] {
-				h.word(fpNullMarker)
+		for i, v := range ch.strs {
+			if ch.null[i] {
+				total += hashNullCell(ch.start + i)
 				continue
 			}
-			h.str(v)
+			total += hashStrCell(ch.start+i, v)
 		}
 	}
+	return total
+}
+
+// hashNumCell hashes one numeric cell with its global row index.
+func hashNumCell(row int, v float64) uint64 {
+	var h fpHash
+	h.init()
+	h.word(uint64(row))
+	h.word(math.Float64bits(v))
+	return h.sum()
+}
+
+// hashStrCell hashes one string cell with its global row index.
+func hashStrCell(row int, v string) uint64 {
+	var h fpHash
+	h.init()
+	h.word(uint64(row))
+	h.str(v)
+	return h.sum()
+}
+
+// hashNullCell hashes one NULL slot with its global row index.
+func hashNullCell(row int) uint64 {
+	var h fpHash
+	h.init()
+	h.word(uint64(row))
+	h.word(fpNullMarker)
 	return h.sum()
 }
 

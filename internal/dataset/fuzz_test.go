@@ -2,19 +2,23 @@ package dataset
 
 import (
 	"bytes"
+	"math"
 	"strings"
 	"testing"
 )
 
-// FuzzReadCSV asserts that arbitrary input never panics the CSV reader, and
-// that any successfully parsed dataset survives a write/read round trip.
+// FuzzReadCSV asserts that arbitrary input never panics the CSV reader, that
+// any successfully parsed dataset survives a write/read round trip, and that
+// the chunk layout is unobservable: parsing the same input under assorted
+// chunk sizes (including the fuzzer's choice) yields datasets whose digests,
+// statistics, and predicate masks are identical to the single-chunk parse.
 func FuzzReadCSV(f *testing.F) {
-	f.Add("a,b\n1,x\n2,y\n")
-	f.Add("x\nNULL\n3.5\n")
-	f.Add("name,age\n\"quoted, comma\",7\n")
-	f.Add(",,\n,,\n")
-	f.Add("h\n\xff\xfe\n")
-	f.Fuzz(func(t *testing.T, input string) {
+	f.Add("a,b\n1,x\n2,y\n", uint16(1))
+	f.Add("x\nNULL\n3.5\n", uint16(2))
+	f.Add("name,age\n\"quoted, comma\",7\n", uint16(3))
+	f.Add(",,\n,,\n", uint16(64))
+	f.Add("h\n\xff\xfe\n", uint16(65535))
+	f.Fuzz(func(t *testing.T, input string, csizeSeed uint16) {
 		d, err := ReadCSV(strings.NewReader(input), InferOptions{})
 		if err != nil {
 			return
@@ -36,5 +40,105 @@ func FuzzReadCSV(f *testing.F) {
 		if d.NumCols() > 1 && back.NumRows() != d.NumRows() {
 			t.Fatalf("round trip changed row count: %d vs %d", d.NumRows(), back.NumRows())
 		}
+
+		// Chunk-layout equivalence. ref holds every row in one chunk; the
+		// probe sizes straddle the chunk boundary (1, rows-1, rows, rows+1,
+		// > rows) plus whatever the fuzzer picked.
+		rows := d.NumRows()
+		ref, err := ReadCSV(strings.NewReader(input), InferOptions{ChunkSize: rows + 1})
+		if err != nil {
+			t.Fatalf("single-chunk re-parse failed: %v", err)
+		}
+		for _, cs := range []int{1, rows - 1, rows, rows + 1, 2*rows + 3, int(csizeSeed)} {
+			if cs < 1 {
+				continue
+			}
+			got, err := ReadCSV(strings.NewReader(input), InferOptions{ChunkSize: cs})
+			if err != nil {
+				t.Fatalf("chunk size %d re-parse failed: %v", cs, err)
+			}
+			assertLayoutEquivalent(t, ref, got, cs)
+		}
 	})
+}
+
+// assertLayoutEquivalent fails the test unless got — parsed with chunk size
+// cs — is observationally identical to the single-chunk ref: Equal both
+// ways, same fingerprint, same per-column digests and statistics, and same
+// predicate masks.
+func assertLayoutEquivalent(t *testing.T, ref, got *Dataset, cs int) {
+	t.Helper()
+	if !ref.Equal(got) || !got.Equal(ref) {
+		t.Fatalf("chunk size %d: Equal disagrees with single-chunk layout", cs)
+	}
+	if rf, gf := ref.Fingerprint(), got.Fingerprint(); rf != gf {
+		t.Fatalf("chunk size %d: fingerprint %x != single-chunk %x", cs, gf, rf)
+	}
+	for _, rc := range ref.Columns() {
+		gc := got.Column(rc.Name)
+		if gc == nil {
+			t.Fatalf("chunk size %d: column %q missing", cs, rc.Name)
+		}
+		if rc.Digest() != gc.Digest() {
+			t.Fatalf("chunk size %d: column %q digest differs", cs, rc.Name)
+		}
+		rs, gs := rc.Stats(), gc.Stats()
+		if rs.Rows != gs.Rows || rs.Nulls != gs.Nulls ||
+			!sameFloat(rs.Mean, gs.Mean) || !sameFloat(rs.StdDev, gs.StdDev) ||
+			!sameFloat(rs.Min, gs.Min) || !sameFloat(rs.Max, gs.Max) {
+			t.Fatalf("chunk size %d: column %q scalar stats differ: %+v vs %+v", cs, rc.Name, rs, gs)
+		}
+		if !sameFloats(rs.Nums, gs.Nums) || !sameFloats(rs.SortedNums, gs.SortedNums) {
+			t.Fatalf("chunk size %d: column %q value vectors differ", cs, rc.Name)
+		}
+		if !sameStrings(rs.Strs, gs.Strs) || !sameStrings(rs.Distinct, gs.Distinct) {
+			t.Fatalf("chunk size %d: column %q string vectors differ", cs, rc.Name)
+		}
+		// Predicate masks are chunk-at-a-time; they must not see the layout.
+		var pred Predicate
+		switch rc.Kind {
+		case Numeric:
+			pred = And(CmpNum(rc.Name, Ge, rs.Mean))
+		default:
+			if len(rs.Strs) == 0 {
+				continue
+			}
+			pred = And(EqStr(rc.Name, rs.Strs[0]))
+		}
+		rm := pred.Mask(ref, nil)
+		gm := pred.Mask(got, nil)
+		for i := range rm {
+			if rm[i] != gm[i] {
+				t.Fatalf("chunk size %d: column %q mask row %d differs", cs, rc.Name, i)
+			}
+		}
+	}
+}
+
+func sameFloat(a, b float64) bool {
+	return a == b || (math.IsNaN(a) && math.IsNaN(b))
+}
+
+func sameFloats(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !sameFloat(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func sameStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }

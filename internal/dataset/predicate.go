@@ -84,15 +84,15 @@ func (c Clause) Eval(d *Dataset, r int) bool {
 	}
 	switch c.Op {
 	case IsNull:
-		return col.Null[r]
+		return col.NullAt(r)
 	case NotNull:
-		return !col.Null[r]
+		return !col.NullAt(r)
 	}
-	if col.Null[r] {
+	if col.NullAt(r) {
 		return false
 	}
 	if col.Kind == Numeric {
-		v := col.Nums[r]
+		v := col.NumAt(r)
 		switch c.Op {
 		case Eq:
 			return v == c.NumVal
@@ -109,7 +109,7 @@ func (c Clause) Eval(d *Dataset, r int) bool {
 		}
 		return false
 	}
-	v := col.Strs[r]
+	v := col.StrAt(r)
 	switch c.Op {
 	case Eq:
 		return v == c.StrVal
@@ -165,10 +165,11 @@ func (p Predicate) Attributes() []string {
 }
 
 // Mask evaluates the predicate column-at-a-time: the mask starts all true
-// and each clause ANDs its column in with the operator dispatch hoisted out
-// of the row loop. buf is reused when it has sufficient capacity, so
-// selectivity profiling over many predicates allocates once. The result is
-// row-for-row identical to calling Eval per row.
+// and each clause ANDs its column in, iterating chunk-at-a-time with the
+// operator dispatch hoisted out of the row loop. buf is reused when it has
+// sufficient capacity, so selectivity profiling over many predicates
+// allocates once. The result is row-for-row identical to calling Eval per
+// row, for any chunk layout.
 func (p Predicate) Mask(d *Dataset, buf []bool) []bool {
 	n := d.NumRows()
 	if cap(buf) >= n {
@@ -185,7 +186,7 @@ func (p Predicate) Mask(d *Dataset, buf []bool) []bool {
 	return buf
 }
 
-// maskAnd ANDs the clause into mask, one column pass per clause.
+// maskAnd ANDs the clause into mask, one chunk-windowed pass per clause.
 func (c Clause) maskAnd(d *Dataset, mask []bool) {
 	col := d.Column(c.Attr)
 	if col == nil {
@@ -194,7 +195,15 @@ func (c Clause) maskAnd(d *Dataset, mask []bool) {
 		}
 		return
 	}
-	null := col.Null
+	for k := 0; k < col.NumChunks(); k++ {
+		c.maskAndChunk(col.Kind, col.Chunk(k), mask)
+	}
+}
+
+// maskAndChunk ANDs the clause into the mask window covering one chunk.
+func (c Clause) maskAndChunk(kind Kind, w ChunkView, full []bool) {
+	mask := full[w.Start : w.Start+w.Len()]
+	null := w.Null
 	switch c.Op {
 	case IsNull:
 		for i := range mask {
@@ -207,9 +216,9 @@ func (c Clause) maskAnd(d *Dataset, mask []bool) {
 		}
 		return
 	}
-	if col.Kind == Numeric {
+	if kind == Numeric {
 		v := c.NumVal
-		nums := col.Nums
+		nums := w.Nums
 		switch c.Op {
 		case Eq:
 			for i := range mask {
@@ -243,7 +252,7 @@ func (c Clause) maskAnd(d *Dataset, mask []bool) {
 		return
 	}
 	v := c.StrVal
-	strs := col.Strs
+	strs := w.Strs
 	switch c.Op {
 	case Eq:
 		for i := range mask {

@@ -7,37 +7,50 @@ import (
 	"repro/internal/lint/analysis"
 )
 
-// CowMutate flags writes through columns and value slices obtained from the
-// dataset read accessors. Since PR 2, Dataset.Clone shares columns
-// copy-on-write: Column/Columns hand out the shared *Column, and
-// NumericValues/SortedNumericValues/StringValues/DistinctStrings hand out
-// slices owned by the shared ColumnStats cache. Mutating any of them writes
-// through every clone and poisons the per-column stats and digest caches —
+// CowMutate flags writes through columns, chunk views, and value slices
+// obtained from the dataset read accessors. Since PR 2, Dataset.Clone shares
+// columns copy-on-write — and with chunked storage the sharing is per chunk:
+// Column/Columns hand out the shared *Column, Column.Chunk hands out a
+// read-only view whose slices are a chunk's backing storage (shared across
+// every dataset referencing the chunk), and NumericValues/
+// SortedNumericValues/StringValues/DistinctStrings (plus Stats) hand out
+// slices owned by the shared statistics caches. Mutating any of them writes
+// through every clone and poisons the per-chunk stats and digest caches —
 // the aliasing bug class the CoW contract (dataset/cow.go) exists to
-// prevent. All mutation must route through MutableColumn or the Set*
-// helpers, which copy a shared column before granting write access.
+// prevent. All mutation must route through MutableColumn + MutableChunk or
+// the Set* helpers, which copy shared state before granting write access.
 //
 // The analyzer performs a forward, per-function taint walk: variables
 // assigned from a read accessor (directly, via propagation through
 // assignments, slicing, field selection, or ranging over Columns()) are
 // tainted, and any write whose base is tainted — element assignment, field
 // replacement, copy-into, append-to, or an in-place sort — is reported.
-// Reassigning the variable from MutableColumn clears its taint.
+// Reassigning the variable from MutableColumn or MutableChunk clears its
+// taint.
 var CowMutate = &analysis.Analyzer{
 	Name: "cowmutate",
-	Doc:  "flags mutation of CoW-shared dataset columns and stats slices obtained from Column/Columns/NumericValues/SortedNumericValues/StringValues/DistinctStrings; mutate via MutableColumn or Set* instead",
+	Doc:  "flags mutation of CoW-shared dataset state obtained from read accessors (Column/Columns/Chunk/Stats/NumericValues/SortedNumericValues/StringValues/DistinctStrings); mutate via MutableColumn + MutableChunk or Set* instead",
 	Run:  runCowMutate,
 }
 
-// taintSources maps dataset read-accessor methods to the kind of shared
+// taintSources maps Dataset read-accessor methods to the kind of shared
 // state they expose.
 var taintSources = map[string]string{
 	"Column":              "Column",
 	"Columns":             "Columns",
+	"Stats":               "Stats",
 	"NumericValues":       "NumericValues",
 	"SortedNumericValues": "SortedNumericValues",
 	"StringValues":        "StringValues",
 	"DistinctStrings":     "DistinctStrings",
+}
+
+// columnTaintSources maps Column read-accessor methods to the shared state
+// they expose. MutableChunk is deliberately absent: like MutableColumn it is
+// the sanctioned write path.
+var columnTaintSources = map[string]string{
+	"Chunk": "Column.Chunk",
+	"Stats": "Column.Stats",
 }
 
 // inPlaceSorters are stdlib functions that mutate their slice argument; a
@@ -216,17 +229,17 @@ func cowWalk(pass *analysis.Pass, body *ast.BlockStmt) {
 }
 
 // accessorCall reports which dataset read accessor (or "") the call invokes.
-// MutableColumn deliberately maps to "": it is the sanctioned write path.
+// MutableColumn and MutableChunk deliberately map to "": they are the
+// sanctioned write paths.
 func accessorCall(info *types.Info, call *ast.CallExpr) string {
 	f := calleeFunc(info, call)
 	if f == nil {
 		return ""
 	}
-	src, ok := taintSources[f.Name()]
-	if !ok {
-		return ""
+	if src, ok := taintSources[f.Name()]; ok && methodOn(f, datasetPath, "Dataset", f.Name()) {
+		return src
 	}
-	if methodOn(f, datasetPath, "Dataset", f.Name()) {
+	if src, ok := columnTaintSources[f.Name()]; ok && methodOn(f, datasetPath, "Column", f.Name()) {
 		return src
 	}
 	return ""

@@ -1,7 +1,7 @@
 // Package cowmutate is the golden fixture for the cowmutate analyzer:
 // every flagged line mutates CoW-shared dataset state obtained from a read
-// accessor; the good* functions prove the MutableColumn route and
-// defensive-copy idioms are not flagged.
+// accessor; the good* functions prove the MutableColumn/MutableChunk route
+// and defensive-copy idioms are not flagged.
 package cowmutate
 
 import (
@@ -10,18 +10,31 @@ import (
 	"repro/internal/dataset"
 )
 
-func badColumnWrite(d *dataset.Dataset) {
-	c := d.Column("x")
-	c.Nums[0] = 1 // want `obtained from dataset\.Column mutates CoW-shared state`
+func badChunkWrite(d *dataset.Dataset) {
+	v := d.Column("x").Chunk(0)
+	v.Nums[0] = 1 // want `obtained from dataset\.Column\.Chunk mutates CoW-shared state`
 }
 
-func badNullWrite(d *dataset.Dataset) {
-	d.Column("x").Null[0] = true // want `dataset\.Column`
+func badChunkDirectWrite(d *dataset.Dataset) {
+	d.Column("x").Chunk(0).Null[0] = true // want `dataset\.Column\.Chunk`
 }
 
-func badFieldReplace(d *dataset.Dataset) {
-	c := d.Column("x")
-	c.Nums = nil // want `dataset\.Column`
+func badMutableColumnChunkWrite(d *dataset.Dataset) {
+	// MutableColumn privatizes the column header only; Chunk still hands out
+	// a read-only view of chunk storage shared with other datasets.
+	c := d.MutableColumn("x")
+	v := c.Chunk(0)
+	v.Strs[0] = "z" // want `dataset\.Column\.Chunk`
+}
+
+func badStatsWrite(d *dataset.Dataset) {
+	st := d.Stats("x")
+	st.Nums[0] = 3 // want `dataset\.Stats`
+}
+
+func badColumnStatsWrite(d *dataset.Dataset) {
+	st := d.Column("x").Stats()
+	st.SortedNums[0] = 3 // want `dataset\.Column\.Stats`
 }
 
 func badValuesWrite(d *dataset.Dataset) {
@@ -33,6 +46,10 @@ func badSortedInPlaceSort(d *dataset.Dataset) {
 	sort.Float64s(d.SortedNumericValues("x")) // want `sorts a slice obtained from dataset\.SortedNumericValues in place`
 }
 
+func badChunkSort(d *dataset.Dataset) {
+	sort.Float64s(d.Column("x").Chunk(0).Nums) // want `sorts a slice obtained from dataset\.Column\.Chunk in place`
+}
+
 func badPropagatedSort(d *dataset.Dataset) {
 	vals := d.StringValues("x")
 	alias := vals
@@ -41,12 +58,16 @@ func badPropagatedSort(d *dataset.Dataset) {
 
 func badRangeColumns(d *dataset.Dataset) {
 	for _, col := range d.Columns() {
-		col.Strs[0] = "z" // want `dataset\.Columns`
+		col.Chunk(0).Strs[0] = "z" // want `dataset\.Column\.Chunk`
 	}
 }
 
 func badCopyInto(d *dataset.Dataset, src []float64) {
 	copy(d.NumericValues("x"), src) // want `copy into .* dataset\.NumericValues`
+}
+
+func badCopyIntoChunk(d *dataset.Dataset, src []float64) {
+	copy(d.Column("x").Chunk(0).Nums, src) // want `copy into .* dataset\.Column\.Chunk`
 }
 
 func badAppendTo(d *dataset.Dataset) []float64 {
@@ -58,25 +79,36 @@ func badReslice(d *dataset.Dataset) {
 	head[0] = 0 // want `dataset\.SortedNumericValues`
 }
 
+func badChunkReslice(d *dataset.Dataset) {
+	head := d.Column("x").Chunk(0).Nums[:1]
+	head[0] = 0 // want `dataset\.Column\.Chunk`
+}
+
 func badIncrement(d *dataset.Dataset) {
-	d.Column("x").Nums[0]++ // want `dataset\.Column`
+	d.Column("x").Chunk(0).Nums[0]++ // want `dataset\.Column\.Chunk`
 }
 
-// goodMutableColumn: the sanctioned write path is never flagged.
-func goodMutableColumn(d *dataset.Dataset) {
+// goodMutableChunk: the sanctioned write path — MutableColumn for the
+// header, MutableChunk per touched chunk — is never flagged.
+func goodMutableChunk(d *dataset.Dataset) {
 	c := d.MutableColumn("x")
-	c.Nums[0] = 1
-	c.Null[0] = false
-	sort.Float64s(c.Nums)
+	for k := 0; k < c.NumChunks(); k++ {
+		w := c.MutableChunk(k)
+		w.Nums[0] = 1
+		w.Null[0] = false
+		sort.Float64s(w.Nums)
+	}
 }
 
-// goodRetaint: re-binding a previously tainted variable from MutableColumn
-// clears its taint.
+// goodRetaint: re-binding a previously tainted variable from a sanctioned
+// write accessor clears its taint.
 func goodRetaint(d *dataset.Dataset) {
 	c := d.Column("x")
-	_ = c.Len()
+	v := c.Chunk(0)
+	_ = v.Len()
 	c = d.MutableColumn("x")
-	c.Nums[1] = 4
+	w := c.MutableChunk(0)
+	w.Nums[1] = 4
 }
 
 // goodDefensiveCopy: mutating an owned copy of a stats slice is fine.
@@ -87,6 +119,30 @@ func goodDefensiveCopy(d *dataset.Dataset) []float64 {
 	return vals
 }
 
+// goodChunkDefensiveCopy: copying a chunk view's values before mutating.
+func goodChunkDefensiveCopy(d *dataset.Dataset) []float64 {
+	v := d.Column("x").Chunk(0)
+	vals := append([]float64(nil), v.Nums...)
+	sort.Float64s(vals)
+	return vals
+}
+
+// goodChunkReads: iterating read-only chunk views is the supported scan
+// path.
+func goodChunkReads(d *dataset.Dataset) float64 {
+	total := 0.0
+	c := d.Column("x")
+	for k := 0; k < c.NumChunks(); k++ {
+		v := c.Chunk(k)
+		for i, x := range v.Nums {
+			if !v.Null[i] {
+				total += x
+			}
+		}
+	}
+	return total
+}
+
 // goodReads: reading through the accessors is the whole point.
 func goodReads(d *dataset.Dataset) float64 {
 	total := 0.0
@@ -94,7 +150,7 @@ func goodReads(d *dataset.Dataset) float64 {
 		total += v
 	}
 	if c := d.Column("x"); c != nil {
-		total += float64(c.Len())
+		total += float64(c.Len()) + c.NumAt(0)
 	}
 	return total
 }

@@ -90,7 +90,7 @@ func (e *Encoder) Encode(d *dataset.Dataset) (X [][]float64, y, rows []int, err 
 		}
 	}
 	for r := 0; r < d.NumRows(); r++ {
-		if lc.Null[r] {
+		if lc.NullAt(r) {
 			continue
 		}
 		x := make([]float64, e.width)
@@ -100,18 +100,18 @@ func (e *Encoder) Encode(d *dataset.Dataset) (X [][]float64, y, rows []int, err 
 				if c.Kind != dataset.Numeric {
 					return nil, nil, nil, fmt.Errorf("ml: attribute %q changed kind", s.attr)
 				}
-				if c.Null[r] {
+				if c.NullAt(r) {
 					x[s.offset] = s.mean
 				} else {
-					x[s.offset] = c.Nums[r]
+					x[s.offset] = c.NumAt(r)
 				}
 				continue
 			}
 			if c.Kind == dataset.Numeric {
 				return nil, nil, nil, fmt.Errorf("ml: attribute %q changed kind", s.attr)
 			}
-			if !c.Null[r] {
-				if i, ok := s.index[c.Strs[r]]; ok {
+			if !c.NullAt(r) {
+				if i, ok := s.index[c.StrAt(r)]; ok {
 					x[s.offset+i] = 1
 				}
 			}
@@ -119,10 +119,10 @@ func (e *Encoder) Encode(d *dataset.Dataset) (X [][]float64, y, rows []int, err 
 		X = append(X, x)
 		var cls int
 		if lc.Kind == dataset.Numeric {
-			if lc.Nums[r] > 0.5 {
+			if lc.NumAt(r) > 0.5 {
 				cls = 1
 			}
-		} else if lc.Strs[r] == e.positive {
+		} else if lc.StrAt(r) == e.positive {
 			cls = 1
 		}
 		y = append(y, cls)

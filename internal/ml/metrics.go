@@ -80,10 +80,10 @@ func DisparateImpact(d *dataset.Dataset, rows []int, pred []int, protected, unpr
 	}
 	var unprivFav, unprivN, privFav, privN float64
 	for i, r := range rows {
-		if c.Null[r] {
+		if c.NullAt(r) {
 			continue
 		}
-		if c.Strs[r] == unprivileged {
+		if c.StrAt(r) == unprivileged {
 			unprivN++
 			if pred[i] == 1 {
 				unprivFav++

@@ -61,8 +61,11 @@ func BenchmarkDiscriminative(b *testing.B) {
 	fail := pass.Clone()
 	// Shift one numeric attribute and corrupt one categorical domain.
 	c := fail.MutableColumn("n0")
-	for i := range c.Nums {
-		c.Nums[i] = c.Nums[i]*3 + 10
+	for k := 0; k < c.NumChunks(); k++ {
+		w := c.MutableChunk(k)
+		for i := range w.Nums {
+			w.Nums[i] = w.Nums[i]*3 + 10
+		}
 	}
 	fail.SetStr("c1", 0, "CORRUPT")
 	b.ResetTimer()

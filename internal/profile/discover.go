@@ -133,6 +133,7 @@ func Discover(d *dataset.Dataset, opts Options) []Profile {
 			active = append(active, c)
 		}
 	}
+	warmChunks(d, opts.workers())
 	perClass := make([][]Profile, len(active))
 	engine.ParallelFor(opts.workers(), len(active), func(i int) {
 		perClass[i] = active[i].Discover(d, opts)
@@ -143,6 +144,38 @@ func Discover(d *dataset.Dataset, opts Options) []Profile {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
 	return out
+}
+
+// warmChunks precomputes every column's per-chunk statistics roll-ups and
+// digest partials on the engine worker pool before the per-class discoverers
+// run. The tasks are (column, chunk) pairs rather than whole columns, so the
+// fan-out stays balanced even for datasets with few, large columns; the
+// per-chunk caches are atomic, so concurrent warming is safe and later reads
+// by any discoverer hit warm caches. After a mutation this re-computes only
+// the dirty chunks — the unchanged chunks' cached partials are reused —
+// which is what makes re-profiling after a single-attribute intervention
+// scale with the number of dirty chunks, not the dataset size.
+func warmChunks(d *dataset.Dataset, workers int) {
+	cols := d.Columns()
+	type task struct {
+		col   *dataset.Column
+		chunk int
+	}
+	var tasks []task
+	for _, c := range cols {
+		for k := 0; k < c.NumChunks(); k++ {
+			tasks = append(tasks, task{c, k})
+		}
+	}
+	engine.ParallelFor(workers, len(tasks), func(i int) {
+		tasks[i].col.WarmChunk(tasks[i].chunk)
+	})
+	// Roll the warmed partials up into the column-level caches so the
+	// discoverers' Stats()/Digest() calls are pure merges.
+	engine.ParallelFor(workers, len(cols), func(i int) {
+		cols[i].Stats()
+		cols[i].Digest()
+	})
 }
 
 // discoverDomain learns the Domain profile appropriate for the column kind.

@@ -37,17 +37,20 @@ func (p *FuncDep) G3(d *dataset.Dataset) float64 {
 	}
 	groups := make(map[string]map[string]int)
 	total := 0
-	for i := 0; i < d.NumRows(); i++ {
-		if det.Null[i] || dep.Null[i] {
-			continue
+	for k := 0; k < det.NumChunks(); k++ {
+		dv, pv := det.Chunk(k), dep.Chunk(k)
+		for i := range dv.Null {
+			if dv.Null[i] || pv.Null[i] {
+				continue
+			}
+			g := groups[dv.Strs[i]]
+			if g == nil {
+				g = make(map[string]int)
+				groups[dv.Strs[i]] = g
+			}
+			g[pv.Strs[i]]++
+			total++
 		}
-		g := groups[det.Strs[i]]
-		if g == nil {
-			g = make(map[string]int)
-			groups[det.Strs[i]] = g
-		}
-		g[dep.Strs[i]]++
-		total++
 	}
 	if total == 0 {
 		return 0
@@ -92,16 +95,19 @@ func (p *FuncDep) MajorityValue(d *dataset.Dataset) map[string]string {
 		return out
 	}
 	counts := make(map[string]map[string]int)
-	for i := 0; i < d.NumRows(); i++ {
-		if det.Null[i] || dep.Null[i] {
-			continue
+	for k := 0; k < det.NumChunks(); k++ {
+		dv, pv := det.Chunk(k), dep.Chunk(k)
+		for i := range dv.Null {
+			if dv.Null[i] || pv.Null[i] {
+				continue
+			}
+			g := counts[dv.Strs[i]]
+			if g == nil {
+				g = make(map[string]int)
+				counts[dv.Strs[i]] = g
+			}
+			g[pv.Strs[i]]++
 		}
-		g := counts[det.Strs[i]]
-		if g == nil {
-			g = make(map[string]int)
-			counts[det.Strs[i]] = g
-		}
-		g[dep.Strs[i]]++
 	}
 	for k, g := range counts {
 		best, bestN := "", -1

@@ -36,15 +36,16 @@ func (p *Inclusion) Violation(d *dataset.Dataset) float64 {
 		return 0
 	}
 	parentVals := make(map[string]bool)
-	for i := 0; i < d.NumRows(); i++ {
-		if !parent.Null[i] {
-			parentVals[parent.Strs[i]] = true
-		}
+	for _, v := range parent.Stats().Distinct {
+		parentVals[v] = true
 	}
 	bad := 0
-	for i := 0; i < d.NumRows(); i++ {
-		if !child.Null[i] && !parentVals[child.Strs[i]] {
-			bad++
+	for k := 0; k < child.NumChunks(); k++ {
+		v := child.Chunk(k)
+		for i := range v.Null {
+			if !v.Null[i] && !parentVals[v.Strs[i]] {
+				bad++
+			}
 		}
 	}
 	return float64(bad) / float64(d.NumRows())

@@ -68,9 +68,12 @@ func (p *DomainCategorical) Violation(d *dataset.Dataset) float64 {
 		return 0
 	}
 	bad := 0
-	for i := 0; i < d.NumRows(); i++ {
-		if !c.Null[i] && !p.Values[c.Strs[i]] {
-			bad++
+	for k := 0; k < c.NumChunks(); k++ {
+		v := c.Chunk(k)
+		for i := range v.Null {
+			if !v.Null[i] && !p.Values[v.Strs[i]] {
+				bad++
+			}
 		}
 	}
 	return float64(bad) / float64(d.NumRows())
@@ -129,9 +132,12 @@ func (p *DomainNumeric) Violation(d *dataset.Dataset) float64 {
 		return 0
 	}
 	bad := 0
-	for i := 0; i < d.NumRows(); i++ {
-		if !c.Null[i] && (c.Nums[i] < p.Lo || c.Nums[i] > p.Hi) {
-			bad++
+	for k := 0; k < c.NumChunks(); k++ {
+		v := c.Chunk(k)
+		for i := range v.Null {
+			if !v.Null[i] && (v.Nums[i] < p.Lo || v.Nums[i] > p.Hi) {
+				bad++
+			}
 		}
 	}
 	return float64(bad) / float64(d.NumRows())
@@ -173,9 +179,12 @@ func (p *DomainText) Violation(d *dataset.Dataset) float64 {
 		return 0
 	}
 	bad := 0
-	for i := 0; i < d.NumRows(); i++ {
-		if !c.Null[i] && !p.Pattern.Matches(c.Strs[i]) {
-			bad++
+	for k := 0; k < c.NumChunks(); k++ {
+		v := c.Chunk(k)
+		for i := range v.Null {
+			if !v.Null[i] && !p.Pattern.Matches(v.Strs[i]) {
+				bad++
+			}
 		}
 	}
 	return float64(bad) / float64(d.NumRows())
@@ -404,10 +413,13 @@ func pairedStrings(d *dataset.Dataset, a, b string) [2][]string {
 		return [2][]string{}
 	}
 	var xs, ys []string
-	for i := 0; i < d.NumRows(); i++ {
-		if !ca.Null[i] && !cb.Null[i] {
-			xs = append(xs, ca.Strs[i])
-			ys = append(ys, cb.Strs[i])
+	for k := 0; k < ca.NumChunks(); k++ {
+		va, vb := ca.Chunk(k), cb.Chunk(k)
+		for i := range va.Null {
+			if !va.Null[i] && !vb.Null[i] {
+				xs = append(xs, va.Strs[i])
+				ys = append(ys, vb.Strs[i])
+			}
 		}
 	}
 	if xs == nil {
@@ -474,10 +486,13 @@ func pairedNums(d *dataset.Dataset, a, b string) (xs, ys []float64) {
 	if ca == nil || cb == nil || ca.Kind != dataset.Numeric || cb.Kind != dataset.Numeric {
 		return nil, nil
 	}
-	for i := 0; i < d.NumRows(); i++ {
-		if !ca.Null[i] && !cb.Null[i] {
-			xs = append(xs, ca.Nums[i])
-			ys = append(ys, cb.Nums[i])
+	for k := 0; k < ca.NumChunks(); k++ {
+		va, vb := ca.Chunk(k), cb.Chunk(k)
+		for i := range va.Null {
+			if !va.Null[i] && !vb.Null[i] {
+				xs = append(xs, va.Nums[i])
+				ys = append(ys, vb.Nums[i])
+			}
 		}
 	}
 	return xs, ys

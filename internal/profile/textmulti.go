@@ -33,9 +33,12 @@ func (p *DomainTextMulti) Violation(d *dataset.Dataset) float64 {
 		return 0
 	}
 	bad := 0
-	for i := 0; i < d.NumRows(); i++ {
-		if !c.Null[i] && !p.Alt.Matches(c.Strs[i]) {
-			bad++
+	for k := 0; k < c.NumChunks(); k++ {
+		v := c.Chunk(k)
+		for i := range v.Null {
+			if !v.Null[i] && !p.Alt.Matches(v.Strs[i]) {
+				bad++
+			}
 		}
 	}
 	return float64(bad) / float64(d.NumRows())

@@ -36,20 +36,23 @@ func (p *Unique) DuplicateFraction(d *dataset.Dataset) float64 {
 	}
 	seen := make(map[string]bool, d.NumRows())
 	dups := 0
-	for i := 0; i < d.NumRows(); i++ {
-		if c.Null[i] {
-			continue
+	for k := 0; k < c.NumChunks(); k++ {
+		v := c.Chunk(k)
+		for i := range v.Null {
+			if v.Null[i] {
+				continue
+			}
+			var key string
+			if c.Kind == dataset.Numeric {
+				key = strconv.FormatFloat(v.Nums[i], 'g', -1, 64)
+			} else {
+				key = v.Strs[i]
+			}
+			if seen[key] {
+				dups++
+			}
+			seen[key] = true
 		}
-		var key string
-		if c.Kind == dataset.Numeric {
-			key = strconv.FormatFloat(c.Nums[i], 'g', -1, 64)
-		} else {
-			key = c.Strs[i]
-		}
-		if seen[key] {
-			dups++
-		}
-		seen[key] = true
 	}
 	return float64(dups) / float64(d.NumRows())
 }

@@ -50,10 +50,10 @@ func (p *Profile) Key() string { return fmt.Sprintf("synth:%d", p.Index) }
 // Violation implements profile.Profile: the flag value in [0,1].
 func (p *Profile) Violation(d *dataset.Dataset) float64 {
 	c := d.Column(FlagColumn)
-	if c == nil || p.Index >= len(c.Nums) {
+	if c == nil || p.Index >= c.Len() {
 		return 0
 	}
-	return c.Nums[p.Index]
+	return c.NumAt(p.Index)
 }
 
 // SameParams implements profile.Profile.
@@ -81,11 +81,11 @@ func (t *Transform) Modifies() []string { return t.P.Attrs }
 // Apply implements transform.Transformation.
 func (t *Transform) Apply(d *dataset.Dataset, _ *rand.Rand) (*dataset.Dataset, error) {
 	c := d.Column(FlagColumn)
-	if c == nil || t.P.Index >= len(c.Nums) {
+	if c == nil || t.P.Index >= c.Len() {
 		return nil, fmt.Errorf("synth: dataset has no flag slot %d", t.P.Index)
 	}
 	out := d.Clone()
-	out.MutableColumn(FlagColumn).Nums[t.P.Index] = 0
+	out.SetNum(FlagColumn, t.P.Index, 0)
 	return out, nil
 }
 
@@ -93,12 +93,10 @@ func (t *Transform) Apply(d *dataset.Dataset, _ *rand.Rand) (*dataset.Dataset, e
 // without cloning, so group interventions over hundreds of thousands of
 // PVTs stay linear instead of quadratic.
 func (t *Transform) ApplyInPlace(d *dataset.Dataset) error {
-	if c := d.Column(FlagColumn); c == nil || t.P.Index >= len(c.Nums) {
+	if c := d.Column(FlagColumn); c == nil || t.P.Index >= c.Len() {
 		return fmt.Errorf("synth: dataset has no flag slot %d", t.P.Index)
 	}
-	c := d.MutableColumn(FlagColumn)
-	c.Nums[t.P.Index] = 0
-	c.Null[t.P.Index] = false
+	d.SetNum(FlagColumn, t.P.Index, 0)
 	return nil
 }
 

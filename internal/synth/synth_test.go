@@ -74,13 +74,13 @@ func TestDNFSystemSemantics(t *testing.T) {
 	}
 	// Fixing half of a conjunct reduces its mean (assumption A2).
 	d2 := d.Clone()
-	d2.MutableColumn(FlagColumn).Nums[0] = 0
+	d2.SetNum(FlagColumn, 0, 0)
 	if got := sys.MalfunctionScore(d2); got != 0.5 {
 		t.Errorf("half-fixed conjunct = %g, want 0.5", got)
 	}
 	// Fixing a singleton disjunct clears the malfunction entirely.
 	d3 := d.Clone()
-	d3.MutableColumn(FlagColumn).Nums[2] = 0
+	d3.SetNum(FlagColumn, 2, 0)
 	if got := sys.MalfunctionScore(d3); got != 0 {
 		t.Errorf("fixed singleton disjunct = %g, want 0", got)
 	}
@@ -156,8 +156,8 @@ func TestFigure6ScenarioStructure(t *testing.T) {
 	}
 	// Fixing {X4, X8} clears the malfunction.
 	d := sc.Fail.Clone()
-	d.MutableColumn(FlagColumn).Nums[3] = 0
-	d.MutableColumn(FlagColumn).Nums[7] = 0
+	d.SetNum(FlagColumn, 3, 0)
+	d.SetNum(FlagColumn, 7, 0)
 	if sc.System.MalfunctionScore(d) != 0 {
 		t.Error("fixing the second disjunct should clear the malfunction")
 	}
@@ -182,7 +182,7 @@ func TestScenarioProperties(t *testing.T) {
 		d := a.Fail.Clone()
 		for i := 0; i < 12; i++ {
 			if rng.Float64() < 0.5 {
-				d.MutableColumn(FlagColumn).Nums[i] = 0
+				d.SetNum(FlagColumn, i, 0)
 			}
 		}
 		s := a.System.MalfunctionScore(d)

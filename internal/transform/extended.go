@@ -35,9 +35,12 @@ func (t *QuantileMap) Apply(d *dataset.Dataset, _ *rand.Rand) (*dataset.Dataset,
 	}
 	out := d.Clone()
 	c := out.MutableColumn(t.Profile.Attr)
-	for i := range c.Nums {
-		if !c.Null[i] {
-			c.Nums[i] = t.Profile.MapThroughQuantiles(src.Quantiles, c.Nums[i])
+	for k := 0; k < c.NumChunks(); k++ {
+		w := c.MutableChunk(k)
+		for i := range w.Nums {
+			if !w.Null[i] {
+				w.Nums[i] = t.Profile.MapThroughQuantiles(src.Quantiles, w.Nums[i])
+			}
 		}
 	}
 	return out, nil
@@ -79,12 +82,19 @@ func (t *FDRepair) Apply(d *dataset.Dataset, _ *rand.Rand) (*dataset.Dataset, er
 	majority := t.Profile.MajorityValue(d)
 	out := d.Clone()
 	odet, odep := out.Column(t.Profile.Det), out.MutableColumn(t.Profile.Dep)
-	for i := 0; i < out.NumRows(); i++ {
-		if odet.Null[i] || odep.Null[i] {
-			continue
-		}
-		if m, ok := majority[odet.Strs[i]]; ok {
-			odep.Strs[i] = m
+	for k := 0; k < odep.NumChunks(); k++ {
+		dv, pv := odet.Chunk(k), odep.Chunk(k)
+		var w dataset.ChunkView
+		for i := range pv.Null {
+			if dv.Null[i] || pv.Null[i] {
+				continue
+			}
+			if m, ok := majority[dv.Strs[i]]; ok && m != pv.Strs[i] {
+				if w.Null == nil {
+					w = odep.MutableChunk(k) // copy/dirty only chunks that change
+				}
+				w.Strs[i] = m
+			}
 		}
 	}
 	return out, nil
@@ -118,12 +128,19 @@ func (t *ConformTextMulti) Apply(d *dataset.Dataset, _ *rand.Rand) (*dataset.Dat
 	if c == nil || c.Kind == dataset.Numeric {
 		return nil, fmt.Errorf("transform: no text column %q", t.Profile.Attr)
 	}
-	for i := range c.Strs {
-		if c.Null[i] {
-			continue
-		}
-		if !t.Profile.Alt.Matches(c.Strs[i]) {
-			c.Strs[i] = t.Profile.Alt.Conform(c.Strs[i])
+	for k := 0; k < c.NumChunks(); k++ {
+		v := c.Chunk(k)
+		var w dataset.ChunkView
+		for i := range v.Strs {
+			if v.Null[i] {
+				continue
+			}
+			if !t.Profile.Alt.Matches(v.Strs[i]) {
+				if w.Null == nil {
+					w = c.MutableChunk(k) // copy/dirty only chunks that change
+				}
+				w.Strs[i] = t.Profile.Alt.Conform(v.Strs[i])
+			}
 		}
 	}
 	return out, nil
@@ -162,9 +179,12 @@ func (t *Recadence) Apply(d *dataset.Dataset, _ *rand.Rand) (*dataset.Dataset, e
 	lo, _ := stats.MinMax(vals)
 	out := d.Clone()
 	c := out.MutableColumn(t.Profile.Attr)
-	for i := range c.Nums {
-		if !c.Null[i] {
-			c.Nums[i] = lo + (c.Nums[i]-lo)*scale
+	for k := 0; k < c.NumChunks(); k++ {
+		w := c.MutableChunk(k)
+		for i := range w.Nums {
+			if !w.Null[i] {
+				w.Nums[i] = lo + (w.Nums[i]-lo)*scale
+			}
 		}
 	}
 	return out, nil
@@ -243,14 +263,14 @@ func (t *Deduplicate) Apply(d *dataset.Dataset, _ *rand.Rand) (*dataset.Dataset,
 	}
 	seen := make(map[string]bool, d.NumRows())
 	return d.Filter(func(r int) bool {
-		if c.Null[r] {
+		if c.NullAt(r) {
 			return true // NULL keys are a Missing problem, not a key clash
 		}
 		var key string
 		if c.Kind == dataset.Numeric {
-			key = strconv.FormatFloat(c.Nums[r], 'g', -1, 64)
+			key = strconv.FormatFloat(c.NumAt(r), 'g', -1, 64)
 		} else {
-			key = c.Strs[r]
+			key = c.StrAt(r)
 		}
 		if seen[key] {
 			return false
@@ -291,9 +311,12 @@ func (t *MedianShift) Apply(d *dataset.Dataset, _ *rand.Rand) (*dataset.Dataset,
 	shift := refMedian - stats.QuantileSorted(d.SortedNumericValues(t.Profile.Attr), 0.5)
 	out := d.Clone()
 	c := out.MutableColumn(t.Profile.Attr)
-	for i := range c.Nums {
-		if !c.Null[i] {
-			c.Nums[i] += shift
+	for k := 0; k < c.NumChunks(); k++ {
+		w := c.MutableChunk(k)
+		for i := range w.Nums {
+			if !w.Null[i] {
+				w.Nums[i] += shift
+			}
 		}
 	}
 	return out, nil

@@ -41,25 +41,34 @@ func (t *ShuffleBreak) Apply(d *dataset.Dataset, rng *rand.Rand) (*dataset.Datas
 	return out, nil
 }
 
-// permuteColumn applies a row permutation to a single column in place.
+// permuteColumn applies a row permutation to a single column in place: a
+// full gather from the pre-permutation content, then a chunk-at-a-time
+// write-back. Every chunk changes, so every chunk goes mutable.
 func permuteColumn(c *dataset.Column, perm []int) {
 	null := make([]bool, len(perm))
 	if c.Kind == dataset.Numeric {
 		vals := make([]float64, len(perm))
 		for i, p := range perm {
-			vals[i] = c.Nums[p]
-			null[i] = c.Null[p]
+			vals[i] = c.NumAt(p)
+			null[i] = c.NullAt(p)
 		}
-		copy(c.Nums, vals)
-	} else {
-		vals := make([]string, len(perm))
-		for i, p := range perm {
-			vals[i] = c.Strs[p]
-			null[i] = c.Null[p]
+		for k := 0; k < c.NumChunks(); k++ {
+			w := c.MutableChunk(k)
+			copy(w.Nums, vals[w.Start:])
+			copy(w.Null, null[w.Start:])
 		}
-		copy(c.Strs, vals)
+		return
 	}
-	copy(c.Null, null)
+	vals := make([]string, len(perm))
+	for i, p := range perm {
+		vals[i] = c.StrAt(p)
+		null[i] = c.NullAt(p)
+	}
+	for k := 0; k < c.NumChunks(); k++ {
+		w := c.MutableChunk(k)
+		copy(w.Strs, vals[w.Start:])
+		copy(w.Null, null[w.Start:])
+	}
 }
 
 // Coverage implements Transformation: a shuffle perturbs essentially every
@@ -120,9 +129,12 @@ func (t *NoiseBreak) Apply(d *dataset.Dataset, rng *rand.Rand) (*dataset.Dataset
 	ratio := absR / target
 	sigma := sy * math.Sqrt(ratio*ratio-1)
 	c := out.MutableColumn(t.Attr)
-	for i := range c.Nums {
-		if !c.Null[i] {
-			c.Nums[i] += sigma * rng.NormFloat64()
+	for k := 0; k < c.NumChunks(); k++ {
+		w := c.MutableChunk(k)
+		for i := range w.Nums {
+			if !w.Null[i] {
+				w.Nums[i] += sigma * rng.NormFloat64()
+			}
 		}
 	}
 	return out, nil
@@ -244,12 +256,21 @@ func (t *ConditionalTransform) Apply(d *dataset.Dataset, rng *rand.Rand) (*datas
 		if src == nil || dst == nil {
 			continue
 		}
+		// match is ascending, so the scattered write-back visits chunks in
+		// order: hold one mutable chunk at a time and advance on boundary.
+		ck := -1
+		var w dataset.ChunkView
 		for j, r := range match {
-			dst.Null[r] = src.Null[j]
+			if k := r / dst.ChunkSize(); k != ck {
+				ck = k
+				w = dst.MutableChunk(k)
+			}
+			off := r - w.Start
+			w.Null[off] = src.NullAt(j)
 			if src.Kind == dataset.Numeric {
-				dst.Nums[r] = src.Nums[j]
+				w.Nums[off] = src.NumAt(j)
 			} else {
-				dst.Strs[r] = src.Strs[j]
+				w.Strs[off] = src.StrAt(j)
 			}
 		}
 	}

@@ -121,12 +121,19 @@ func (t *MapToDomain) Apply(d *dataset.Dataset, _ *rand.Rand) (*dataset.Dataset,
 	}
 	out := d.Clone()
 	oc := out.MutableColumn(t.Profile.Attr)
-	for i := 0; i < out.NumRows(); i++ {
-		if oc.Null[i] {
-			continue
-		}
-		if repl, ok := mapping[oc.Strs[i]]; ok {
-			oc.Strs[i] = repl
+	for k := 0; k < oc.NumChunks(); k++ {
+		v := oc.Chunk(k)
+		var w dataset.ChunkView
+		for i := range v.Strs {
+			if v.Null[i] {
+				continue
+			}
+			if repl, ok := mapping[v.Strs[i]]; ok {
+				if w.Null == nil {
+					w = oc.MutableChunk(k) // copy/dirty only chunks that change
+				}
+				w.Strs[i] = repl
+			}
 		}
 	}
 	return out, nil
@@ -170,21 +177,24 @@ func (t *LinearMap) Apply(d *dataset.Dataset, _ *rand.Rand) (*dataset.Dataset, e
 	if hi > lo {
 		scale = (t.Profile.Hi - t.Profile.Lo) / (hi - lo)
 	}
-	for i := range c.Nums {
-		if c.Null[i] {
-			continue
-		}
-		if hi == lo {
-			c.Nums[i] = t.Profile.Lo
-		} else {
-			v := t.Profile.Lo + (c.Nums[i]-lo)*scale
-			// Absorb floating-point drift at the boundary values.
-			if v < t.Profile.Lo {
-				v = t.Profile.Lo
-			} else if v > t.Profile.Hi {
-				v = t.Profile.Hi
+	for k := 0; k < c.NumChunks(); k++ {
+		w := c.MutableChunk(k)
+		for i := range w.Nums {
+			if w.Null[i] {
+				continue
 			}
-			c.Nums[i] = v
+			if hi == lo {
+				w.Nums[i] = t.Profile.Lo
+			} else {
+				v := t.Profile.Lo + (w.Nums[i]-lo)*scale
+				// Absorb floating-point drift at the boundary values.
+				if v < t.Profile.Lo {
+					v = t.Profile.Lo
+				} else if v > t.Profile.Hi {
+					v = t.Profile.Hi
+				}
+				w.Nums[i] = v
+			}
 		}
 	}
 	return out, nil
@@ -224,14 +234,21 @@ func (t *Winsorize) Apply(d *dataset.Dataset, _ *rand.Rand) (*dataset.Dataset, e
 	if c == nil || c.Kind != dataset.Numeric {
 		return nil, fmt.Errorf("transform: no numeric column %q", t.Profile.Attr)
 	}
-	for i := range c.Nums {
-		if c.Null[i] {
-			continue
-		}
-		if c.Nums[i] < t.Profile.Lo {
-			c.Nums[i] = t.Profile.Lo
-		} else if c.Nums[i] > t.Profile.Hi {
-			c.Nums[i] = t.Profile.Hi
+	for k := 0; k < c.NumChunks(); k++ {
+		v := c.Chunk(k)
+		var w dataset.ChunkView
+		for i := range v.Nums {
+			if v.Null[i] || (v.Nums[i] >= t.Profile.Lo && v.Nums[i] <= t.Profile.Hi) {
+				continue
+			}
+			if w.Null == nil {
+				w = c.MutableChunk(k) // copy/dirty only chunks with violations
+			}
+			if v.Nums[i] < t.Profile.Lo {
+				w.Nums[i] = t.Profile.Lo
+			} else {
+				w.Nums[i] = t.Profile.Hi
+			}
 		}
 	}
 	return out, nil
@@ -267,12 +284,19 @@ func (t *ConformText) Apply(d *dataset.Dataset, _ *rand.Rand) (*dataset.Dataset,
 	if c == nil || c.Kind == dataset.Numeric {
 		return nil, fmt.Errorf("transform: no text column %q", t.Profile.Attr)
 	}
-	for i := range c.Strs {
-		if c.Null[i] {
-			continue
-		}
-		if !t.Profile.Pattern.Matches(c.Strs[i]) {
-			c.Strs[i] = t.Profile.Pattern.Conform(c.Strs[i])
+	for k := 0; k < c.NumChunks(); k++ {
+		v := c.Chunk(k)
+		var w dataset.ChunkView
+		for i := range v.Strs {
+			if v.Null[i] {
+				continue
+			}
+			if !t.Profile.Pattern.Matches(v.Strs[i]) {
+				if w.Null == nil {
+					w = c.MutableChunk(k) // copy/dirty only chunks that change
+				}
+				w.Strs[i] = t.Profile.Pattern.Conform(v.Strs[i])
+			}
 		}
 	}
 	return out, nil
@@ -322,12 +346,19 @@ func (t *ReplaceOutliers) Apply(d *dataset.Dataset, _ *rand.Rand) (*dataset.Data
 	m, s := stats.Mean(vals), stats.StdDev(vals)
 	out := d.Clone()
 	c := out.MutableColumn(t.Profile.Attr)
-	for i := range c.Nums {
-		if c.Null[i] {
-			continue
-		}
-		if s > 0 && math.Abs(c.Nums[i]-m) > t.Profile.K*s {
-			c.Nums[i] = repl
+	for k := 0; k < c.NumChunks(); k++ {
+		v := c.Chunk(k)
+		var w dataset.ChunkView
+		for i := range v.Nums {
+			if v.Null[i] {
+				continue
+			}
+			if s > 0 && math.Abs(v.Nums[i]-m) > t.Profile.K*s {
+				if w.Null == nil {
+					w = c.MutableChunk(k) // copy/dirty only chunks with outliers
+				}
+				w.Nums[i] = repl
+			}
 		}
 	}
 	return out, nil
@@ -364,14 +395,21 @@ func (t *ClampOutliers) Apply(d *dataset.Dataset, _ *rand.Rand) (*dataset.Datase
 	lo, hi := m-t.Profile.K*s, m+t.Profile.K*s
 	out := d.Clone()
 	c := out.MutableColumn(t.Profile.Attr)
-	for i := range c.Nums {
-		if c.Null[i] {
-			continue
-		}
-		if c.Nums[i] < lo {
-			c.Nums[i] = lo
-		} else if c.Nums[i] > hi {
-			c.Nums[i] = hi
+	for k := 0; k < c.NumChunks(); k++ {
+		v := c.Chunk(k)
+		var w dataset.ChunkView
+		for i := range v.Nums {
+			if v.Null[i] || (v.Nums[i] >= lo && v.Nums[i] <= hi) {
+				continue
+			}
+			if w.Null == nil {
+				w = c.MutableChunk(k) // copy/dirty only chunks with outliers
+			}
+			if v.Nums[i] < lo {
+				w.Nums[i] = lo
+			} else {
+				w.Nums[i] = hi
+			}
 		}
 	}
 	return out, nil
@@ -415,19 +453,33 @@ func (t *Impute) Apply(d *dataset.Dataset, _ *rand.Rand) (*dataset.Dataset, erro
 		if math.IsNaN(repl) {
 			repl = 0
 		}
-		for i := range c.Nums {
-			if c.Null[i] {
-				c.Nums[i] = repl
-				c.Null[i] = false
+		for k := 0; k < c.NumChunks(); k++ {
+			v := c.Chunk(k)
+			var w dataset.ChunkView
+			for i := range v.Null {
+				if v.Null[i] {
+					if w.Null == nil {
+						w = c.MutableChunk(k) // copy/dirty only chunks with NULLs
+					}
+					w.Nums[i] = repl
+					w.Null[i] = false
+				}
 			}
 		}
 		return out, nil
 	}
 	repl := stats.ModeString(d.StringValues(t.Profile.Attr))
-	for i := range c.Strs {
-		if c.Null[i] {
-			c.Strs[i] = repl
-			c.Null[i] = false
+	for k := 0; k < c.NumChunks(); k++ {
+		v := c.Chunk(k)
+		var w dataset.ChunkView
+		for i := range v.Null {
+			if v.Null[i] {
+				if w.Null == nil {
+					w = c.MutableChunk(k) // copy/dirty only chunks with NULLs
+				}
+				w.Strs[i] = repl
+				w.Null[i] = false
+			}
 		}
 	}
 	return out, nil

@@ -103,15 +103,18 @@ func (s *ezgoSystem) MalfunctionScore(d *dataset.Dataset) float64 {
 	}
 	const slowCost = 40.0
 	total := 0.0
-	for i := 0; i < d.NumRows(); i++ {
-		if !toll.Null[i] && toll.Strs[i] == "yes" {
-			total += 0.1 // transponder read
-			continue
-		}
-		if !color.Null[i] && !illum.Null[i] && color.Strs[i] == "black" && illum.Strs[i] == "low" {
-			total += slowCost
-		} else {
-			total += 1 // fast OCR
+	for k := 0; k < toll.NumChunks(); k++ {
+		tv, cv, iv := toll.Chunk(k), color.Chunk(k), illum.Chunk(k)
+		for i := range tv.Null {
+			if !tv.Null[i] && tv.Strs[i] == "yes" {
+				total += 0.1 // transponder read
+				continue
+			}
+			if !cv.Null[i] && !iv.Null[i] && cv.Strs[i] == "black" && iv.Strs[i] == "low" {
+				total += slowCost
+			} else {
+				total += 1 // fast OCR
+			}
 		}
 	}
 	overrun := total/s.budget - 1

@@ -116,17 +116,20 @@ func (s *sentimentSystem) MalfunctionScore(d *dataset.Dataset) float64 {
 		return 1
 	}
 	wrong := 0
-	for i := 0; i < d.NumRows(); i++ {
-		if text.Null[i] || target.Null[i] {
-			wrong++
-			continue
-		}
-		pred := "-1"
-		if s.lexicon.Classify(text.Strs[i]) > 0 {
-			pred = "1"
-		}
-		if pred != target.Strs[i] {
-			wrong++
+	for k := 0; k < text.NumChunks(); k++ {
+		tv, gv := text.Chunk(k), target.Chunk(k)
+		for i := range tv.Null {
+			if tv.Null[i] || gv.Null[i] {
+				wrong++
+				continue
+			}
+			pred := "-1"
+			if s.lexicon.Classify(tv.Strs[i]) > 0 {
+				pred = "1"
+			}
+			if pred != gv.Strs[i] {
+				wrong++
+			}
 		}
 	}
 	return float64(wrong) / float64(d.NumRows())
