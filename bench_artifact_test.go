@@ -74,16 +74,20 @@ func checkBenchArtifact(t *testing.T, path string, a benchArtifact) {
 	}
 }
 
-// TestBenchArtifactShapes validates BENCH_pr2.json and BENCH_pr6.json
-// against the shared schema, and asserts that the chunked-storage artifact
-// (PR 6) covers its acceptance benchmarks — Clone, FingerprintIncremental,
-// TransformApply, and Mask at the 10M×20 shape — in the same entry shape as
-// the CoW artifact (PR 2).
+// TestBenchArtifactShapes validates BENCH_pr2.json, BENCH_pr6.json, and
+// BENCH_pr7.json against the shared schema, and asserts that each
+// performance PR's artifact covers its acceptance benchmarks: the
+// chunked-storage artifact (PR 6) Clone, FingerprintIncremental,
+// TransformApply, and Mask at the 10M×20 shape, and the sampled-discovery
+// artifact (PR 7) exact-vs-sampled discovery, sparse re-profiling, and the
+// recovered TransformApply ratio at the same shape.
 func TestBenchArtifactShapes(t *testing.T) {
 	pr2 := loadBenchArtifact(t, "BENCH_pr2.json")
 	checkBenchArtifact(t, "BENCH_pr2.json", pr2)
 	pr6 := loadBenchArtifact(t, "BENCH_pr6.json")
 	checkBenchArtifact(t, "BENCH_pr6.json", pr6)
+	pr7 := loadBenchArtifact(t, "BENCH_pr7.json")
+	checkBenchArtifact(t, "BENCH_pr7.json", pr7)
 
 	want := []string{
 		"BenchmarkDatasetClone/rows=10000000",
@@ -109,6 +113,38 @@ func TestBenchArtifactShapes(t *testing.T) {
 	for _, e := range pr6.Benchmarks {
 		if strings.HasPrefix(e.Name, "BenchmarkFingerprintIncremental/rows=10000000") && e.Speedup < 10 {
 			t.Errorf("BENCH_pr6.json: %s speedup %g < 10x — chunked re-fingerprint is not sublinear", e.Name, e.Speedup)
+		}
+	}
+
+	// PR 7 acceptance: sampled discovery at 10M×20 (before = exact fits,
+	// after = sampled fits with error bounds) must be ≥10× faster; sparse
+	// re-profiling must be covered; and the bulk-privatization work must
+	// bring the dense TransformApply path (before = flat layout, after =
+	// chunked) back to ≥0.8× of flat — recovering the 0.22× regression
+	// recorded in BENCH_pr6.json.
+	want7 := []string{
+		"BenchmarkProfileDiscovery/rows=10000000",
+		"BenchmarkReprofileSparse/rows=10000000",
+		"BenchmarkTransformApply/rows=10000000",
+	}
+	for _, prefix := range want7 {
+		found := false
+		for _, e := range pr7.Benchmarks {
+			if strings.HasPrefix(e.Name, prefix) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("BENCH_pr7.json: missing acceptance benchmark %s", prefix)
+		}
+	}
+	for _, e := range pr7.Benchmarks {
+		if strings.HasPrefix(e.Name, "BenchmarkProfileDiscovery/rows=10000000") && e.Speedup < 10 {
+			t.Errorf("BENCH_pr7.json: %s speedup %g < 10x — sampled discovery is not sublinear", e.Name, e.Speedup)
+		}
+		if strings.HasPrefix(e.Name, "BenchmarkTransformApply/rows=10000000") && e.Speedup < 0.8 {
+			t.Errorf("BENCH_pr7.json: %s speedup %g < 0.8x — dense-write regression not recovered", e.Name, e.Speedup)
 		}
 	}
 }

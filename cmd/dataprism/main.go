@@ -34,25 +34,27 @@ import (
 
 func main() {
 	var (
-		passPath  = flag.String("pass", "", "CSV file of the passing dataset")
-		failPath  = flag.String("fail", "", "CSV file of the failing dataset")
-		systemCmd = flag.String("system-cmd", "", "external system: command receiving CSV on stdin, printing a malfunction score")
-		scenario  = flag.String("scenario", "", "built-in scenario instead of CSV inputs: sentiment, income, cardio, bias, ezgo")
-		tau       = flag.Float64("tau", 0.3, "allowable malfunction threshold")
-		algo      = flag.String("algo", "grd", "algorithm: grd (greedy) or gt (group testing)")
-		seed      = flag.Int64("seed", 1, "random seed")
-		rows      = flag.Int("rows", 1000, "rows per generated dataset for built-in scenarios")
-		outPath   = flag.String("out", "", "write the repaired dataset to this CSV file")
-		textCols  = flag.String("text-columns", "", "comma-separated columns to force to text on CSV import")
-		verbose   = flag.Bool("v", false, "print the intervention trace")
-		jsonOut   = flag.Bool("json", false, "emit the result as JSON instead of text")
-		mdOut     = flag.Bool("markdown", false, "emit the result as a Markdown report")
-		workers   = flag.Int("workers", 0, "goroutines evaluating independent interventions (0 = GOMAXPROCS)")
-		profiles  = flag.String("profiles", "", "comma-separated PVT classes to discover (exact set), or +name/-name adjustments to the defaults; see -list-profiles")
-		listProfs = flag.Bool("list-profiles", false, "list the registered PVT profile classes and exit")
-		timeout   = flag.Duration("timeout", 0, "abort the search after this long (0 = no limit)")
-		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the search to this file")
-		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		passPath   = flag.String("pass", "", "CSV file of the passing dataset")
+		failPath   = flag.String("fail", "", "CSV file of the failing dataset")
+		systemCmd  = flag.String("system-cmd", "", "external system: command receiving CSV on stdin, printing a malfunction score")
+		scenario   = flag.String("scenario", "", "built-in scenario instead of CSV inputs: sentiment, income, cardio, bias, ezgo")
+		tau        = flag.Float64("tau", 0.3, "allowable malfunction threshold")
+		algo       = flag.String("algo", "grd", "algorithm: grd (greedy) or gt (group testing)")
+		seed       = flag.Int64("seed", 1, "random seed")
+		rows       = flag.Int("rows", 1000, "rows per generated dataset for built-in scenarios")
+		outPath    = flag.String("out", "", "write the repaired dataset to this CSV file")
+		textCols   = flag.String("text-columns", "", "comma-separated columns to force to text on CSV import")
+		verbose    = flag.Bool("v", false, "print the intervention trace")
+		jsonOut    = flag.Bool("json", false, "emit the result as JSON instead of text")
+		mdOut      = flag.Bool("markdown", false, "emit the result as a Markdown report")
+		workers    = flag.Int("workers", 0, "goroutines evaluating independent interventions (0 = GOMAXPROCS)")
+		profiles   = flag.String("profiles", "", "comma-separated PVT classes to discover (exact set), or +name/-name adjustments to the defaults; see -list-profiles")
+		sample     = flag.Int("sample", 0, "fit expensive profiles on a deterministic sample of at most this many rows, with error bounds (0 = exact)")
+		sampleSeed = flag.Int64("sample-seed", 1, "seed of the deterministic profile-fitting sample draw")
+		listProfs  = flag.Bool("list-profiles", false, "list the registered PVT profile classes and exit")
+		timeout    = flag.Duration("timeout", 0, "abort the search after this long (0 = no limit)")
+		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile of the search to this file")
+		memProf    = flag.String("memprofile", "", "write a heap profile to this file on exit")
 
 		retries     = flag.Int("retries", 2, "retries per transient oracle failure for -system-cmd (0 = fail on first transient error)")
 		retryBase   = flag.Duration("retry-base", 100*time.Millisecond, "base delay of the exponential retry backoff")
@@ -128,6 +130,9 @@ func main() {
 
 	if err := applyProfileSelector(&opts, *profiles); err != nil {
 		fatal(err)
+	}
+	if *sample > 0 {
+		opts.Sample = dataprism.SampleOptions{Cap: *sample, Seed: *sampleSeed}
 	}
 
 	ctx := context.Background()

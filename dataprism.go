@@ -63,6 +63,12 @@ type (
 	Profile = profile.Profile
 	// DiscoveryOptions configures profile discovery.
 	DiscoveryOptions = profile.Options
+	// SampleOptions configures sampled profile fitting with error bounds
+	// (DiscoveryOptions.Sample).
+	SampleOptions = profile.SampleOptions
+	// ProfileBound is the error bound attached to a profile fitted on a
+	// sample; retrieve it with ProfileFitBound.
+	ProfileBound = profile.Bound
 
 	// Transformation alters a dataset to satisfy a target profile.
 	Transformation = transform.Transformation
@@ -185,6 +191,11 @@ func DefaultDiscoveryOptions() DiscoveryOptions { return profile.DefaultOptions(
 func DiscoverProfiles(d *Dataset, opts DiscoveryOptions) []Profile {
 	return profile.Discover(d, opts)
 }
+
+// ProfileFitBound returns the sampling error bound of a profile fitted on a
+// sample, or nil when the profile was fitted exactly (or its class never
+// samples).
+func ProfileFitBound(p Profile) *ProfileBound { return profile.FitBoundOf(p) }
 
 // DiscriminativeProfiles returns the profiles of the passing dataset that
 // the failing dataset violates — the candidate root causes of Definition 10.

@@ -22,7 +22,11 @@
 // sharing the chunk, and the cowmutate analyzer flags it.
 package dataset
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+
+	"repro/internal/stats"
+)
 
 // DefaultChunkSize is the number of rows per chunk used by New and ReadCSV
 // unless overridden (NewChunked, InferOptions.ChunkSize). 64Ki rows keeps a
@@ -45,6 +49,7 @@ type chunk struct {
 	digest   atomic.Uint64 // cached mergeable digest partial (fingerprint.go)
 	digestAt atomic.Uint64 // version+1 at which digest was computed; 0 = none
 	stats    atomic.Pointer[chunkStats]
+	sample   atomic.Pointer[chunkSample] // cached reservoir sample (sample.go)
 }
 
 // len returns the number of rows in the chunk.
@@ -145,7 +150,7 @@ func (c *Column) NullAt(row int) bool {
 	return c.chunks[ci].null[off]
 }
 
-// WarmChunk computes and caches chunk i's statistics roll-up and digest
+// WarmChunk computes and caches chunk i's statistics block and digest
 // partial if they are cold. Warming is idempotent and safe to fan out in
 // parallel across (column, chunk) pairs — profile discovery uses this to
 // parallelize the per-chunk scans ahead of the cheap merge.
@@ -153,6 +158,86 @@ func (c *Column) WarmChunk(i int) {
 	ch := c.chunks[i]
 	ch.statsBlock(c.Kind)
 	ch.digestPartial(c.Kind)
+}
+
+// ChunkMoments returns the mergeable moment summary of chunk i's non-NULL
+// numeric cells (count, sum, mean, M2, NaN-skipping extrema), computing and
+// caching the chunk's statistics block if cold. Transforms use the per-chunk
+// extrema to skip chunks a clamp provably leaves untouched. The zero Moments
+// is returned for non-numeric columns.
+func (c *Column) ChunkMoments(i int) stats.Moments {
+	if c.Kind != Numeric {
+		return stats.Moments{}
+	}
+	return c.chunks[i].statsBlock(Numeric).moments
+}
+
+// PrivatizeChunks prepares every chunk of the column for in-place writes in
+// one allocation sweep: all chunks still shared with other datasets are
+// deep-copied into freshly allocated contiguous backing slabs (one values
+// slab, one NULL-mask slab, one chunk-struct slab) instead of one
+// allocation trio per chunk. Cell contents and all per-chunk caches (stats,
+// digest, sample) carry over, so chunks the caller ends up not writing keep
+// their warm caches.
+//
+// Use this before a dense write — a transform that touches most chunks —
+// then request MutableChunk per written chunk as usual: the grants find the
+// chunks unshared and only bump versions, so a dense transform performs
+// O(1) allocations instead of O(#chunks). Like MutableChunk, the column
+// header must be exclusively owned (Dataset.MutableColumn) or the call
+// panics.
+func (c *Column) PrivatizeChunks() {
+	if c.shared.Load() {
+		panic("dataset: PrivatizeChunks on a column shared between datasets; obtain the column via Dataset.MutableColumn first")
+	}
+	nShared, cells := 0, 0
+	for _, ch := range c.chunks {
+		if ch.shared.Load() {
+			nShared++
+			cells += ch.len()
+		}
+	}
+	if nShared == 0 {
+		return
+	}
+	structs := make([]chunk, nShared)
+	nullSlab := make([]bool, cells)
+	var numsSlab []float64
+	var strsSlab []string
+	if c.Kind == Numeric {
+		numsSlab = make([]float64, cells)
+	} else {
+		strsSlab = make([]string, cells)
+	}
+	si, off := 0, 0
+	for i, ch := range c.chunks {
+		if !ch.shared.Load() {
+			continue
+		}
+		cp := &structs[si]
+		si++
+		n := ch.len()
+		end := off + n
+		cp.start = ch.start
+		if c.Kind == Numeric {
+			cp.nums = numsSlab[off:end:end]
+			copy(cp.nums, ch.nums)
+		} else {
+			cp.strs = strsSlab[off:end:end]
+			copy(cp.strs, ch.strs)
+		}
+		cp.null = nullSlab[off:end:end]
+		copy(cp.null, ch.null)
+		off = end
+		// Content is identical, so the source chunk's caches stay valid on
+		// the copy: replay its version and carry the cache entries over.
+		cp.version.Store(ch.version.Load())
+		cp.digest.Store(ch.digest.Load())
+		cp.digestAt.Store(ch.digestAt.Load())
+		cp.stats.Store(ch.stats.Load())
+		cp.sample.Store(ch.sample.Load())
+		c.chunks[i] = cp
+	}
 }
 
 // newColumn chunks the given cell slices into the canonical layout for the

@@ -1,5 +1,5 @@
 // Copy-on-write column sharing, column versioning, and the shared per-column
-// statistics block, all at chunk granularity.
+// statistics, all at chunk granularity.
 //
 // Dataset.Clone is an O(#cols) header copy: the clone references the same
 // *Column values as the source, and both sides mark the columns shared. The
@@ -11,21 +11,32 @@
 //
 // Every column carries a version counter bumped on each chunk mutation
 // grant, and every chunk carries its own. The cached content digest
-// (fingerprint.go) and the cached ColumnStats block are keyed by the column
-// counter; the per-chunk digest partials and statistics roll-ups are keyed
-// by the chunk counters. After a mutation only the dirty chunks rescan —
-// the column-level values are cheap merges of the per-chunk blocks.
+// (fingerprint.go), the ColumnRollup, and the legacy ColumnStats block are
+// keyed by the column counter; the per-chunk digest partials, statistics
+// blocks, and reservoir samples (sample.go) are keyed by the chunk counters.
+// After a mutation only the dirty chunks rescan — the column-level values
+// are cheap merges of the per-chunk blocks.
+//
+// Two column-level statistics surfaces exist:
+//
+//   - ColumnRollup (Rollup) is the primary one: constant-size scalars,
+//     domain counts, and a quantile sketch merged from the per-chunk blocks
+//     in O(#chunks) — never materializing row-length vectors. Profile
+//     discovery and transform fitting read this.
+//   - ColumnStats (Stats) is the deprecated full-vector block: it keeps the
+//     historical Nums/SortedNums/Strs fields but now materializes them
+//     lazily at O(rows) cost on first access. Only callers that genuinely
+//     need every value should use it.
 //
 // Contract for writers: never mutate slices obtained from Chunk views or
-// the statistics block — request MutableColumn, then MutableChunk for each
-// chunk written, and do all raw writes before the column is next observed
-// (Digest, Stats, Fingerprint). The Set* methods follow this protocol
-// internally and are always safe. The cowmutate analyzer (internal/lint)
-// flags violations statically.
+// either statistics block — request MutableColumn, then MutableChunk for
+// each chunk written, and do all raw writes before the column is next
+// observed (Digest, Stats, Rollup, Fingerprint). The Set* methods follow
+// this protocol internally and are always safe. The cowmutate analyzer
+// (internal/lint) flags violations statically.
 package dataset
 
 import (
-	"container/heap"
 	"math"
 	"sort"
 
@@ -37,7 +48,8 @@ import (
 // copied first — an O(#chunks) pointer copy that marks every chunk shared —
 // and the copy replaces it in d, so writes never leak into other datasets.
 // Cell writes then go through MutableChunk, which copies and dirties only
-// the touched chunk. Returns nil if the column does not exist.
+// the touched chunk (or PrivatizeChunks for dense writes). Returns nil if
+// the column does not exist.
 func (d *Dataset) MutableColumn(name string) *Column {
 	i, ok := d.byName[name]
 	if !ok {
@@ -60,22 +72,22 @@ func (d *Dataset) mutableAt(i int) *Column {
 // caches are invalidated by the per-chunk version bump in MutableChunk.
 func (c *Column) markDirty() { c.version.Add(1) }
 
-// chunkStats is the per-chunk statistics roll-up: NULL count, the chunk's
-// non-NULL values in row order, an ascending numeric copy, and domain
-// counts for string chunks. Column-level ColumnStats blocks are merges of
-// these, so after a mutation only the dirty chunks rescan.
+// chunkStats is the per-chunk statistics block: NULL count plus a mergeable
+// summary of the chunk's non-NULL cells — moments and a quantile sketch for
+// numeric chunks, domain counts for string chunks. The block is constant
+// size (no row-length vectors), and column-level statistics are merges of
+// these, so after a sparse write only the dirty chunks rescan.
 type chunkStats struct {
 	version uint64 // chunk version the block was computed at
 
-	nulls  int
-	nums   []float64 // non-NULL numeric values, row order
-	sorted []float64 // nums, ascending
-	strs   []string  // non-NULL string values, row order
-	counts map[string]int
+	nulls   int
+	moments stats.Moments
+	sketch  *stats.QuantileSketch
+	counts  map[string]int
 }
 
-// statsBlock returns the chunk's statistics roll-up, computing and caching
-// it on first use, keyed by the chunk version.
+// statsBlock returns the chunk's statistics block, computing and caching it
+// on first use, keyed by the chunk version.
 func (ch *chunk) statsBlock(kind Kind) *chunkStats {
 	v := ch.version.Load()
 	if s := ch.stats.Load(); s != nil && s.version == v {
@@ -88,20 +100,22 @@ func (ch *chunk) statsBlock(kind Kind) *chunkStats {
 		}
 	}
 	if kind == Numeric {
-		s.nums = make([]float64, 0, len(ch.nums)-s.nulls)
+		// Scratch vector of the chunk's non-NULL values: summarized into the
+		// constant-size block and released — the chunk never retains O(rows)
+		// derived state.
+		vals := make([]float64, 0, len(ch.nums)-s.nulls)
 		for i, val := range ch.nums {
 			if !ch.null[i] {
-				s.nums = append(s.nums, val)
+				vals = append(vals, val)
 			}
 		}
-		s.sorted = append([]float64(nil), s.nums...)
-		sort.Float64s(s.sorted)
+		s.moments = stats.MomentsOf(vals)
+		sort.Float64s(vals)
+		s.sketch = stats.SketchSorted(vals, stats.SketchSize)
 	} else {
-		s.strs = make([]string, 0, len(ch.strs)-s.nulls)
 		s.counts = make(map[string]int)
 		for i, val := range ch.strs {
 			if !ch.null[i] {
-				s.strs = append(s.strs, val)
 				s.counts[val]++
 			}
 		}
@@ -110,13 +124,122 @@ func (ch *chunk) statsBlock(kind Kind) *chunkStats {
 	return s
 }
 
-// ColumnStats is the shared per-column statistics block: NULL counts, the
-// non-NULL value vectors, moments, extrema, a sorted numeric copy for
-// quantiles, and domain counts for string columns. It is computed once per
-// column version by merging the per-chunk roll-ups and reused across
-// profile discovery, discriminative filtering, transform parameter fitting,
-// and coverage scoring. All fields are read-only for callers; the slices
-// are shared, never mutate them.
+// ColumnRollup is the column-level merge of the per-chunk statistics blocks:
+// row/NULL counts, moments and extrema with a mergeable quantile sketch for
+// numeric columns, and domain counts with the sorted distinct values for
+// string columns. It is the primary statistics surface — computing it costs
+// O(#chunks) merges over cached chunk blocks (only dirty chunks rescan) and
+// it never materializes row-length value vectors; use the deprecated Stats
+// block only when the full vectors are genuinely required. All fields are
+// read-only for callers; the map and slices are shared, never mutate them.
+type ColumnRollup struct {
+	version uint64 // column version the roll-up was computed at
+
+	// Rows is the column length; Nulls the number of NULL slots.
+	Rows, Nulls int
+
+	// Numeric columns: Moments summarizes the non-NULL values (count, sum,
+	// mean, M2, NaN-skipping extrema) and Sketch answers approximate
+	// quantiles within Sketch.RankError() of exact.
+	Moments stats.Moments
+	Sketch  *stats.QuantileSketch
+
+	// String columns: Counts holds the per-value multiplicities and Distinct
+	// the sorted distinct values.
+	Counts   map[string]int
+	Distinct []string
+}
+
+// Mean returns the mean of the non-NULL numeric values (NaN when none).
+// Multi-chunk columns report the merged value, equal to the flat computation
+// up to floating-point association error.
+func (r *ColumnRollup) Mean() float64 {
+	if r.Moments.Count == 0 {
+		return math.NaN()
+	}
+	return r.Moments.Mean
+}
+
+// StdDev returns the population standard deviation of the non-NULL numeric
+// values (NaN when none), merged like Mean.
+func (r *ColumnRollup) StdDev() float64 {
+	if r.Moments.Count == 0 {
+		return math.NaN()
+	}
+	return r.Moments.StdDev()
+}
+
+// Min returns the smallest non-NULL, non-NaN numeric value (NaN when none).
+func (r *ColumnRollup) Min() float64 {
+	if r.Moments.Count == 0 {
+		return math.NaN()
+	}
+	return r.Moments.Min
+}
+
+// Max returns the largest non-NULL, non-NaN numeric value (NaN when none).
+func (r *ColumnRollup) Max() float64 {
+	if r.Moments.Count == 0 {
+		return math.NaN()
+	}
+	return r.Moments.Max
+}
+
+// Quantile returns an approximate q-quantile of the non-NULL numeric values
+// from the merged sketch, within Sketch.RankError() ranks of exact.
+func (r *ColumnRollup) Quantile(q float64) float64 { return r.Sketch.Quantile(q) }
+
+// Rollup returns the column's statistics roll-up, computing and caching it
+// on first use. The cache is invalidated by chunk mutation grants and shared
+// by every dataset referencing the column; recomputation merges the cached
+// per-chunk blocks, so it rescans only chunks mutated since the last
+// observation.
+func (c *Column) Rollup() *ColumnRollup {
+	v := c.version.Load()
+	if r := c.rollup.Load(); r != nil && r.version == v {
+		return r
+	}
+	r := c.computeRollup(v)
+	c.rollup.Store(r)
+	return r
+}
+
+// computeRollup merges the per-chunk statistics blocks.
+func (c *Column) computeRollup(version uint64) *ColumnRollup {
+	r := &ColumnRollup{version: version, Rows: c.rows}
+	if c.Kind == Numeric {
+		for _, ch := range c.chunks {
+			p := ch.statsBlock(Numeric)
+			r.Nulls += p.nulls
+			r.Moments = r.Moments.Merge(p.moments)
+			r.Sketch = r.Sketch.Merge(p.sketch)
+		}
+		return r
+	}
+	r.Counts = make(map[string]int)
+	for _, ch := range c.chunks {
+		p := ch.statsBlock(c.Kind)
+		r.Nulls += p.nulls
+		for val, n := range p.counts {
+			r.Counts[val] += n
+		}
+	}
+	r.Distinct = make([]string, 0, len(r.Counts))
+	for val := range r.Counts {
+		r.Distinct = append(r.Distinct, val)
+	}
+	sort.Strings(r.Distinct)
+	return r
+}
+
+// ColumnStats is the deprecated full-vector statistics block: NULL counts,
+// the non-NULL value vectors in row order, a sorted numeric copy, moments,
+// extrema, and domain counts. The vectors are materialized lazily at O(rows)
+// cost on first access — every scalar here is served in O(#chunks) by
+// Rollup, which new code should prefer. The block remains cached per column
+// version and shared across clones so existing callers keep their
+// amortization. All fields are read-only for callers; the slices are shared,
+// never mutate them.
 type ColumnStats struct {
 	version uint64 // column version the block was computed at
 
@@ -125,7 +248,8 @@ type ColumnStats struct {
 
 	// Numeric columns: Nums holds the non-NULL values in row order,
 	// SortedNums an ascending copy, and Mean/StdDev/Min/Max the usual
-	// moments and extrema (NaN for an empty column).
+	// moments and extrema (NaN for an empty column). The scalars equal the
+	// Rollup values (merged across chunks).
 	Nums       []float64
 	SortedNums []float64
 	Mean       float64
@@ -139,14 +263,14 @@ type ColumnStats struct {
 	Distinct []string
 }
 
-// Stats returns the column's statistics block, computing and caching it on
-// first use. The cache is invalidated by chunk mutation grants and shared
-// by every dataset referencing the column. Recomputation merges the cached
-// per-chunk roll-ups, so it rescans only chunks mutated since the last
-// observation. The merged values are bit-identical for any chunk layout:
-// the concatenated row-order vectors equal the flat ones, and the scalar
-// statistics are computed from those via the same internal/stats functions
-// as before.
+// Stats returns the column's full-vector statistics block, computing and
+// caching it on first use.
+//
+// Deprecated: materializing the block costs O(rows) — it concatenates the
+// non-NULL values and sorts a copy. Use Rollup for scalars, domain counts,
+// and approximate quantiles (O(#chunks) over cached per-chunk blocks), and
+// Dataset.SampleView for fitting on bounded row subsets; reach for Stats
+// only when every value is genuinely required.
 func (c *Column) Stats() *ColumnStats {
 	v := c.version.Load()
 	if s := c.stats.Load(); s != nil && s.version == v {
@@ -157,120 +281,61 @@ func (c *Column) Stats() *ColumnStats {
 	return s
 }
 
-// computeStats merges the per-chunk roll-ups into a column-level block.
+// computeStats materializes the full-vector block: row-order concatenation
+// of the non-NULL cells (layout-agnostic by construction) plus a sorted copy
+// via sort.Float64s, with the scalar fields shared with the roll-up.
 func (c *Column) computeStats(version uint64) *ColumnStats {
-	s := &ColumnStats{version: version, Rows: c.rows}
-	parts := make([]*chunkStats, len(c.chunks))
-	for i, ch := range c.chunks {
-		parts[i] = ch.statsBlock(c.Kind)
-		s.Nulls += parts[i].nulls
-	}
+	r := c.Rollup()
+	s := &ColumnStats{version: version, Rows: c.rows, Nulls: r.Nulls}
 	if c.Kind == Numeric {
-		if len(parts) == 1 {
-			// Alias the chunk's vectors: both blocks are immutable caches.
-			s.Nums = parts[0].nums
-			s.SortedNums = parts[0].sorted
-		} else {
-			s.Nums = make([]float64, 0, c.rows-s.Nulls)
-			for _, p := range parts {
-				s.Nums = append(s.Nums, p.nums...)
+		s.Nums = make([]float64, 0, c.rows-r.Nulls)
+		for _, ch := range c.chunks {
+			for i, val := range ch.nums {
+				if !ch.null[i] {
+					s.Nums = append(s.Nums, val)
+				}
 			}
-			s.SortedNums = mergeSortedFloat64s(parts, c.rows-s.Nulls)
 		}
-		s.Mean = stats.Mean(s.Nums)
-		s.StdDev = stats.StdDev(s.Nums)
-		s.Min, s.Max = stats.MinMax(s.Nums)
+		s.SortedNums = append([]float64(nil), s.Nums...)
+		sort.Float64s(s.SortedNums)
+		s.Mean = r.Mean()
+		s.StdDev = r.StdDev()
+		s.Min = r.Min()
+		s.Max = r.Max()
 		return s
 	}
-	if len(parts) == 1 {
-		s.Strs = parts[0].strs
-		s.Counts = parts[0].counts
-	} else {
-		s.Strs = make([]string, 0, c.rows-s.Nulls)
-		s.Counts = make(map[string]int)
-		for _, p := range parts {
-			s.Strs = append(s.Strs, p.strs...)
-			for v, n := range p.counts {
-				s.Counts[v] += n
+	s.Strs = make([]string, 0, c.rows-r.Nulls)
+	for _, ch := range c.chunks {
+		for i, val := range ch.strs {
+			if !ch.null[i] {
+				s.Strs = append(s.Strs, val)
 			}
 		}
 	}
-	s.Distinct = make([]string, 0, len(s.Counts))
-	for v := range s.Counts {
-		s.Distinct = append(s.Distinct, v)
-	}
-	sort.Strings(s.Distinct)
+	s.Counts = r.Counts
+	s.Distinct = r.Distinct
 	return s
 }
 
-// fpLess is the strict weak ordering sort.Float64s uses: ascending with
-// NaNs first. Merging per-chunk sorted runs under the same ordering yields
-// a vector equal (under ==, NaN slots aligned) to sorting the flat vector;
-// only the unobservable -0.0/+0.0 ordering may differ.
-func fpLess(a, b float64) bool { return a < b || (math.IsNaN(a) && !math.IsNaN(b)) }
-
-// mergeSortedFloat64s k-way-merges the per-chunk ascending vectors. Small
-// fan-ins use a linear scan over the run heads; larger ones a heap.
-func mergeSortedFloat64s(parts []*chunkStats, total int) []float64 {
-	out := make([]float64, 0, total)
-	runs := make([][]float64, 0, len(parts))
-	for _, p := range parts {
-		if len(p.sorted) > 0 {
-			runs = append(runs, p.sorted)
-		}
-	}
-	if len(runs) <= 8 {
-		for len(runs) > 0 {
-			best := 0
-			for i := 1; i < len(runs); i++ {
-				if fpLess(runs[i][0], runs[best][0]) {
-					best = i
-				}
-			}
-			out = append(out, runs[best][0])
-			if runs[best] = runs[best][1:]; len(runs[best]) == 0 {
-				runs[best] = runs[len(runs)-1]
-				runs = runs[:len(runs)-1]
-			}
-		}
-		return out
-	}
-	h := runHeap(runs)
-	heap.Init(&h)
-	for h.Len() > 0 {
-		r := h[0]
-		out = append(out, r[0])
-		if r = r[1:]; len(r) == 0 {
-			heap.Pop(&h)
-		} else {
-			h[0] = r
-			heap.Fix(&h, 0)
-		}
-	}
-	return out
-}
-
-// runHeap is a min-heap of sorted runs ordered by their head element.
-type runHeap [][]float64
-
-func (h runHeap) Len() int            { return len(h) }
-func (h runHeap) Less(i, j int) bool  { return fpLess(h[i][0], h[j][0]) }
-func (h runHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *runHeap) Push(x interface{}) { *h = append(*h, x.([]float64)) }
-func (h *runHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
-}
-
-// Stats returns the statistics block of the named column, or nil if the
-// column does not exist.
+// Stats returns the full-vector statistics block of the named column, or nil
+// if the column does not exist.
+//
+// Deprecated: O(rows) on first access per column version; prefer
+// Dataset.Rollup. See Column.Stats.
 func (d *Dataset) Stats(attr string) *ColumnStats {
 	c := d.Column(attr)
 	if c == nil {
 		return nil
 	}
 	return c.Stats()
+}
+
+// Rollup returns the statistics roll-up of the named column, or nil if the
+// column does not exist.
+func (d *Dataset) Rollup(attr string) *ColumnRollup {
+	c := d.Column(attr)
+	if c == nil {
+		return nil
+	}
+	return c.Rollup()
 }

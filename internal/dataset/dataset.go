@@ -68,12 +68,13 @@ type Column struct {
 	// shared marks the column header as referenced by more than one
 	// dataset; the next mutation grant copies the header (cow.go). version
 	// counts chunk mutation grants; digest/digestAt cache the content
-	// digest (fingerprint.go) and stats the merged ColumnStats block, all
-	// keyed by version.
+	// digest (fingerprint.go), rollup the merged ColumnRollup, and stats
+	// the deprecated full-vector ColumnStats block, all keyed by version.
 	shared   atomic.Bool
 	version  atomic.Uint64
 	digest   atomic.Uint64
 	digestAt atomic.Uint64
+	rollup   atomic.Pointer[ColumnRollup]
 	stats    atomic.Pointer[ColumnStats]
 }
 
@@ -87,6 +88,11 @@ type Dataset struct {
 	byName map[string]int
 	rows   int
 	csize  int
+
+	// sview caches the last assembled deterministic sample view (sample.go),
+	// keyed by (cap, seed) and the column pointer/version pairs it was built
+	// from, so repeated sampled fits within one discovery pass reuse it.
+	sview atomic.Pointer[sampleViewCache]
 }
 
 // New returns an empty dataset with no columns and no rows, using the
@@ -458,6 +464,10 @@ func (d *Dataset) Sample(n int, rng *rand.Rand) *Dataset {
 // NumericValues returns the non-NULL values of a numeric column, in row
 // order. The slice is the cached statistics block's and must not be
 // mutated by the caller.
+//
+// Deprecated: materializes the full-vector statistics block — O(rows) on
+// first access per column version. Prefer Rollup for scalar statistics and
+// SampleView for bounded-size value subsets.
 func (d *Dataset) NumericValues(attr string) []float64 {
 	c := d.Column(attr)
 	if c == nil || c.Kind != Numeric {
@@ -469,6 +479,10 @@ func (d *Dataset) NumericValues(attr string) []float64 {
 // SortedNumericValues returns the non-NULL values of a numeric column in
 // ascending order. The slice is the cached statistics block's and must not
 // be mutated by the caller.
+//
+// Deprecated: materializes and sorts the full value vector — O(rows·log
+// rows) on first access per column version. Prefer Rollup's quantile sketch
+// or SampleView for approximate order statistics.
 func (d *Dataset) SortedNumericValues(attr string) []float64 {
 	c := d.Column(attr)
 	if c == nil || c.Kind != Numeric {
@@ -480,6 +494,10 @@ func (d *Dataset) SortedNumericValues(attr string) []float64 {
 // StringValues returns the non-NULL values of a categorical or text column,
 // in row order. The slice is the cached statistics block's and must not be
 // mutated by the caller.
+//
+// Deprecated: materializes the full-vector statistics block — O(rows) on
+// first access per column version. Prefer Rollup's domain counts or
+// SampleView for bounded-size value subsets.
 func (d *Dataset) StringValues(attr string) []string {
 	c := d.Column(attr)
 	if c == nil || c.Kind == Numeric {
@@ -489,23 +507,25 @@ func (d *Dataset) StringValues(attr string) []string {
 }
 
 // DistinctStrings returns the sorted distinct non-NULL values of a string
-// column. The slice is the cached statistics block's and must not be
-// mutated by the caller.
+// column. The slice is the cached roll-up's and must not be mutated by the
+// caller. Served from the per-chunk domain counts in O(#chunks) merges — no
+// full vector is materialized.
 func (d *Dataset) DistinctStrings(attr string) []string {
 	c := d.Column(attr)
 	if c == nil || c.Kind == Numeric {
 		return []string{}
 	}
-	return c.Stats().Distinct
+	return c.Rollup().Distinct
 }
 
-// NullCount returns the number of NULL slots in the column.
+// NullCount returns the number of NULL slots in the column, served from the
+// per-chunk roll-ups in O(#chunks).
 func (d *Dataset) NullCount(attr string) int {
 	c := d.Column(attr)
 	if c == nil {
 		return 0
 	}
-	return c.Stats().Nulls
+	return c.Rollup().Nulls
 }
 
 // SchemaEqual reports whether two datasets share names, order, and kinds.

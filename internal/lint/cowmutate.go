@@ -39,6 +39,7 @@ var taintSources = map[string]string{
 	"Column":              "Column",
 	"Columns":             "Columns",
 	"Stats":               "Stats",
+	"Rollup":              "Rollup",
 	"NumericValues":       "NumericValues",
 	"SortedNumericValues": "SortedNumericValues",
 	"StringValues":        "StringValues",
@@ -49,8 +50,9 @@ var taintSources = map[string]string{
 // they expose. MutableChunk is deliberately absent: like MutableColumn it is
 // the sanctioned write path.
 var columnTaintSources = map[string]string{
-	"Chunk": "Column.Chunk",
-	"Stats": "Column.Stats",
+	"Chunk":  "Column.Chunk",
+	"Stats":  "Column.Stats",
+	"Rollup": "Column.Rollup",
 }
 
 // inPlaceSorters are stdlib functions that mutate their slice argument; a

@@ -49,6 +49,9 @@ func DefaultScopes(module string) map[string][]string {
 		SeededRand.Name: {
 			p("internal/core"), p("internal/profile"), p("internal/transform"),
 			p("internal/pvt"), p("internal/engine"),
+			// The reservoir-sampling paths: sample draws must be a pure
+			// function of (geometry, seed), never of global rand state.
+			p("internal/dataset"), p("internal/stats"),
 		},
 		CtxFlow.Name: {p("internal/engine"), p("internal/pipeline")},
 	}

@@ -37,6 +37,15 @@ func badColumnStatsWrite(d *dataset.Dataset) {
 	st.SortedNums[0] = 3 // want `dataset\.Column\.Stats`
 }
 
+func badRollupWrite(d *dataset.Dataset) {
+	r := d.Rollup("x")
+	r.Distinct[0] = "z" // want `dataset\.Rollup`
+}
+
+func badColumnRollupSort(d *dataset.Dataset) {
+	sort.Strings(d.Column("x").Rollup().Distinct) // want `sorts a slice obtained from dataset\.Column\.Rollup in place`
+}
+
 func badValuesWrite(d *dataset.Dataset) {
 	nums := d.NumericValues("x")
 	nums[0] = 2 // want `dataset\.NumericValues`

@@ -1,0 +1,138 @@
+// Sampled fitting: the expensive profile classes (selectivity, indep,
+// indep-causal, fd, unique, inclusion, distribution) can fit their
+// parameters on a deterministic stratified sample of the dataset instead of
+// every row, attaching an explicit error bound to each fitted profile.
+// Cheap classes (domain, missing, outlier) always fit exactly — their
+// parameters come from the O(#chunks) statistics roll-up.
+//
+// Sampling is opt-in via Options.Sample and only engages above the row
+// threshold (rows > cap): below it Dataset.SampleView returns the dataset
+// itself, no bound is attached, and discovery output is byte-identical to
+// the exact path. A profile fitted on a sample also *evaluates* on a sample
+// of whatever dataset its Violation is asked about (same seed and cap, so
+// the draw is deterministic), keeping post-intervention re-profiling
+// sublinear; small datasets again fall through to exact evaluation.
+package profile
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/stats"
+)
+
+// SampleOptions configures sampled profile fitting. The zero value disables
+// sampling (every profile fits exactly).
+type SampleOptions struct {
+	// Cap is the sample budget in rows. Datasets with at most Cap rows are
+	// fitted exactly; larger ones are fitted on a deterministic stratified
+	// sample of Cap rows. Zero disables sampling unless Epsilon sets it.
+	Cap int
+	// Seed seeds the deterministic reservoir draw. The same (dataset, Cap,
+	// Seed) triple always yields the same sample and therefore the same
+	// discovered profiles.
+	Seed int64
+	// Epsilon, when positive and Cap is zero, derives Cap as the Hoeffding
+	// sample size for a ±Epsilon bound at the configured confidence:
+	// m = ln(2/δ)/(2ε²).
+	Epsilon float64
+	// Confidence is the coverage level of the reported bounds (default 0.95).
+	Confidence float64
+}
+
+func (s SampleOptions) confidence() float64 {
+	if s.Confidence <= 0 || s.Confidence >= 1 {
+		return 0.95
+	}
+	return s.Confidence
+}
+
+// Bound records the statistical error bound of a profile fitted on a sample:
+// the fitted parameter's fraction-scale statistic is within Epsilon of the
+// full-dataset value with probability at least Confidence. Method names the
+// concentration inequality used:
+//
+//   - "hoeffding": distribution-free bound for [0,1]-bounded statistics
+//     (selectivity, g3, violating fractions).
+//   - "clt": normal-approximation bound using the sample standard deviation
+//     (Pearson correlation via the Fisher transform).
+//   - "sketch": deterministic quantile-sketch rank error (distribution
+//     profiles) — holds always, not just with probability Confidence.
+//
+// A nil *Bound means the profile was fitted exactly.
+type Bound struct {
+	// SampleRows is the number of sampled rows the fit used; TotalRows the
+	// size of the dataset it summarizes.
+	SampleRows int
+	TotalRows  int
+	// Seed reproduces the draw (see SampleOptions.Seed).
+	Seed int64
+	// Epsilon is the half-width of the bound at the given Confidence.
+	Epsilon    float64
+	Confidence float64
+	Method     string
+}
+
+// String renders the bound compactly, e.g. "±0.0136@95% (hoeffding, m=10000)".
+func (b *Bound) String() string {
+	return fmt.Sprintf("±%.4g@%g%% (%s, m=%d)", b.Epsilon, b.Confidence*100, b.Method, b.SampleRows)
+}
+
+// evalView returns the dataset a sample-fitted profile evaluates on: the
+// same deterministic draw the fit used (same cap and seed), or d itself when
+// the profile was fitted exactly or d already fits the budget.
+func (b *Bound) evalView(d *dataset.Dataset) *dataset.Dataset {
+	if b == nil {
+		return d
+	}
+	return d.SampleView(b.SampleRows, b.Seed)
+}
+
+// Bounded is implemented by profile classes that can carry a sampling bound.
+type Bounded interface {
+	// FitBound returns the error bound of the sampled fit, or nil when the
+	// profile was fitted exactly.
+	FitBound() *Bound
+}
+
+// FitBoundOf returns p's sampling bound, or nil if p was fitted exactly or
+// its class does not support sampled fitting.
+func FitBoundOf(p Profile) *Bound {
+	if b, ok := p.(Bounded); ok {
+		return b.FitBound()
+	}
+	return nil
+}
+
+// sampleCap resolves the effective sample budget: the explicit Cap, or the
+// Hoeffding sample size derived from Epsilon, or 0 (sampling disabled).
+func (o *Options) sampleCap() int {
+	if o.Sample.Cap > 0 {
+		return o.Sample.Cap
+	}
+	if o.Sample.Epsilon > 0 {
+		return stats.HoeffdingSampleSize(o.Sample.Epsilon, 1-o.Sample.confidence())
+	}
+	return 0
+}
+
+// sampleFit returns the dataset the expensive discoverers fit on and the
+// bound template to attach: (d, nil) when sampling is off or d is below the
+// threshold — the byte-identical exact path — and otherwise the cached
+// deterministic sample view with a Hoeffding bound sized to it. Classes
+// whose statistic is not a bounded mean adjust Method/Epsilon on a copy.
+func (o *Options) sampleFit(d *dataset.Dataset) (*dataset.Dataset, *Bound) {
+	cap := o.sampleCap()
+	if cap <= 0 || d.NumRows() <= cap {
+		return d, nil
+	}
+	sd := d.SampleView(cap, o.Sample.Seed)
+	return sd, &Bound{
+		SampleRows: sd.NumRows(),
+		TotalRows:  d.NumRows(),
+		Seed:       o.Sample.Seed,
+		Epsilon:    stats.HoeffdingEpsilon(sd.NumRows(), 1-o.Sample.confidence()),
+		Confidence: o.Sample.confidence(),
+		Method:     "hoeffding",
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"repro/internal/causal"
 	"repro/internal/dataset"
 	"repro/internal/engine"
+	"repro/internal/stats"
 )
 
 // The built-in profile classes of Figure 1 plus the extensions. Each class
@@ -140,13 +141,22 @@ func discoverOutliers(d *dataset.Dataset, opts Options) []Profile {
 }
 
 // discoverDistributions learns decile-grid Distribution profiles for
-// numeric columns.
+// numeric columns: a full sort below the sampling threshold, the quantile
+// sketch roll-up (with its deterministic rank-error bound) above it.
 func discoverDistributions(d *dataset.Dataset, opts Options) []Profile {
+	cap := opts.sampleCap()
+	sketch := cap > 0 && d.NumRows() > cap
 	return perColumn(d, opts, func(c *dataset.Column) []Profile {
 		if c.Kind != dataset.Numeric {
 			return nil
 		}
-		if p := DiscoverDistribution(d, c.Name); p != nil {
+		var p *Distribution
+		if sketch {
+			p = DiscoverDistributionSketch(d, c.Name)
+		} else {
+			p = DiscoverDistribution(d, c.Name)
+		}
+		if p != nil {
 			return []Profile{p}
 		}
 		return nil
@@ -184,18 +194,29 @@ func discoverIndep(d *dataset.Dataset, opts Options) []Profile {
 			}
 		}
 	}
+	// Fit on the sample view when sampling is active. The chi-squared pairs
+	// keep the Hoeffding bound template (it bounds the contingency cell
+	// frequencies); the Pearson pairs get a per-profile CLT bound on r via
+	// the Fisher-transform standard error (1 − r²)/√(m − 3).
+	sd, bound := opts.sampleFit(d)
 	out := make([]Profile, len(pairs))
 	engine.ParallelFor(opts.workers(), len(pairs), func(i int) {
 		a, b := pairs[i].a, pairs[i].b
 		if a.Kind == dataset.Categorical {
-			p := &IndepChi{AttrA: a.Name, AttrB: b.Name}
-			chi2, _ := p.Statistic(d)
+			p := &IndepChi{AttrA: a.Name, AttrB: b.Name, Fit: bound}
+			chi2, _ := p.Statistic(sd)
 			p.Alpha = chi2
 			out[i] = p
 		} else {
-			p := &IndepPearson{AttrA: a.Name, AttrB: b.Name}
-			r, _ := p.Statistic(d)
+			p := &IndepPearson{AttrA: a.Name, AttrB: b.Name, Fit: bound}
+			r, _ := p.Statistic(sd)
 			p.Alpha = math.Abs(r)
+			if bound != nil && bound.SampleRows > 3 {
+				fb := *bound
+				fb.Method = "clt"
+				fb.Epsilon = stats.CLTEpsilon(fb.SampleRows-3, 1-r*r, 1-fb.Confidence)
+				p.Fit = &fb
+			}
 			out[i] = p
 		}
 	})
@@ -217,10 +238,11 @@ func discoverIndepCausal(d *dataset.Dataset, opts Options) []Profile {
 			pairs = append(pairs, pair{a, b})
 		}
 	}
+	sd, bound := opts.sampleFit(d)
 	out := make([]Profile, len(pairs))
 	engine.ParallelFor(opts.workers(), len(pairs), func(i int) {
-		p := &IndepCausal{AttrA: pairs[i].a.Name, AttrB: pairs[i].b.Name}
-		p.Alpha = causal.PairCoefficient(d, p.AttrA, p.AttrB)
+		p := &IndepCausal{AttrA: pairs[i].a.Name, AttrB: pairs[i].b.Name, Fit: bound}
+		p.Alpha = causal.PairCoefficient(sd, p.AttrA, p.AttrB)
 		out[i] = p
 	})
 	return out

@@ -7,7 +7,6 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/engine"
 	"repro/internal/pattern"
-	"repro/internal/stats"
 )
 
 // Options configures profile discovery.
@@ -86,6 +85,10 @@ type Options struct {
 	// GOMAXPROCS; one forces sequential discovery. The discovered profile
 	// set is identical for any value.
 	Workers int
+	// Sample configures sampled fitting of the expensive profile classes
+	// (selectivity, indep, indep-causal, fd, unique, inclusion); see
+	// SampleOptions. The zero value fits every profile exactly.
+	Sample SampleOptions
 }
 
 // DefaultOptions returns the discovery configuration used in the paper's
@@ -133,7 +136,7 @@ func Discover(d *dataset.Dataset, opts Options) []Profile {
 			active = append(active, c)
 		}
 	}
-	warmChunks(d, opts.workers())
+	warmChunks(d, opts)
 	perClass := make([][]Profile, len(active))
 	engine.ParallelFor(opts.workers(), len(active), func(i int) {
 		perClass[i] = active[i].Discover(d, opts)
@@ -151,12 +154,21 @@ func Discover(d *dataset.Dataset, opts Options) []Profile {
 // run. The tasks are (column, chunk) pairs rather than whole columns, so the
 // fan-out stays balanced even for datasets with few, large columns; the
 // per-chunk caches are atomic, so concurrent warming is safe and later reads
-// by any discoverer hit warm caches. After a mutation this re-computes only
-// the dirty chunks — the unchanged chunks' cached partials are reused —
-// which is what makes re-profiling after a single-attribute intervention
-// scale with the number of dirty chunks, not the dataset size.
-func warmChunks(d *dataset.Dataset, workers int) {
+// by any discoverer hit warm caches. When sampled fitting is active the same
+// fan-out also extracts each chunk's reservoir and assembles the sample view.
+// After a mutation this re-computes only the dirty chunks — the unchanged
+// chunks' cached partials and reservoirs are reused — which is what makes
+// re-profiling after a single-attribute intervention scale with the number
+// of dirty chunks, not the dataset size.
+func warmChunks(d *dataset.Dataset, opts Options) {
+	workers := opts.workers()
 	cols := d.Columns()
+	cap := opts.sampleCap()
+	sampling := cap > 0 && d.NumRows() > cap
+	var quotas []int
+	if sampling {
+		quotas = d.SampleQuotas(cap)
+	}
 	type task struct {
 		col   *dataset.Column
 		chunk int
@@ -169,25 +181,33 @@ func warmChunks(d *dataset.Dataset, workers int) {
 	}
 	engine.ParallelFor(workers, len(tasks), func(i int) {
 		tasks[i].col.WarmChunk(tasks[i].chunk)
+		if sampling && quotas[tasks[i].chunk] > 0 {
+			tasks[i].col.WarmChunkSample(tasks[i].chunk, quotas[tasks[i].chunk], opts.Sample.Seed)
+		}
 	})
 	// Roll the warmed partials up into the column-level caches so the
-	// discoverers' Stats()/Digest() calls are pure merges.
+	// discoverers' Rollup()/Digest() calls are pure merges. Rollup, unlike
+	// the deprecated Stats, never materializes row-length vectors.
 	engine.ParallelFor(workers, len(cols), func(i int) {
-		cols[i].Stats()
+		cols[i].Rollup()
 		cols[i].Digest()
 	})
+	if sampling {
+		d.SampleView(cap, opts.Sample.Seed)
+	}
 }
 
 // discoverDomain learns the Domain profile appropriate for the column kind.
 func discoverDomain(d *dataset.Dataset, c *dataset.Column, opts Options) Profile {
 	switch c.Kind {
 	case dataset.Numeric:
-		vals := d.NumericValues(c.Name)
-		if len(vals) == 0 {
+		// The bounds come straight off the statistics roll-up: O(#chunks)
+		// merged extrema, no row-length vector.
+		r := d.Rollup(c.Name)
+		if r == nil || r.Moments.Count == 0 {
 			return nil
 		}
-		lo, hi := stats.MinMax(vals)
-		return &DomainNumeric{Attr: c.Name, Lo: lo, Hi: hi}
+		return &DomainNumeric{Attr: c.Name, Lo: r.Min(), Hi: r.Max()}
 	case dataset.Categorical:
 		distinct := d.DistinctStrings(c.Name)
 		if len(distinct) == 0 || len(distinct) > opts.MaxCategoricalDomain {
@@ -271,9 +291,12 @@ func discoverSelectivity(d *dataset.Dataset, opts Options) []Profile {
 			}
 		}
 	}
+	// Fit on the sample view when sampling is active: each estimated Theta
+	// is a mean of [0,1] indicators, so the Hoeffding bound applies as-is.
+	sd, bound := opts.sampleFit(d)
 	out := make([]Profile, len(preds))
 	engine.ParallelFor(opts.workers(), len(preds), func(i int) {
-		out[i] = &Selectivity{Pred: preds[i], Theta: preds[i].Selectivity(d)}
+		out[i] = &Selectivity{Pred: preds[i], Theta: preds[i].Selectivity(sd), Fit: bound}
 	})
 	return out
 }

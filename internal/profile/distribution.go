@@ -23,10 +23,22 @@ type Distribution struct {
 	Quantiles []float64
 	// Delta is the allowed normalized deviation, learned as 0 at discovery.
 	Delta float64
+	// Fit, when non-nil, records that the deciles were read off the merged
+	// per-chunk quantile sketch instead of a full sort (Method "sketch").
+	// Epsilon is the sketch's deterministic rank-error half-width — unlike
+	// the sampling bounds it holds always, so Confidence is 1. A sketch-fitted
+	// profile also evaluates Deviation through the sketch, keeping both sides
+	// of the comparison on the same estimator. Ignored by Key, SameParams,
+	// and String.
+	Fit *Bound
 }
 
-// DiscoverDistribution learns the Distribution profile of a numeric
-// attribute, or nil if the attribute has no numeric values.
+// FitBound implements Bounded.
+func (p *Distribution) FitBound() *Bound { return p.Fit }
+
+// DiscoverDistribution learns the exact Distribution profile of a numeric
+// attribute from a full sort of its values, or nil if the attribute has no
+// numeric values.
 func DiscoverDistribution(d *dataset.Dataset, attr string) *Distribution {
 	sorted := d.SortedNumericValues(attr)
 	if len(sorted) == 0 {
@@ -37,6 +49,29 @@ func DiscoverDistribution(d *dataset.Dataset, attr string) *Distribution {
 		qs[i] = stats.QuantileSorted(sorted, q)
 	}
 	return &Distribution{Attr: attr, Quantiles: qs}
+}
+
+// DiscoverDistributionSketch learns the Distribution profile of a numeric
+// attribute from the column's merged per-chunk quantile sketch — O(#chunks ·
+// sketch size) instead of an O(n log n) full sort — attaching the sketch's
+// deterministic rank-error bound. Returns nil if the attribute has no
+// numeric values.
+func DiscoverDistributionSketch(d *dataset.Dataset, attr string) *Distribution {
+	r := d.Rollup(attr)
+	if r == nil || r.Moments.Count == 0 {
+		return nil
+	}
+	qs := make([]float64, len(distQuantiles))
+	for i, q := range distQuantiles {
+		qs[i] = r.Quantile(q)
+	}
+	return &Distribution{Attr: attr, Quantiles: qs, Fit: &Bound{
+		SampleRows: d.NumRows(),
+		TotalRows:  d.NumRows(),
+		Epsilon:    r.Sketch.RankError(),
+		Confidence: 1,
+		Method:     "sketch",
+	}}
 }
 
 // Type implements Profile.
@@ -50,10 +85,25 @@ func (p *Distribution) Key() string { return "distribution:" + p.Attr }
 
 // Deviation returns the mean absolute decile deviation of d's attribute
 // from the reference, normalized by the reference range (clamped to [0,1]).
+// A sketch-fitted profile reads d's deciles off its quantile-sketch roll-up
+// (no sort); an exact profile sorts the values.
 func (p *Distribution) Deviation(d *dataset.Dataset) float64 {
-	sorted := d.SortedNumericValues(p.Attr)
-	if len(sorted) == 0 || len(p.Quantiles) == 0 {
+	if len(p.Quantiles) == 0 {
 		return 0
+	}
+	var quantile func(q float64) float64
+	if p.Fit != nil {
+		r := d.Rollup(p.Attr)
+		if r == nil || r.Moments.Count == 0 {
+			return 0
+		}
+		quantile = r.Quantile
+	} else {
+		sorted := d.SortedNumericValues(p.Attr)
+		if len(sorted) == 0 {
+			return 0
+		}
+		quantile = func(q float64) float64 { return stats.QuantileSorted(sorted, q) }
 	}
 	ref := p.Quantiles
 	span := ref[len(ref)-1] - ref[0]
@@ -62,7 +112,7 @@ func (p *Distribution) Deviation(d *dataset.Dataset) float64 {
 	}
 	sum := 0.0
 	for i, q := range distQuantiles {
-		sum += math.Abs(stats.QuantileSorted(sorted, q) - ref[i])
+		sum += math.Abs(quantile(q) - ref[i])
 	}
 	dev := sum / float64(len(distQuantiles)) / span
 	return math.Min(1, dev)

@@ -16,7 +16,15 @@ type FuncDep struct {
 	Det, Dep string
 	// Epsilon is the allowed g3 violation fraction, learned at discovery.
 	Epsilon float64
+	// Fit records the sampling bound when Epsilon was fitted on a sample
+	// (g3 is a [0,1] fraction, so the Hoeffding template applies, though the
+	// group structure makes it approximate rather than a strict mean bound);
+	// nil means exact. Ignored by Key, SameParams, and String.
+	Fit *Bound
 }
+
+// FitBound implements Bounded.
+func (p *FuncDep) FitBound() *Bound { return p.Fit }
 
 // Type implements Profile.
 func (p *FuncDep) Type() string { return "fd" }
@@ -29,8 +37,10 @@ func (p *FuncDep) Key() string { return "fd:" + p.Det + "->" + p.Dep }
 
 // G3 returns the minimum fraction of tuples that must change their Dep
 // value for the FD to hold exactly: 1 − Σ_groups max-class / n. NULL
-// determinants or dependents are skipped.
+// determinants or dependents are skipped. A sample-fitted profile computes
+// g3 on the matching deterministic sample view of d (exact when d is small).
 func (p *FuncDep) G3(d *dataset.Dataset) float64 {
+	d = p.Fit.evalView(d)
 	det, dep := d.Column(p.Det), d.Column(p.Dep)
 	if det == nil || dep == nil || det.Kind == dataset.Numeric || dep.Kind == dataset.Numeric {
 		return 0
@@ -127,6 +137,9 @@ func (p *FuncDep) MajorityValue(d *dataset.Dataset) map[string]string {
 // not a meaningful dependency profile.
 func discoverFDs(d *dataset.Dataset, opts Options) []Profile {
 	const maxG3 = 0.2
+	// Domain-size gating stays on the full dataset (rollup-backed, cheap);
+	// the g3 fits run on the sample view when sampling is active.
+	sd, bound := opts.sampleFit(d)
 	var out []Profile
 	cols := d.Columns()
 	for i := range cols {
@@ -143,8 +156,8 @@ func discoverFDs(d *dataset.Dataset, opts Options) []Profile {
 			if n := len(d.DistinctStrings(cols[j].Name)); n == 0 || n > opts.MaxCategoricalDomain {
 				continue
 			}
-			p := &FuncDep{Det: cols[i].Name, Dep: cols[j].Name}
-			g3 := p.G3(d)
+			p := &FuncDep{Det: cols[i].Name, Dep: cols[j].Name, Fit: bound}
+			g3 := p.G3(sd)
 			if g3 > maxG3 {
 				continue
 			}

@@ -15,7 +15,15 @@ import (
 // value (rank alignment, like the categorical Domain repair).
 type Inclusion struct {
 	Child, Parent string
+	// Fit records the sampling bound active at discovery. The containment
+	// check itself is exact (it compares rollup-backed distinct sets), but a
+	// sample-fitted profile evaluates its violating fraction on the matching
+	// deterministic sample view. Ignored by Key, SameParams, and String.
+	Fit *Bound
 }
+
+// FitBound implements Bounded.
+func (p *Inclusion) FitBound() *Bound { return p.Fit }
 
 // Type implements Profile.
 func (p *Inclusion) Type() string { return "inclusion" }
@@ -27,8 +35,10 @@ func (p *Inclusion) Attributes() []string { return []string{p.Child, p.Parent} }
 func (p *Inclusion) Key() string { return "inclusion:" + p.Child + "⊆" + p.Parent }
 
 // Violation returns the fraction of non-NULL child tuples whose value does
-// not occur in the parent attribute.
+// not occur in the parent attribute. A sample-fitted profile counts on the
+// matching deterministic sample view of d (exact when d is small).
 func (p *Inclusion) Violation(d *dataset.Dataset) float64 {
+	d = p.Fit.evalView(d)
 	child, parent := d.Column(p.Child), d.Column(p.Parent)
 	if child == nil || parent == nil ||
 		child.Kind == dataset.Numeric || parent.Kind == dataset.Numeric ||
@@ -36,7 +46,7 @@ func (p *Inclusion) Violation(d *dataset.Dataset) float64 {
 		return 0
 	}
 	parentVals := make(map[string]bool)
-	for _, v := range parent.Stats().Distinct {
+	for _, v := range parent.Rollup().Distinct {
 		parentVals[v] = true
 	}
 	bad := 0
@@ -69,6 +79,10 @@ func (p *Inclusion) String() string {
 // direction child-domain ⊆ parent-domain with strictly smaller-or-equal
 // cardinality, for determinism.
 func discoverInclusions(d *dataset.Dataset, opts Options) []Profile {
+	// Containment is checked exactly on the rollup-backed distinct sets —
+	// already O(#chunks + domain) — so sampling only affects how discovered
+	// profiles later evaluate their violating fraction.
+	_, bound := opts.sampleFit(d)
 	cols := d.Columns()
 	domains := make(map[string]map[string]bool)
 	for _, c := range cols {
@@ -107,7 +121,7 @@ func discoverInclusions(d *dataset.Dataset, opts Options) []Profile {
 				}
 			}
 			if contained {
-				out = append(out, &Inclusion{Child: child.Name, Parent: parent.Name})
+				out = append(out, &Inclusion{Child: child.Name, Parent: parent.Name, Fit: bound})
 			}
 		}
 	}

@@ -222,20 +222,29 @@ func (p *Outlier) Attributes() []string { return []string{p.Attr} }
 func (p *Outlier) Key() string { return "outlier:" + p.Attr }
 
 // OutlierFraction returns the fraction of non-NULL values more than K
-// standard deviations from the attribute mean of d.
+// standard deviations from the attribute mean of d. The mean and deviation
+// come from the merged statistics roll-up and the count from a chunk walk,
+// so no row-length vector is materialized.
 func (p *Outlier) OutlierFraction(d *dataset.Dataset) float64 {
-	sb := d.Stats(p.Attr)
-	if sb == nil || len(sb.Nums) == 0 || d.NumRows() == 0 {
+	c := d.Column(p.Attr)
+	if c == nil || c.Kind != dataset.Numeric || d.NumRows() == 0 {
 		return 0
 	}
-	m, s := sb.Mean, sb.StdDev
+	r := c.Rollup()
+	if r.Moments.Count == 0 {
+		return 0
+	}
+	m, s := r.Mean(), r.StdDev()
 	if s == 0 {
 		return 0
 	}
 	n := 0
-	for _, v := range sb.Nums {
-		if math.Abs(v-m) > p.K*s {
-			n++
+	for k := 0; k < c.NumChunks(); k++ {
+		v := c.Chunk(k)
+		for i := range v.Null {
+			if !v.Null[i] && math.Abs(v.Nums[i]-m) > p.K*s {
+				n++
+			}
 		}
 	}
 	return float64(n) / float64(d.NumRows())
@@ -319,7 +328,14 @@ func (p *Missing) String() string {
 type Selectivity struct {
 	Pred  dataset.Predicate
 	Theta float64
+	// Fit records the sampling bound when Theta was estimated on a sample;
+	// nil means the fit was exact. Not part of the profile identity: Key,
+	// SameParams, and String ignore it.
+	Fit *Bound
 }
+
+// FitBound implements Bounded.
+func (p *Selectivity) FitBound() *Bound { return p.Fit }
 
 // Type implements Profile.
 func (p *Selectivity) Type() string { return "selectivity" }
@@ -331,9 +347,10 @@ func (p *Selectivity) Attributes() []string { return p.Pred.Attributes() }
 func (p *Selectivity) Key() string { return "selectivity:" + p.Pred.Key() }
 
 // Violation returns the normalized two-sided deviation of the selectivity
-// of Pred in d from Theta.
+// of Pred in d from Theta. A sample-fitted profile estimates the selectivity
+// of d on the matching deterministic sample view (exact when d is small).
 func (p *Selectivity) Violation(d *dataset.Dataset) float64 {
-	sel := p.Pred.Selectivity(d)
+	sel := p.Pred.Selectivity(p.Fit.evalView(d))
 	switch {
 	case sel > p.Theta && p.Theta < 1:
 		return (sel - p.Theta) / (1 - p.Theta)
@@ -362,7 +379,14 @@ func (p *Selectivity) String() string {
 type IndepChi struct {
 	AttrA, AttrB string
 	Alpha        float64
+	// Fit records the sampling bound when Alpha was fitted on a sample
+	// (Epsilon bounds the contingency cell frequencies, not χ² itself);
+	// nil means exact. Ignored by Key, SameParams, and String.
+	Fit *Bound
 }
+
+// FitBound implements Bounded.
+func (p *IndepChi) FitBound() *Bound { return p.Fit }
 
 // Type implements Profile.
 func (p *IndepChi) Type() string { return "indep" }
@@ -374,9 +398,10 @@ func (p *IndepChi) Attributes() []string { return []string{p.AttrA, p.AttrB} }
 func (p *IndepChi) Key() string { return "indep-chi:" + p.AttrA + ":" + p.AttrB }
 
 // Statistic returns the chi-squared statistic of the pair in d, and whether
-// it is significant at p ≤ 0.05.
+// it is significant at p ≤ 0.05. A sample-fitted profile computes it on the
+// matching deterministic sample view of d (exact when d is small).
 func (p *IndepChi) Statistic(d *dataset.Dataset) (chi2 float64, significant bool) {
-	a := pairedStrings(d, p.AttrA, p.AttrB)
+	a := pairedStrings(p.Fit.evalView(d), p.AttrA, p.AttrB)
 	if a[0] == nil {
 		return 0, false
 	}
@@ -435,7 +460,14 @@ func pairedStrings(d *dataset.Dataset, a, b string) [2][]string {
 type IndepPearson struct {
 	AttrA, AttrB string
 	Alpha        float64
+	// Fit records the sampling bound when Alpha was fitted on a sample
+	// (CLT/Fisher bound on the correlation coefficient); nil means exact.
+	// Ignored by Key, SameParams, and String.
+	Fit *Bound
 }
+
+// FitBound implements Bounded.
+func (p *IndepPearson) FitBound() *Bound { return p.Fit }
 
 // Type implements Profile.
 func (p *IndepPearson) Type() string { return "indep" }
@@ -447,8 +479,10 @@ func (p *IndepPearson) Attributes() []string { return []string{p.AttrA, p.AttrB}
 func (p *IndepPearson) Key() string { return "indep-pearson:" + p.AttrA + ":" + p.AttrB }
 
 // Statistic returns the correlation of the pair in d and its significance.
+// A sample-fitted profile computes it on the matching deterministic sample
+// view of d (exact when d is small).
 func (p *IndepPearson) Statistic(d *dataset.Dataset) (r float64, significant bool) {
-	xs, ys := pairedNums(d, p.AttrA, p.AttrB)
+	xs, ys := pairedNums(p.Fit.evalView(d), p.AttrA, p.AttrB)
 	if xs == nil {
 		return 0, false
 	}
@@ -506,7 +540,13 @@ func pairedNums(d *dataset.Dataset, a, b string) (xs, ys []float64) {
 type IndepCausal struct {
 	AttrA, AttrB string
 	Alpha        float64
+	// Fit records the sampling bound when Alpha was fitted on a sample;
+	// nil means exact. Ignored by Key, SameParams, and String.
+	Fit *Bound
 }
+
+// FitBound implements Bounded.
+func (p *IndepCausal) FitBound() *Bound { return p.Fit }
 
 // Type implements Profile.
 func (p *IndepCausal) Type() string { return "indep" }
@@ -517,9 +557,11 @@ func (p *IndepCausal) Attributes() []string { return []string{p.AttrA, p.AttrB} 
 // Key implements Profile.
 func (p *IndepCausal) Key() string { return "indep-causal:" + p.AttrA + ":" + p.AttrB }
 
-// Violation follows Figure 1 row 9: max(0, (|coeff| − α)/(1 − α)).
+// Violation follows Figure 1 row 9: max(0, (|coeff| − α)/(1 − α)). A
+// sample-fitted profile evaluates the coefficient on the matching
+// deterministic sample view of d (exact when d is small).
 func (p *IndepCausal) Violation(d *dataset.Dataset) float64 {
-	coeff := causal.PairCoefficient(d, p.AttrA, p.AttrB)
+	coeff := causal.PairCoefficient(p.Fit.evalView(d), p.AttrA, p.AttrB)
 	if p.Alpha >= 1 {
 		return 0
 	}

@@ -16,7 +16,17 @@ import (
 type Unique struct {
 	Attr  string
 	Theta float64
+	// Fit records the sampling bound when Theta was fitted on a sample; nil
+	// means exact. Note that a sampled duplicate fraction is biased downward
+	// (two copies of a value must both be drawn to register a duplicate), so
+	// the Hoeffding epsilon is a heuristic here; fit and evaluation use the
+	// same draw size, keeping the comparison like-for-like. Ignored by Key,
+	// SameParams, and String.
+	Fit *Bound
 }
+
+// FitBound implements Bounded.
+func (p *Unique) FitBound() *Bound { return p.Fit }
 
 // Type implements Profile.
 func (p *Unique) Type() string { return "unique" }
@@ -28,8 +38,10 @@ func (p *Unique) Attributes() []string { return []string{p.Attr} }
 func (p *Unique) Key() string { return "unique:" + p.Attr }
 
 // DuplicateFraction returns the fraction of non-NULL tuples whose value
-// already occurred in an earlier tuple.
+// already occurred in an earlier tuple. A sample-fitted profile counts on
+// the matching deterministic sample view of d (exact when d is small).
 func (p *Unique) DuplicateFraction(d *dataset.Dataset) float64 {
+	d = p.Fit.evalView(d)
 	c := d.Column(p.Attr)
 	if c == nil || d.NumRows() == 0 {
 		return 0
@@ -80,10 +92,11 @@ func (p *Unique) String() string {
 // full of repeats is not a key and carries no key-ness intent).
 func discoverUnique(d *dataset.Dataset, opts Options) []Profile {
 	const maxDup = 0.05
+	sd, bound := opts.sampleFit(d)
 	var out []Profile
 	for _, c := range d.Columns() {
-		p := &Unique{Attr: c.Name}
-		frac := p.DuplicateFraction(d)
+		p := &Unique{Attr: c.Name, Fit: bound}
+		frac := p.DuplicateFraction(sd)
 		if frac > maxDup {
 			continue
 		}

@@ -1,0 +1,159 @@
+// Deterministic sampling primitives and concentration bounds for
+// sample-fitted profiles. Everything here is a pure function of its
+// arguments — sampling uses explicitly seeded generators only (enforced by
+// the seededrand analyzer), never global math/rand state or wall-clock
+// seeds, so a (rows, seed, cap) triple always yields the same sample.
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// ApportionSample splits a sample budget of cap rows across strata of the
+// given sizes proportionally (largest-remainder rounding, ties to the lower
+// index). The returned quotas sum to min(cap, Σsizes) and never exceed the
+// stratum size. Deterministic: same sizes and cap, same quotas.
+func ApportionSample(sizes []int, cap int) []int {
+	quotas := make([]int, len(sizes))
+	total := 0
+	for _, s := range sizes {
+		total += s
+	}
+	if total == 0 || cap <= 0 {
+		return quotas
+	}
+	if cap >= total {
+		copy(quotas, sizes)
+		return quotas
+	}
+	type frac struct {
+		i int
+		f float64
+	}
+	rem := cap
+	fracs := make([]frac, 0, len(sizes))
+	for i, s := range sizes {
+		exact := float64(cap) * float64(s) / float64(total)
+		q := int(exact)
+		if q > s {
+			q = s
+		}
+		quotas[i] = q
+		rem -= q
+		fracs = append(fracs, frac{i, exact - float64(q)})
+	}
+	sort.SliceStable(fracs, func(a, b int) bool { return fracs[a].f > fracs[b].f })
+	for _, fr := range fracs {
+		if rem == 0 {
+			break
+		}
+		if quotas[fr.i] < sizes[fr.i] {
+			quotas[fr.i]++
+			rem--
+		}
+	}
+	return quotas
+}
+
+// SampleIndices draws k distinct indices from [0, n) without replacement
+// using Floyd's algorithm on a generator seeded with seed, and returns them
+// ascending. The draw depends only on (n, k, seed).
+func SampleIndices(n, k int, seed int64) []int {
+	if k <= 0 || n <= 0 {
+		return nil
+	}
+	if k >= n {
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = i
+		}
+		return idx
+	}
+	rng := rand.New(rand.NewSource(seed))
+	chosen := make(map[int]struct{}, k)
+	for j := n - k; j < n; j++ {
+		t := rng.Intn(j + 1)
+		if _, ok := chosen[t]; ok {
+			t = j
+		}
+		chosen[t] = struct{}{}
+	}
+	idx := make([]int, 0, k)
+	for i := range chosen {
+		idx = append(idx, i)
+	}
+	sort.Ints(idx)
+	return idx
+}
+
+// MixSeed derives a per-stratum seed from a base seed and a stratum
+// identifier (e.g. a chunk's start row) by a SplitMix64-style multiply-xor
+// mix, so neighbouring strata draw decorrelated index sets.
+func MixSeed(seed int64, stratum uint64) int64 {
+	z := uint64(seed) ^ (stratum+1)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}
+
+// HoeffdingEpsilon returns the two-sided Hoeffding half-width for the mean
+// of m samples of a [0,1]-bounded statistic at confidence 1−delta:
+// ε = sqrt(ln(2/δ) / (2m)). For sampling without replacement this is
+// conservative (Serfling's bound is tighter).
+func HoeffdingEpsilon(m int, delta float64) float64 {
+	if m <= 0 || delta <= 0 || delta >= 1 {
+		return math.Inf(1)
+	}
+	return math.Sqrt(math.Log(2/delta) / (2 * float64(m)))
+}
+
+// HoeffdingSampleSize inverts HoeffdingEpsilon: the number of samples needed
+// so a [0,1]-bounded mean is within eps at confidence 1−delta.
+func HoeffdingSampleSize(eps, delta float64) int {
+	if eps <= 0 || delta <= 0 || delta >= 1 {
+		return 0
+	}
+	return int(math.Ceil(math.Log(2/delta) / (2 * eps * eps)))
+}
+
+// CLTEpsilon returns the normal-approximation half-width z_{1−δ/2}·sd/√m for
+// a mean of m samples with sample standard deviation sd.
+func CLTEpsilon(m int, sd, delta float64) float64 {
+	if m <= 0 || delta <= 0 || delta >= 1 {
+		return math.Inf(1)
+	}
+	return normalQuantile(1-delta/2) * sd / math.Sqrt(float64(m))
+}
+
+// normalQuantile is the standard normal inverse CDF (Acklam's rational
+// approximation, |relative error| < 1.15e-9 — ample for bound reporting).
+func normalQuantile(p float64) float64 {
+	if p <= 0 {
+		return math.Inf(-1)
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	a := [6]float64{-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02, 1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00}
+	b := [5]float64{-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02, 6.680131188771972e+01, -1.328068155288572e+01}
+	c := [6]float64{-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00, -2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00}
+	d := [4]float64{7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00, 3.754408661907416e+00}
+	const plow, phigh = 0.02425, 1 - 0.02425
+	switch {
+	case p < plow:
+		q := math.Sqrt(-2 * math.Log(p))
+		return (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p > phigh:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		return -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	default:
+		q := p - 0.5
+		r := q * q
+		return (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	}
+}

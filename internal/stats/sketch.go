@@ -1,0 +1,185 @@
+// Mergeable quantile sketch: a fixed-size compressed CDF built per chunk and
+// merged at column level, so approximate quantiles over 100M rows never
+// materialize a full sorted copy.
+package stats
+
+import "math"
+
+// SketchSize is the default number of weighted points a QuantileSketch
+// retains. Each build or merge-compress step introduces at most N/SketchSize
+// rank error, so a column assembled from per-chunk sketches answers
+// quantiles within roughly 2·N/SketchSize ranks of the exact answer.
+const SketchSize = 256
+
+// QuantileSketch is a deterministic, mergeable summary of a numeric
+// population: ascending weighted values approximating the population CDF.
+// Build one per chunk with SketchSorted, fold with Merge, and query with
+// Quantile. All operations are pure functions of the input values, so two
+// sketches over the same chunk contents are identical.
+type QuantileSketch struct {
+	n       int
+	errFrac float64   // accumulated worst-case rank error as a fraction of n
+	vals    []float64 // ascending, NaN first (the repo's float sort order)
+	wts     []float64 // weight per value; sums to n
+}
+
+// SketchSorted summarizes an ascending-sorted population into at most k
+// weighted points: evenly spaced order statistics, each carrying the rank
+// span it represents. The first and last points are the exact extremes.
+func SketchSorted(sorted []float64, k int) *QuantileSketch {
+	n := len(sorted)
+	if k < 2 {
+		k = 2
+	}
+	s := &QuantileSketch{n: n}
+	if n == 0 {
+		return s
+	}
+	if n <= k {
+		s.vals = append([]float64(nil), sorted...)
+		s.wts = make([]float64, n)
+		for i := range s.wts {
+			s.wts[i] = 1
+		}
+		return s
+	}
+	s.vals = make([]float64, k)
+	s.wts = make([]float64, k)
+	s.errFrac = 1 / float64(k)
+	prev := 0.0
+	for i := 0; i < k; i++ {
+		// Rank targets spread over [0, n-1]; the cumulative weight after
+		// point i is the next rank boundary, so weights sum to n exactly.
+		rank := float64(i) * float64(n-1) / float64(k-1)
+		s.vals[i] = sorted[int(rank)]
+		cum := math.Round(rank + 1)
+		if i == k-1 {
+			cum = float64(n)
+		}
+		if cum < prev+1 {
+			cum = prev + 1
+		}
+		s.wts[i] = cum - prev
+		prev = cum
+	}
+	return s
+}
+
+// N returns the size of the summarized population.
+func (s *QuantileSketch) N() int {
+	if s == nil {
+		return 0
+	}
+	return s.n
+}
+
+// Merge folds two sketches over disjoint populations and compresses the
+// result back to SketchSize points. Merging with an empty sketch is the
+// identity.
+func (s *QuantileSketch) Merge(o *QuantileSketch) *QuantileSketch {
+	if o.N() == 0 {
+		return s
+	}
+	if s.N() == 0 {
+		return o
+	}
+	vals := make([]float64, 0, len(s.vals)+len(o.vals))
+	wts := make([]float64, 0, len(s.wts)+len(o.wts))
+	i, j := 0, 0
+	for i < len(s.vals) || j < len(o.vals) {
+		if j >= len(o.vals) || (i < len(s.vals) && fpAscending(s.vals[i], o.vals[j])) {
+			vals = append(vals, s.vals[i])
+			wts = append(wts, s.wts[i])
+			i++
+		} else {
+			vals = append(vals, o.vals[j])
+			wts = append(wts, o.wts[j])
+			j++
+		}
+	}
+	m := &QuantileSketch{n: s.n + o.n, vals: vals, wts: wts}
+	// Error is inherited in population proportion; a compress step below
+	// adds at most one point-spacing of fresh rank error.
+	m.errFrac = (float64(s.n)*s.errFrac + float64(o.n)*o.errFrac) / float64(m.n)
+	return m.compress(SketchSize)
+}
+
+// compress resamples the sketch down to at most k points by querying the
+// current weighted CDF at k evenly spaced ranks.
+func (s *QuantileSketch) compress(k int) *QuantileSketch {
+	if len(s.vals) <= k {
+		return s
+	}
+	out := &QuantileSketch{
+		n:       s.n,
+		errFrac: s.errFrac + 1/float64(k),
+		vals:    make([]float64, k),
+		wts:     make([]float64, k),
+	}
+	prev := 0.0
+	for i := 0; i < k; i++ {
+		rank := float64(i) * float64(s.n-1) / float64(k-1)
+		out.vals[i] = s.valueAtRank(rank)
+		cum := math.Round(rank + 1)
+		if i == k-1 {
+			cum = float64(s.n)
+		}
+		if cum < prev+1 {
+			cum = prev + 1
+		}
+		out.wts[i] = cum - prev
+		prev = cum
+	}
+	return out
+}
+
+// valueAtRank returns the sketch value whose cumulative weight first covers
+// rank+1 items (rank is 0-based).
+func (s *QuantileSketch) valueAtRank(rank float64) float64 {
+	cum := 0.0
+	for i := range s.vals {
+		cum += s.wts[i]
+		if cum >= rank+1 {
+			return s.vals[i]
+		}
+	}
+	return s.vals[len(s.vals)-1]
+}
+
+// Quantile returns an approximate q-quantile (q clamped to [0,1]): the
+// retained value covering rank q·(n−1), within RankError·n ranks of the
+// exact order statistic. NaN when the population is empty.
+func (s *QuantileSketch) Quantile(q float64) float64 {
+	if s.N() == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return s.vals[0]
+	}
+	if q >= 1 {
+		return s.vals[len(s.vals)-1]
+	}
+	return s.valueAtRank(q * float64(s.n-1))
+}
+
+// RankError returns the worst-case rank error of Quantile as a fraction of
+// the population (a DKW-style CDF half-width), accumulated across the build
+// and every merge-compress step — deterministic, not probabilistic.
+func (s *QuantileSketch) RankError() float64 {
+	if s.N() == 0 {
+		return 0
+	}
+	return s.errFrac
+}
+
+// fpAscending orders floats ascending with NaN first, matching the order
+// sort.Float64s produces for the dataset's sorted value vectors.
+func fpAscending(a, b float64) bool {
+	if math.IsNaN(a) {
+		return !math.IsNaN(b)
+	}
+	if math.IsNaN(b) {
+		return false
+	}
+	return a < b
+}

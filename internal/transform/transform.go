@@ -166,13 +166,16 @@ func (t *LinearMap) Modifies() []string { return []string{t.Profile.Attr} }
 
 // Apply implements Transformation.
 func (t *LinearMap) Apply(d *dataset.Dataset, _ *rand.Rand) (*dataset.Dataset, error) {
-	vals := d.NumericValues(t.Profile.Attr)
-	if len(vals) == 0 {
+	r := d.Rollup(t.Profile.Attr)
+	if r == nil || r.Moments.Count == 0 {
 		return nil, fmt.Errorf("transform: no numeric values in %q", t.Profile.Attr)
 	}
-	lo, hi := stats.MinMax(vals)
+	lo, hi := r.Min(), r.Max()
 	out := d.Clone()
 	c := out.MutableColumn(t.Profile.Attr)
+	// A linear map rewrites every chunk, so privatize them in one bulk
+	// allocation up front instead of copying chunk by chunk.
+	c.PrivatizeChunks()
 	scale := 0.0
 	if hi > lo {
 		scale = (t.Profile.Hi - t.Profile.Lo) / (hi - lo)
@@ -209,7 +212,11 @@ func (t *LinearMap) Coverage(d *dataset.Dataset) float64 {
 	if d.NumRows() == 0 {
 		return 0
 	}
-	return float64(len(d.NumericValues(t.Profile.Attr))) / float64(d.NumRows())
+	r := d.Rollup(t.Profile.Attr)
+	if r == nil {
+		return 0
+	}
+	return float64(r.Moments.Count) / float64(d.NumRows())
 }
 
 // Winsorize repairs a numeric Domain violation by clamping only the
@@ -234,20 +241,41 @@ func (t *Winsorize) Apply(d *dataset.Dataset, _ *rand.Rand) (*dataset.Dataset, e
 	if c == nil || c.Kind != dataset.Numeric {
 		return nil, fmt.Errorf("transform: no numeric column %q", t.Profile.Attr)
 	}
-	for k := 0; k < c.NumChunks(); k++ {
-		v := c.Chunk(k)
-		var w dataset.ChunkView
-		for i := range v.Nums {
-			if v.Null[i] || (v.Nums[i] >= t.Profile.Lo && v.Nums[i] <= t.Profile.Hi) {
+	lo, hi := t.Profile.Lo, t.Profile.Hi
+	// Decide per chunk from the cached chunk moments whether it holds any
+	// value to clamp: only chunks whose extrema escape [Lo, Hi] — or that
+	// contain NaN cells (clamped to Hi, invisible to the NaN-skipping
+	// extrema) — are written. NaN bounds clamp everything, so they force
+	// every chunk dirty. The write loop rechecks each cell, so the gate is
+	// purely an optimization.
+	allDirty := math.IsNaN(lo) || math.IsNaN(hi)
+	dirty := make([]bool, c.NumChunks())
+	nDirty := 0
+	for k := range dirty {
+		m := c.ChunkMoments(k)
+		if allDirty || m.Min < lo || m.Max > hi || m.HasNaN() {
+			dirty[k] = true
+			nDirty++
+		}
+	}
+	// Dense writes privatize all still-shared chunks in one bulk allocation;
+	// sparse writes keep the copy-per-dirty-chunk path.
+	if 2*nDirty >= c.NumChunks() {
+		c.PrivatizeChunks()
+	}
+	for k := range dirty {
+		if !dirty[k] {
+			continue
+		}
+		w := c.MutableChunk(k)
+		for i := range w.Nums {
+			if w.Null[i] || (w.Nums[i] >= lo && w.Nums[i] <= hi) {
 				continue
 			}
-			if w.Null == nil {
-				w = c.MutableChunk(k) // copy/dirty only chunks with violations
-			}
-			if v.Nums[i] < t.Profile.Lo {
-				w.Nums[i] = t.Profile.Lo
+			if w.Nums[i] < lo {
+				w.Nums[i] = lo
 			} else {
-				w.Nums[i] = t.Profile.Hi
+				w.Nums[i] = hi
 			}
 		}
 	}
@@ -284,18 +312,32 @@ func (t *ConformText) Apply(d *dataset.Dataset, _ *rand.Rand) (*dataset.Dataset,
 	if c == nil || c.Kind == dataset.Numeric {
 		return nil, fmt.Errorf("transform: no text column %q", t.Profile.Attr)
 	}
-	for k := 0; k < c.NumChunks(); k++ {
+	// Read-only pass marking chunks with a non-conforming value (stopping at
+	// the first per chunk), so a dense edit can bulk-privatize instead of
+	// copying chunk by chunk, and clean chunks are never copied.
+	dirty := make([]bool, c.NumChunks())
+	nDirty := 0
+	for k := range dirty {
 		v := c.Chunk(k)
-		var w dataset.ChunkView
 		for i := range v.Strs {
-			if v.Null[i] {
-				continue
+			if !v.Null[i] && !t.Profile.Pattern.Matches(v.Strs[i]) {
+				dirty[k] = true
+				nDirty++
+				break
 			}
-			if !t.Profile.Pattern.Matches(v.Strs[i]) {
-				if w.Null == nil {
-					w = c.MutableChunk(k) // copy/dirty only chunks that change
-				}
-				w.Strs[i] = t.Profile.Pattern.Conform(v.Strs[i])
+		}
+	}
+	if 2*nDirty >= c.NumChunks() {
+		c.PrivatizeChunks()
+	}
+	for k := range dirty {
+		if !dirty[k] {
+			continue
+		}
+		w := c.MutableChunk(k)
+		for i := range w.Strs {
+			if !w.Null[i] && !t.Profile.Pattern.Matches(w.Strs[i]) {
+				w.Strs[i] = t.Profile.Pattern.Conform(w.Strs[i])
 			}
 		}
 	}
