@@ -74,13 +74,15 @@ func checkBenchArtifact(t *testing.T, path string, a benchArtifact) {
 	}
 }
 
-// TestBenchArtifactShapes validates BENCH_pr2.json, BENCH_pr6.json, and
-// BENCH_pr7.json against the shared schema, and asserts that each
-// performance PR's artifact covers its acceptance benchmarks: the
+// TestBenchArtifactShapes validates BENCH_pr2.json, BENCH_pr6.json,
+// BENCH_pr7.json, and BENCH_pr8.json against the shared schema, and asserts
+// that each performance PR's artifact covers its acceptance benchmarks: the
 // chunked-storage artifact (PR 6) Clone, FingerprintIncremental,
-// TransformApply, and Mask at the 10M×20 shape, and the sampled-discovery
+// TransformApply, and Mask at the 10M×20 shape, the sampled-discovery
 // artifact (PR 7) exact-vs-sampled discovery, sparse re-profiling, and the
-// recovered TransformApply ratio at the same shape.
+// recovered TransformApply ratio at the same shape, and the distributed
+// evaluation artifact (PR 8) the warm-cache re-run and fleet throughput at
+// Workers∈{1,4,8}.
 func TestBenchArtifactShapes(t *testing.T) {
 	pr2 := loadBenchArtifact(t, "BENCH_pr2.json")
 	checkBenchArtifact(t, "BENCH_pr2.json", pr2)
@@ -88,6 +90,8 @@ func TestBenchArtifactShapes(t *testing.T) {
 	checkBenchArtifact(t, "BENCH_pr6.json", pr6)
 	pr7 := loadBenchArtifact(t, "BENCH_pr7.json")
 	checkBenchArtifact(t, "BENCH_pr7.json", pr7)
+	pr8 := loadBenchArtifact(t, "BENCH_pr8.json")
+	checkBenchArtifact(t, "BENCH_pr8.json", pr8)
 
 	want := []string{
 		"BenchmarkDatasetClone/rows=10000000",
@@ -145,6 +149,37 @@ func TestBenchArtifactShapes(t *testing.T) {
 		}
 		if strings.HasPrefix(e.Name, "BenchmarkTransformApply/rows=10000000") && e.Speedup < 0.8 {
 			t.Errorf("BENCH_pr7.json: %s speedup %g < 0.8x — dense-write regression not recovered", e.Name, e.Speedup)
+		}
+	}
+
+	// PR 8 acceptance: the warm-cache re-run (before = cold run paying every
+	// 2ms oracle call, after = re-run served entirely from the persisted
+	// score store) must be ≥100×, and fleet throughput must be recorded at
+	// Workers∈{1,4,8} with the 8-worker fleet ≥4× the serial local baseline.
+	want8 := []string{
+		"BenchmarkWarmCacheRerun",
+		"BenchmarkFleetThroughput/workers=1",
+		"BenchmarkFleetThroughput/workers=4",
+		"BenchmarkFleetThroughput/workers=8",
+	}
+	for _, prefix := range want8 {
+		found := false
+		for _, e := range pr8.Benchmarks {
+			if strings.HasPrefix(e.Name, prefix) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("BENCH_pr8.json: missing acceptance benchmark %s", prefix)
+		}
+	}
+	for _, e := range pr8.Benchmarks {
+		if strings.HasPrefix(e.Name, "BenchmarkWarmCacheRerun") && e.Speedup < 100 {
+			t.Errorf("BENCH_pr8.json: %s speedup %g < 100x — warm re-run is paying oracle evaluations", e.Name, e.Speedup)
+		}
+		if strings.HasPrefix(e.Name, "BenchmarkFleetThroughput/workers=8") && e.Speedup < 4 {
+			t.Errorf("BENCH_pr8.json: %s speedup %g < 4x — fleet throughput does not scale", e.Name, e.Speedup)
 		}
 	}
 }

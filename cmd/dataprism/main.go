@@ -20,19 +20,28 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 	"time"
 
 	dataprism "repro"
 	"repro/internal/pipeline"
+	"repro/internal/pipeline/remote"
 	"repro/internal/report"
+	"repro/internal/scorestore"
 	"repro/internal/workload"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "serve-oracle" {
+		serveOracle(os.Args[2:])
+		return
+	}
 	var (
 		passPath   = flag.String("pass", "", "CSV file of the passing dataset")
 		failPath   = flag.String("fail", "", "CSV file of the failing dataset")
@@ -60,6 +69,11 @@ func main() {
 		retryBase   = flag.Duration("retry-base", 100*time.Millisecond, "base delay of the exponential retry backoff")
 		breakerTrip = flag.Int("breaker-threshold", 5, "consecutive transient oracle failures that open the circuit breaker (0 = no breaker)")
 		breakerCool = flag.Duration("breaker-cooldown", 5*time.Second, "how long the open circuit breaker rejects evaluations before probing again")
+
+		scoreCache     = flag.String("score-cache", "", "directory of the persistent score cache: scores keyed by dataset fingerprint and oracle name survive the process, so re-runs and killed-and-resumed searches skip every already-scored intervention")
+		remoteWorkers  = flag.String("remote-workers", "", "comma-separated host:port endpoints of remote oracle workers (see the serve-oracle subcommand); evaluations fan across the fleet")
+		hedgeAfter     = flag.Duration("hedge-after", 0, "speculatively duplicate an in-flight remote evaluation on another worker after this long (0 = no hedging)")
+		remoteFallback = flag.Bool("remote-fallback", false, "evaluate locally when every remote worker is unhealthy, instead of aborting the search")
 	)
 	flag.Parse()
 	if *listProfs {
@@ -128,6 +142,53 @@ func main() {
 		exit(2)
 	}
 
+	if *remoteWorkers != "" {
+		cfg := remote.Config{
+			Addrs:            splitTrim(*remoteWorkers),
+			SystemName:       sys.Name(),
+			HedgeAfter:       *hedgeAfter,
+			RetryMax:         *retries + 1,
+			RetryBaseDelay:   *retryBase,
+			BreakerThreshold: *breakerTrip,
+			BreakerCooldown:  *breakerCool,
+		}
+		if *remoteFallback {
+			if fall != nil {
+				cfg.Fallback = fall
+			} else {
+				cfg.Fallback = dataprism.AsFallibleSystem(dataprism.AsContextSystem(sys))
+			}
+		}
+		fleet := remote.NewFleet(cfg)
+		defer fleet.Close()
+		fall = fleet
+		activeFleet = fleet
+		prev := reportOracleFailures
+		reportOracleFailures = func() {
+			prev()
+			reportFleetDiagnostics(fleet)
+		}
+	}
+
+	var store *scorestore.Store
+	if *scoreCache != "" {
+		var err error
+		store, err = scorestore.Open(*scoreCache, sys.Name(), scorestore.Options{})
+		if err != nil {
+			fatal(err)
+		}
+		if st := store.Stats(); st.Discarded {
+			fmt.Fprintln(os.Stderr, "dataprism: score cache was built under a different fingerprint algorithm; discarded and rebuilding")
+		}
+		closeScoreStore = func() {
+			closeScoreStore = func() {}
+			if err := store.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "dataprism: closing score cache:", err)
+			}
+		}
+		defer func() { closeScoreStore() }()
+	}
+
 	if err := applyProfileSelector(&opts, *profiles); err != nil {
 		fatal(err)
 	}
@@ -146,6 +207,9 @@ func main() {
 	failScore := baselineScore(ctx, sys, fall, fail)
 
 	e := &dataprism.Explainer{System: sys, FallibleSystem: fall, Tau: threshold, Options: &opts, Seed: *seed, Workers: *workers}
+	if store != nil {
+		e.Store = store
+	}
 	var (
 		res *dataprism.Result
 		err error
@@ -310,11 +374,26 @@ type jsonResult struct {
 	TransientFails int                 `json:"transient_failures"`
 	DetermFails    int                 `json:"deterministic_failures"`
 	BreakerTrips   int                 `json:"breaker_trips"`
+	StoreHits      int                 `json:"store_hits"`
+	Fleet          *jsonFleet          `json:"fleet,omitempty"`
 	FinalScore     float64             `json:"final_score"`
 	RuntimeSecs    float64             `json:"runtime_seconds"`
 	Explanation    []string            `json:"explanation"`
 	ExplByClass    map[string][]string `json:"explanation_by_class,omitempty"`
 	Trace          []jsonTraceStep     `json:"trace"`
+}
+
+// jsonFleet reports the remote oracle fleet's counters and per-worker
+// diagnostics when -remote-workers is set.
+type jsonFleet struct {
+	Workers       int                 `json:"workers"`
+	Healthy       int                 `json:"healthy"`
+	Dispatched    int                 `json:"dispatched"`
+	Hedges        int                 `json:"hedges"`
+	Failovers     int                 `json:"failovers"`
+	WorkerFaults  int                 `json:"worker_faults"`
+	FallbackEvals int                 `json:"fallback_evals"`
+	WorkerDiags   []remote.WorkerDiag `json:"worker_diagnostics,omitempty"`
 }
 
 type jsonTraceStep struct {
@@ -340,8 +419,23 @@ func emitJSON(sys dataprism.System, tau, passScore, failScore float64, res *data
 		TransientFails: res.Stats.TransientFailures,
 		DetermFails:    res.Stats.DeterministicFailures,
 		BreakerTrips:   res.Stats.BreakerTrips,
+		StoreHits:      res.Stats.StoreHits,
 		FinalScore:     res.FinalScore,
 		RuntimeSecs:    res.Runtime.Seconds(),
+	}
+	if fs := res.Stats.Fleet; fs.Workers > 0 {
+		out.Fleet = &jsonFleet{
+			Workers:       fs.Workers,
+			Healthy:       fs.Healthy,
+			Dispatched:    fs.Dispatched,
+			Hedges:        fs.Hedges,
+			Failovers:     fs.Failovers,
+			WorkerFaults:  fs.WorkerFaults,
+			FallbackEvals: fs.FallbackEvals,
+		}
+		if activeFleet != nil {
+			out.Fleet.WorkerDiags = activeFleet.WorkerDiagnostics()
+		}
 	}
 	for _, p := range res.Explanation {
 		out.Explanation = append(out.Explanation, p.String())
@@ -375,10 +469,106 @@ var stopProfiles = func() {}
 // survives early exits.
 var reportOracleFailures = func() {}
 
+// closeScoreStore flushes and closes the persistent score cache; exit routes
+// every termination path through it so buffered scores survive early exits.
+var closeScoreStore = func() {}
+
+// activeFleet is the remote worker fleet of this run, when -remote-workers
+// is set; emitJSON folds its per-worker diagnostics into the report.
+var activeFleet *remote.FleetSystem
+
 func exit(code int) {
 	reportOracleFailures()
+	closeScoreStore()
 	stopProfiles()
 	os.Exit(code)
+}
+
+// splitTrim splits a comma-separated flag value, dropping empty entries.
+func splitTrim(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// reportFleetDiagnostics prints per-worker health, breaker trips, and recent
+// failure tails to stderr at exit, mirroring the external oracle's ring.
+func reportFleetDiagnostics(fleet *remote.FleetSystem) {
+	diags := fleet.WorkerDiagnostics()
+	interesting := false
+	for _, d := range diags {
+		if !d.Healthy || d.BreakerTrips > 0 || len(d.RecentFailures) > 0 {
+			interesting = true
+			break
+		}
+	}
+	if !interesting {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "dataprism: remote fleet diagnostics (%d workers):\n", len(diags))
+	for _, d := range diags {
+		state := "healthy"
+		if !d.Healthy {
+			state = "unhealthy"
+		}
+		fmt.Fprintf(os.Stderr, "  %s: %s, %d breaker trips\n", d.Addr, state, d.BreakerTrips)
+		for _, f := range d.RecentFailures {
+			fmt.Fprintf(os.Stderr, "    %s\n", f)
+		}
+	}
+}
+
+// serveOracle runs the `dataprism serve-oracle` subcommand: a worker process
+// that serves a scoring oracle over TCP for -remote-workers clients.
+func serveOracle(args []string) {
+	fs := flag.NewFlagSet("serve-oracle", flag.ExitOnError)
+	var (
+		listen    = fs.String("listen", "127.0.0.1:9412", "host:port to serve the oracle on")
+		systemCmd = fs.String("system-cmd", "", "external system: command receiving CSV on stdin, printing a malfunction score")
+		scenario  = fs.String("scenario", "", "serve a built-in scenario's system: sentiment, income, cardio, bias, ezgo")
+		rows      = fs.Int("rows", 1000, "rows per generated dataset for built-in scenarios")
+		seed      = fs.Int64("seed", 1, "random seed of the built-in scenario")
+		verbose   = fs.Bool("v", false, "log each connection and evaluation error")
+	)
+	fs.Parse(args)
+
+	var sys dataprism.System
+	switch {
+	case *scenario != "":
+		var err error
+		_, _, sys, _, _, err = builtinScenario(*scenario, *rows, *seed)
+		if err != nil {
+			fatal(err)
+		}
+	case *systemCmd != "":
+		sys = &pipeline.External{Command: strings.Fields(*systemCmd)}
+	default:
+		fmt.Fprintln(os.Stderr, "usage: dataprism serve-oracle -scenario <name> | -system-cmd <cmd> [-listen host:port]")
+		fs.PrintDefaults()
+		os.Exit(2)
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fatal(err)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	w := &remote.Worker{System: dataprism.AsFallibleSystem(dataprism.AsContextSystem(sys))}
+	if *verbose {
+		w.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "dataprism: serve-oracle: "+format+"\n", args...)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "dataprism: serving oracle %q on %s\n", sys.Name(), ln.Addr())
+	if err := w.Serve(ctx, ln); err != nil && !errors.Is(err, context.Canceled) {
+		fatal(err)
+	}
 }
 
 // baselineScore measures one dataset's malfunction outside the search. The

@@ -68,6 +68,12 @@ type Explainer struct {
 	// search outcome — only wall-clock time — so this replaces the old
 	// SpeculativeParallel flag.
 	Workers int
+	// Store, when set, backs score memoization with a persistent archive
+	// (internal/scorestore): scores survive the process, so a repeated or
+	// killed-and-resumed search re-evaluates only what the previous run
+	// never scored. Served scores consume no intervention budget and are
+	// counted in Stats.StoreHits.
+	Store engine.ScoreStore
 	// Benefit selects the greedy scoring mode (ablation knob).
 	Benefit BenefitMode
 	// DisableGraphPriority skips the high-degree-attribute filter of
@@ -188,6 +194,7 @@ func (e *Explainer) newEval() (*engine.Eval, error) {
 	cfg := engine.Config{
 		Workers:          e.Workers,
 		MaxInterventions: e.maxInterventions(),
+		Store:            e.Store,
 	}
 	if e.FallibleSystem != nil {
 		return engine.NewFallible(e.FallibleSystem, cfg), nil

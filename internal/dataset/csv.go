@@ -20,6 +20,13 @@ type InferOptions struct {
 	MaxCategorical int
 	// TextColumns forces the named columns to Text regardless of inference.
 	TextColumns []string
+	// Kinds forces the named columns to exact kinds, bypassing inference
+	// entirely for them. A column forced Numeric whose cells do not parse is
+	// an error. Remote oracle workers use this to reconstruct a dataset with
+	// the sender's schema, so string columns whose values happen to look
+	// numeric (e.g. "-1"/"1" class labels) do not silently change type in
+	// transit.
+	Kinds map[string]Kind
 	// ChunkSize sets the rows-per-chunk capacity of the parsed dataset's
 	// columns; 0 means DefaultChunkSize. Chunk size affects only
 	// copy-on-write and recomputation granularity — the parsed contents,
@@ -68,17 +75,26 @@ func ReadCSV(r io.Reader, opts InferOptions) (*Dataset, error) {
 			cells[i] = rec[j]
 			null[i] = nullTokens[strings.TrimSpace(rec[j])]
 		}
-		if !forcedText[name] && allNumeric(cells, null) {
-			nums := make([]float64, len(cells))
-			for i, s := range cells {
-				if null[i] {
-					continue
-				}
-				v, perr := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if forced, ok := opts.Kinds[name]; ok {
+			if forced == Numeric {
+				nums, perr := parseNumericCells(name, cells, null)
 				if perr != nil {
-					return nil, fmt.Errorf("dataset: column %q row %d: %w", name, i+2, perr)
+					return nil, perr
 				}
-				nums[i] = v
+				if err := d.AddNumericColumn(name, nums, null); err != nil {
+					return nil, err
+				}
+			} else {
+				if err := d.addColumn(newColumn(name, forced, nil, cells, null, csize)); err != nil {
+					return nil, err
+				}
+			}
+			continue
+		}
+		if !forcedText[name] && allNumeric(cells, null) {
+			nums, perr := parseNumericCells(name, cells, null)
+			if perr != nil {
+				return nil, perr
 			}
 			if err := d.AddNumericColumn(name, nums, null); err != nil {
 				return nil, err
@@ -94,6 +110,22 @@ func ReadCSV(r io.Reader, opts InferOptions) (*Dataset, error) {
 		}
 	}
 	return d, nil
+}
+
+// parseNumericCells parses every non-NULL cell of a numeric column.
+func parseNumericCells(name string, cells []string, null []bool) ([]float64, error) {
+	nums := make([]float64, len(cells))
+	for i, s := range cells {
+		if null[i] {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: column %q row %d: %w", name, i+2, err)
+		}
+		nums[i] = v
+	}
+	return nums, nil
 }
 
 // allNumeric reports whether every non-NULL cell parses as a float and at

@@ -2,6 +2,22 @@ package dataset
 
 import "math"
 
+// FingerprintAlgoVersion identifies the fingerprint/digest algorithm
+// generation. It MUST be bumped whenever Fingerprint (or any hash it folds
+// in — column digests, chunk partials, cell salting) changes in a way that
+// alters the produced values, because fingerprints key *persistent* state:
+// the on-disk score store (internal/scorestore) trusts that equal
+// fingerprints mean equal dataset content under one fixed algorithm. A
+// store opened with a different algorithm version discards its cache
+// rather than serve scores for datasets that merely collide across
+// algorithm generations.
+//
+// History: 1 = PR 1 whole-dataset hash; 2 = PR 2 per-column incremental
+// digests; 3 = PR 6 row-salted mergeable chunk partials (current).
+// TestFingerprintGolden pins concrete values so an accidental algorithm
+// change fails loudly instead of silently invalidating persisted caches.
+const FingerprintAlgoVersion = 3
+
 // Fingerprint returns a 64-bit content digest of the dataset: schema (column
 // names and kinds), row count, NULL masks, and every value. Two datasets
 // with equal content always produce the same fingerprint, across processes

@@ -62,6 +62,26 @@ func TestFingerprintIgnoresMaskedGarbage(t *testing.T) {
 	}
 }
 
+// TestFingerprintGolden pins the cross-process stability contract behind
+// FingerprintAlgoVersion: fingerprints key persistent score caches, so the
+// exact values for fixed content must not drift between builds or runs. If
+// this test fails, the algorithm changed — bump FingerprintAlgoVersion (the
+// score store then discards stale caches instead of serving wrong scores)
+// and update the pinned values.
+func TestFingerprintGolden(t *testing.T) {
+	if got, want := fpSample().Fingerprint(), uint64(0x61af206de350d311); got != want {
+		t.Errorf("fpSample fingerprint %#x, want %#x — algorithm changed without bumping FingerprintAlgoVersion (= %d)",
+			got, want, FingerprintAlgoVersion)
+	}
+	if got, want := New().Fingerprint(), uint64(0x50bebf6edbd6cf00); got != want {
+		t.Errorf("empty-dataset fingerprint %#x, want %#x — algorithm changed without bumping FingerprintAlgoVersion (= %d)",
+			got, want, FingerprintAlgoVersion)
+	}
+	if FingerprintAlgoVersion != 3 {
+		t.Errorf("FingerprintAlgoVersion = %d; this test pins version 3 values — repin the golden fingerprints for the new algorithm", FingerprintAlgoVersion)
+	}
+}
+
 func TestFingerprintEmptyDataset(t *testing.T) {
 	if New().Fingerprint() == fpSample().Fingerprint() {
 		t.Fatal("empty dataset collides with populated one")

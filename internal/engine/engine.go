@@ -49,6 +49,24 @@ import (
 // still returns the scores it could afford (unevaluated slots are NaN).
 var ErrBudgetExhausted = errors.New("engine: intervention budget exhausted")
 
+// ScoreStore is the persistent, cross-run half of the memo cache: a
+// crash-safe score archive keyed by dataset fingerprint (scorestore.Store
+// implements it). The engine consults it read-through before enqueueing a
+// batch slot — a persisted score costs no oracle call and no intervention
+// budget, so a re-run or resumed search never repeats an evaluation — and
+// writes every fresh, trustworthy score through. Failed measurements are
+// never saved, mirroring the in-memory cache-poisoning contract.
+// Implementations must be safe for concurrent use and must never fail the
+// caller: Save swallows I/O errors (a degraded disk degrades the cache,
+// not the search).
+type ScoreStore interface {
+	// Load returns the persisted score for a fingerprint.
+	Load(fp uint64) (float64, bool)
+	// Save persists one trustworthy score; deterministic marks the extreme
+	// crash-on-input malfunction.
+	Save(fp uint64, score float64, deterministic bool)
+}
+
 // Config parameterizes an Eval.
 type Config struct {
 	// Workers bounds concurrent malfunction evaluations. Zero means
@@ -60,6 +78,10 @@ type Config struct {
 	// context.DeadlineExceeded — a coarse whole-search time budget that
 	// composes with any per-call context deadline.
 	Deadline time.Time
+	// Store, when set, backs the in-memory memo cache with a persistent
+	// score archive consulted before any oracle call and updated after
+	// every successful one.
+	Store ScoreStore
 }
 
 // Stats is a snapshot of the engine's counters.
@@ -72,6 +94,12 @@ type Stats struct {
 	// CacheHits / CacheMisses count memoized-score lookups. A duplicate
 	// dataset inside one batch counts as a hit: it is evaluated once.
 	CacheHits, CacheMisses int
+	// StoreHits counts scores served from the persistent ScoreStore — the
+	// evaluations a re-run or resumed search did not repeat. Like cache
+	// hits, they consume no intervention budget. (A store hit is not also
+	// counted as a CacheHit, though the score then seeds the in-memory
+	// cache and later lookups hit there.)
+	StoreHits int
 	// Batches counts EvalBatch calls that dispatched more than one
 	// evaluation to the worker pool.
 	Batches int
@@ -89,6 +117,10 @@ type Stats struct {
 	// BreakerTrips is how many times the circuit breaker opened (zero
 	// when no pipeline.Breaker wraps the system).
 	BreakerTrips int
+	// Fleet snapshots the remote oracle fleet's counters when the system
+	// chain exposes the pipeline.FleetReporter capability (zero value —
+	// Workers 0 — when evaluation is purely local).
+	Fleet pipeline.FleetStats
 	// Latency is the per-oracle-call latency histogram.
 	Latency Histogram
 }
@@ -107,6 +139,7 @@ type Eval struct {
 	workers  int
 	max      int
 	deadline time.Time
+	store    ScoreStore
 
 	mu    sync.Mutex
 	cache map[uint64]float64
@@ -138,6 +171,7 @@ func newEval(sys pipeline.ContextSystem, fall pipeline.FallibleSystem, cfg Confi
 		workers:  w,
 		max:      cfg.MaxInterventions,
 		deadline: cfg.Deadline,
+		store:    cfg.Store,
 		cache:    make(map[uint64]float64),
 	}
 }
@@ -155,6 +189,9 @@ func (ev *Eval) Stats() Stats {
 	ev.mu.Unlock()
 	if tc, ok := ev.fall.(pipeline.TripCounter); ok {
 		st.BreakerTrips = tc.BreakerTrips()
+	}
+	if fr, ok := ev.fall.(pipeline.FleetReporter); ok {
+		st.Fleet = fr.FleetSnapshot()
 	}
 	return st
 }
@@ -202,6 +239,14 @@ func (ev *Eval) Baseline(ctx context.Context, d *dataset.Dataset) (float64, erro
 		ev.mu.Unlock()
 		return s, nil
 	}
+	if ev.store != nil {
+		if s, ok := ev.store.Load(fp); ok {
+			ev.cache[fp] = s
+			ev.stats.StoreHits++
+			ev.mu.Unlock()
+			return s, nil
+		}
+	}
 	ev.mu.Unlock()
 	if err := ev.gate(ctx); err != nil {
 		return math.NaN(), err
@@ -215,6 +260,9 @@ func (ev *Eval) Baseline(ctx context.Context, d *dataset.Dataset) (float64, erro
 	}
 	ev.mu.Lock()
 	ev.cache[fp] = r.Score
+	if ev.store != nil {
+		ev.store.Save(fp, r.Score, r.Deterministic)
+	}
 	ev.mu.Unlock()
 	return r.Score, nil
 }
@@ -288,6 +336,16 @@ func (ev *Eval) EvalBatchErrs(ctx context.Context, ds []*dataset.Dataset) ([]flo
 			scores[i] = s
 			ev.stats.CacheHits++
 			continue
+		}
+		if ev.store != nil {
+			if s, ok := ev.store.Load(fp); ok {
+				// Persisted by an earlier run: serve it like a cache hit —
+				// no oracle call, no budget — and seed the in-memory cache.
+				scores[i] = s
+				ev.cache[fp] = s
+				ev.stats.StoreHits++
+				continue
+			}
 		}
 		if j, ok := seen[fp]; ok {
 			jobs[j].out = append(jobs[j].out, i)
@@ -369,6 +427,9 @@ func (ev *Eval) EvalBatchErrs(ctx context.Context, ds []*dataset.Dataset) ([]flo
 			continue
 		}
 		ev.cache[jobs[j].fp] = r.Score
+		if ev.store != nil {
+			ev.store.Save(jobs[j].fp, r.Score, r.Deterministic)
+		}
 		for _, i := range jobs[j].out {
 			scores[i] = r.Score
 		}

@@ -15,13 +15,16 @@ import (
 //     implementation);
 //   - exec.Command — spawns a child the search cannot kill on
 //     cancellation; use exec.CommandContext (pipeline.External does);
+//   - net.Dial / net.DialTimeout — raw dials that cannot be abandoned when
+//     the search is cancelled; use net.Dialer.DialContext (the remote
+//     transport does);
 //   - dropped context parameters — a named ctx parameter the function body
 //     never reads, which silently severs the cancellation chain for every
 //     callee. Rename deliberate drops to _ (interface-satisfaction
 //     adapters do this) so the severing is visible at the signature.
 var CtxFlow = &analysis.Analyzer{
 	Name: "ctxflow",
-	Doc:  "flags time.Sleep, exec.Command, and dropped context.Context parameters in cancellation-bearing packages; blocking work must observe ctx",
+	Doc:  "flags time.Sleep, exec.Command, net.Dial, and dropped context.Context parameters in cancellation-bearing packages; blocking work must observe ctx",
 	Run:  runCtxFlow,
 }
 
@@ -36,6 +39,9 @@ func runCtxFlow(pass *analysis.Pass) (any, error) {
 				}
 				if isPkgFunc(fn, "os/exec", "Command") {
 					pass.Reportf(n.Pos(), "exec.Command spawns a process cancellation cannot kill; use exec.CommandContext(ctx, ...)")
+				}
+				if isPkgFunc(fn, "net", "Dial") || isPkgFunc(fn, "net", "DialTimeout") {
+					pass.Reportf(n.Pos(), "raw net dial cannot be abandoned on cancellation; use net.Dialer.DialContext (see the remote transport)")
 				}
 			case *ast.FuncDecl:
 				if n.Body != nil {

@@ -34,8 +34,10 @@ func Suite() []*analysis.Analyzer {
 //
 //   - mapdeterminism and seededrand guard the deterministic search/scoring
 //     and reporting paths;
-//   - ctxflow guards the two packages that own blocking work and
-//     cancellation plumbing.
+//   - ctxflow guards the packages that own blocking work and cancellation
+//     plumbing: the engine, the pipeline (including the remote transport,
+//     where a raw dial would hang cancellation), and the persistent score
+//     store.
 //
 // cowmutate and faultcontract run tree-wide: shared columns and fallible
 // scores flow everywhere.
@@ -53,7 +55,7 @@ func DefaultScopes(module string) map[string][]string {
 			// function of (geometry, seed), never of global rand state.
 			p("internal/dataset"), p("internal/stats"),
 		},
-		CtxFlow.Name: {p("internal/engine"), p("internal/pipeline")},
+		CtxFlow.Name: {p("internal/engine"), p("internal/pipeline"), p("internal/scorestore")},
 	}
 }
 

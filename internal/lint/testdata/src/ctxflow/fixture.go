@@ -1,11 +1,13 @@
 // Package ctxflow is the golden fixture for the ctxflow analyzer:
 // uninterruptible blocking (time.Sleep), unkillable children
-// (exec.Command), and silently dropped context parameters are flagged; the
-// timer-select idiom, CommandContext, and explicit _ drops are not.
+// (exec.Command), unabandonable dials (net.Dial/net.DialTimeout), and
+// silently dropped context parameters are flagged; the timer-select idiom,
+// CommandContext, Dialer.DialContext, and explicit _ drops are not.
 package ctxflow
 
 import (
 	"context"
+	"net"
 	"os/exec"
 	"time"
 )
@@ -20,6 +22,20 @@ func badExec() error {
 
 func badDroppedCtx(ctx context.Context, n int) int { // want `context parameter ctx is dropped`
 	return n * 2
+}
+
+func badDial() (net.Conn, error) {
+	return net.Dial("tcp", "localhost:1") // want `raw net dial cannot be abandoned on cancellation`
+}
+
+func badDialTimeout() (net.Conn, error) {
+	return net.DialTimeout("tcp", "localhost:1", time.Second) // want `raw net dial cannot be abandoned on cancellation`
+}
+
+// goodDialContext: the dial dies with the context.
+func goodDialContext(ctx context.Context) (net.Conn, error) {
+	var d net.Dialer
+	return d.DialContext(ctx, "tcp", "localhost:1")
 }
 
 // goodTimerSelect: the sanctioned interruptible wait.

@@ -24,7 +24,11 @@ var ErrBreakerOpen = errors.New("pipeline: circuit breaker open")
 // which every evaluation fails fast with ErrBreakerOpen (Attempts 0 — no
 // oracle call happens). After the cooldown the next evaluation is a
 // half-open probe: success closes the circuit, another transient failure
-// re-opens it for a further Cooldown.
+// re-opens it for a further Cooldown. At most one probe is in flight at a
+// time — while it runs, concurrent evaluations keep failing fast with
+// ErrBreakerOpen rather than piling onto a possibly-dead scorer. A probe
+// cut short by its caller's cancelled context settles nothing: the circuit
+// stays half-open and the next evaluation probes again.
 //
 // Deterministic failures and successful scores reset the consecutive-failure
 // count — they prove the scorer is reachable. Failures caused by the
@@ -48,6 +52,7 @@ type Breaker struct {
 	mu          sync.Mutex
 	consecutive int
 	openUntil   time.Time
+	probing     bool
 	trips       int
 }
 
@@ -94,16 +99,25 @@ func (b *Breaker) TryMalfunctionScore(ctx context.Context, d *dataset.Dataset) S
 	b.mu.Lock()
 	probing := false
 	if !b.openUntil.IsZero() {
-		if b.now().Before(b.openUntil) {
+		if b.now().Before(b.openUntil) || b.probing {
+			// Still cooling down — or half-open with the single allowed
+			// probe already in flight; concurrent callers must not pile
+			// onto a possibly-dead scorer.
 			until := b.openUntil
+			inFlight := b.probing
 			b.mu.Unlock()
+			reason := fmt.Sprintf("oracle rejected until %s", until.Format(time.RFC3339))
+			if inFlight {
+				reason = "half-open probe in flight"
+			}
 			return ScoreResult{
 				Score:    math.NaN(),
-				Err:      fmt.Errorf("oracle rejected until %s: %w", until.Format(time.RFC3339), ErrBreakerOpen),
+				Err:      fmt.Errorf("%s: %w", reason, ErrBreakerOpen),
 				Attempts: 0,
 			}
 		}
-		probing = true // cooldown elapsed: let this call probe the scorer
+		probing = true // cooldown elapsed: this call is the one probe
+		b.probing = true
 	}
 	b.mu.Unlock()
 
@@ -111,6 +125,9 @@ func (b *Breaker) TryMalfunctionScore(ctx context.Context, d *dataset.Dataset) S
 
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	if probing {
+		b.probing = false
+	}
 	switch {
 	case r.Err != nil && ctx.Err() != nil:
 		// Caller-driven cancellation: no signal about scorer health.

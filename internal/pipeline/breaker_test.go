@@ -3,8 +3,12 @@ package pipeline
 import (
 	"context"
 	"errors"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
+
+	"repro/internal/dataset"
 )
 
 // fakeClock is a manually advanced clock for breaker cooldown tests.
@@ -128,5 +132,106 @@ func TestBreakerResetsOnSuccessAndDeterministic(t *testing.T) {
 	mustOpen(t, b, false)
 	if b.BreakerTrips() != 0 {
 		t.Fatalf("trips = %d, want 0", b.BreakerTrips())
+	}
+}
+
+// TestBreakerSingleHalfOpenProbe is the regression test for the half-open
+// race: once the cooldown elapses, exactly one caller may probe the scorer.
+// While that probe is blocked in flight, every concurrent evaluation must
+// fail fast with ErrBreakerOpen instead of also reaching the scorer.
+func TestBreakerSingleHalfOpenProbe(t *testing.T) {
+	clk := newFakeClock()
+	var calls atomic.Int64
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	sys := &TryFunc{SystemName: "slow", Try: func(context.Context, *dataset.Dataset) ScoreResult {
+		switch calls.Add(1) {
+		case 1:
+			return transientRes() // trips the threshold-1 breaker
+		case 2:
+			// First post-cooldown call: the probe. Block it mid-flight.
+			close(entered)
+			<-release
+		}
+		return successRes(0.3)
+	}}
+	b := &Breaker{System: sys, FailureThreshold: 1, Cooldown: time.Minute, Clock: clockOf(clk)}
+
+	ctx := context.Background()
+	d := extData()
+	b.TryMalfunctionScore(ctx, d) // transient → trips (threshold 1)
+	mustOpen(t, b, true)
+	clk.advance(61 * time.Second)
+
+	probeDone := make(chan ScoreResult, 1)
+	go func() { probeDone <- b.TryMalfunctionScore(ctx, d) }()
+	<-entered // the probe is inside the scorer, blocked
+
+	// Concurrent callers while the probe is in flight: all fail fast.
+	const concurrent = 8
+	var wg sync.WaitGroup
+	rejected := make([]ScoreResult, concurrent)
+	for i := 0; i < concurrent; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rejected[i] = b.TryMalfunctionScore(ctx, d)
+		}(i)
+	}
+	wg.Wait()
+	for i, res := range rejected {
+		if !errors.Is(res.Err, ErrBreakerOpen) {
+			t.Fatalf("caller %d: err = %v, want ErrBreakerOpen while probe in flight", i, res.Err)
+		}
+		if res.Attempts != 0 {
+			t.Fatalf("caller %d: attempts = %d, want 0", i, res.Attempts)
+		}
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("scorer calls = %d, want 2 (trip + single probe) — %d extra probes raced through",
+			got, got-2)
+	}
+
+	// Release the probe: success closes the circuit for everyone.
+	close(release)
+	if res := <-probeDone; res.Err != nil || res.Score != 0.3 {
+		t.Fatalf("probe result = %+v", res)
+	}
+	mustOpen(t, b, false)
+	if res := b.TryMalfunctionScore(ctx, d); res.Err != nil || res.Score != 0.3 {
+		t.Fatalf("post-close call = %+v", res)
+	}
+}
+
+// TestBreakerCancelledProbeReleasesSlot: a probe cut short by its caller's
+// cancelled context must settle nothing — the circuit stays half-open and
+// the next caller gets to probe.
+func TestBreakerCancelledProbeReleasesSlot(t *testing.T) {
+	clk := newFakeClock()
+	sys := &scriptSys{script: []ScoreResult{
+		transientRes(),                               // trip
+		{Score: 0, Err: context.Canceled, Attempts: 1}, // probe under cancelled ctx
+		successRes(0.4),                              // second probe succeeds
+	}}
+	b := &Breaker{System: sys, FailureThreshold: 1, Cooldown: time.Minute, Clock: clockOf(clk)}
+	d := extData()
+
+	b.TryMalfunctionScore(context.Background(), d)
+	mustOpen(t, b, true)
+	clk.advance(61 * time.Second)
+
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if res := b.TryMalfunctionScore(cancelled, d); !errors.Is(res.Err, context.Canceled) {
+		t.Fatalf("cancelled probe = %+v", res)
+	}
+	// Slot released, circuit still half-open: the next caller probes and
+	// closes the circuit.
+	if res := b.TryMalfunctionScore(context.Background(), d); res.Err != nil || res.Score != 0.4 {
+		t.Fatalf("follow-up probe = %+v", res)
+	}
+	mustOpen(t, b, false)
+	if b.BreakerTrips() != 1 {
+		t.Fatalf("trips = %d, want 1 (cancelled probe must not re-open)", b.BreakerTrips())
 	}
 }

@@ -1,0 +1,58 @@
+package pipeline
+
+// FleetStats is a snapshot of a remote oracle fleet's counters, surfaced
+// through the optional FleetReporter capability so the engine can fold
+// fleet behavior into its Stats without importing the transport layer.
+type FleetStats struct {
+	// Workers is the configured fleet size; Healthy is how many workers
+	// were accepting evaluations at snapshot time.
+	Workers, Healthy int
+	// Dispatched counts evaluations sent to remote workers (hedged
+	// duplicates included).
+	Dispatched int
+	// Hedges counts speculative duplicate dispatches launched because the
+	// primary worker straggled.
+	Hedges int
+	// Failovers counts evaluations retried on another worker after a
+	// worker-level failure.
+	Failovers int
+	// WorkerFaults counts transport/oracle failures observed across all
+	// workers (before any failover or fallback recovered them).
+	WorkerFaults int
+	// FallbackEvals counts evaluations served by the configured local
+	// fallback system because every worker was unhealthy.
+	FallbackEvals int
+}
+
+// FleetReporter is the optional capability a FallibleSystem (or a wrapper
+// chain containing a remote fleet) implements to expose its fleet counters.
+// The engine snapshots it into Stats, like TripCounter.
+type FleetReporter interface {
+	FleetSnapshot() FleetStats
+}
+
+// FleetSnapshot forwards the inner chain's fleet counters, keeping the
+// capability visible when a Retry wraps a fleet.
+func (r *Retry) FleetSnapshot() FleetStats {
+	if fr, ok := r.System.(FleetReporter); ok {
+		return fr.FleetSnapshot()
+	}
+	return FleetStats{}
+}
+
+// FleetSnapshot forwards the inner chain's fleet counters through a Breaker.
+func (b *Breaker) FleetSnapshot() FleetStats {
+	if fr, ok := b.System.(FleetReporter); ok {
+		return fr.FleetSnapshot()
+	}
+	return FleetStats{}
+}
+
+// FleetSnapshot forwards the inner chain's fleet counters through a
+// FaultInjector.
+func (f *FaultInjector) FleetSnapshot() FleetStats {
+	if fr, ok := f.System.(FleetReporter); ok {
+		return fr.FleetSnapshot()
+	}
+	return FleetStats{}
+}

@@ -1,0 +1,68 @@
+package remote_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/pipeline"
+	"repro/internal/pipeline/remote"
+	"repro/internal/synth"
+)
+
+// benchOracleCost models an expensive black-box oracle, so the benchmark
+// measures evaluation economics rather than loopback overhead alone.
+const benchOracleCost = 2 * time.Millisecond
+
+// slowSystem charges a fixed latency per evaluation, like an external
+// scoring process would.
+type slowSystem struct {
+	pipeline.System
+}
+
+func (s *slowSystem) MalfunctionScore(d *dataset.Dataset) float64 {
+	time.Sleep(benchOracleCost)
+	return s.System.MalfunctionScore(d)
+}
+
+// BenchmarkFleetThroughput measures oracle evaluations per second. The
+// local case is the before-this-PR baseline: a serial in-process oracle at
+// benchOracleCost per call. The fleet cases fan saturating concurrent
+// callers across 1, 4, and 8 single-threaded loopback workers — throughput
+// should scale with fleet size, the serialization/framing/TCP overhead
+// visible as the gap from the ideal cost/N.
+func BenchmarkFleetThroughput(b *testing.B) {
+	sc := synth.New(synth.Options{NumPVTs: 8, NumAttrs: 4, Conjunction: 1, CauseTopBenefit: true, Seed: 1})
+	slow := &slowSystem{System: sc.System}
+	local := pipeline.AsFallible(pipeline.AsContext(slow))
+	ctx := context.Background()
+
+	b.Run("local", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if res := local.TryMalfunctionScore(ctx, sc.Fail); res.Err != nil {
+				b.Fatal(res.Err)
+			}
+		}
+	})
+
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			fleet := remote.NewFleet(remote.Config{
+				Addrs:      startFleetWorkers(b, slow, workers),
+				SystemName: slow.Name(),
+			})
+			defer fleet.Close()
+			b.SetParallelism(16) // enough concurrent callers to saturate 8 workers even at GOMAXPROCS=1
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					if res := fleet.TryMalfunctionScore(ctx, sc.Fail); res.Err != nil {
+						b.Fatal(res.Err)
+					}
+				}
+			})
+		})
+	}
+}

@@ -1,0 +1,163 @@
+package remote
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/pipeline"
+)
+
+// netFaultMode enumerates the injectable network failures.
+type netFaultMode int
+
+const (
+	// faultDrop delivers the request nowhere: the write "succeeds" but the
+	// connection is dead and the response read fails.
+	faultDrop netFaultMode = iota
+	// faultTimeout makes the request exceed its deadline immediately.
+	faultTimeout
+	// faultPartialWrite transmits half the frame, then fails — the worker
+	// sees a truncated frame and drops the connection.
+	faultPartialWrite
+	// faultCrash simulates the worker process dying mid-connection: the
+	// write fails as a reset and the connection is gone.
+	faultCrash
+	numFaultModes
+)
+
+func (m netFaultMode) String() string {
+	switch m {
+	case faultDrop:
+		return "drop"
+	case faultTimeout:
+		return "timeout"
+	case faultPartialWrite:
+		return "partial-write"
+	case faultCrash:
+		return "worker-crash"
+	}
+	return "unknown"
+}
+
+// NetFaultInjector is the network-level sibling of pipeline.FaultInjector:
+// a DialFunc middleware that deterministically injects connection faults
+// keyed on the dataset fingerprint each request carries. For every
+// distinct fingerprint, the first FailFirst score requests fail — cycling
+// through drops, timeouts, partial writes, and worker crashes, the mode a
+// pure function of (fingerprint, attempt index) — and later requests pass
+// untouched. Because injection keys on dataset identity rather than wall
+// clock or arrival order, a chaos run is reproducible regardless of worker
+// count, hedging, or scheduling.
+type NetFaultInjector struct {
+	// Dial is the underlying dialer (nil means net.Dialer.DialContext).
+	Dial DialFunc
+	// FailFirst is how many requests fail per distinct fingerprint.
+	FailFirst int
+
+	mu       sync.Mutex
+	seen     map[uint64]int
+	injected int
+}
+
+// DialContext is the DialFunc to hand a fleet's Config.Dial.
+func (n *NetFaultInjector) DialContext(ctx context.Context, network, addr string) (net.Conn, error) {
+	dial := n.Dial
+	if dial == nil {
+		var d net.Dialer
+		dial = d.DialContext
+	}
+	conn, err := dial(ctx, network, addr)
+	if err != nil {
+		return nil, err
+	}
+	return &faultConn{Conn: conn, inj: n}, nil
+}
+
+// Injected reports how many faults have been injected — chaos tests assert
+// it is non-zero, proving the run exercised the fault paths.
+func (n *NetFaultInjector) Injected() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.injected
+}
+
+// decide consumes one request slot for fp and returns the fault to inject,
+// if any.
+func (n *NetFaultInjector) decide(fp uint64) (netFaultMode, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.seen == nil {
+		n.seen = make(map[uint64]int)
+	}
+	k := n.seen[fp]
+	n.seen[fp] = k + 1
+	if k >= n.FailFirst {
+		return 0, false
+	}
+	n.injected++
+	return netFaultMode((fp + uint64(k)) % uint64(numFaultModes)), true
+}
+
+// faultConn intercepts whole request frames (the client writes each frame
+// with a single Write) and applies the injector's verdict.
+type faultConn struct {
+	net.Conn
+	inj     *NetFaultInjector
+	dropped bool
+}
+
+func (c *faultConn) Write(p []byte) (int, error) {
+	fp, ok := parseRequestFingerprint(p)
+	if !ok {
+		return c.Conn.Write(p)
+	}
+	mode, inject := c.inj.decide(fp)
+	if !inject {
+		return c.Conn.Write(p)
+	}
+	switch mode {
+	case faultTimeout:
+		c.Conn.Close()
+		return 0, &injectedNetError{mode: mode, timeout: true}
+	case faultPartialWrite:
+		half := len(p) / 2
+		_, _ = c.Conn.Write(p[:half]) // the connection is being destroyed either way
+		c.Conn.Close()
+		return half, &injectedNetError{mode: mode}
+	case faultCrash:
+		c.Conn.Close()
+		return 0, &injectedNetError{mode: mode}
+	default: // faultDrop: the bytes vanish; the response read will fail
+		c.Conn.Close()
+		c.dropped = true
+		return len(p), nil
+	}
+}
+
+func (c *faultConn) Read(p []byte) (int, error) {
+	if c.dropped {
+		return 0, &injectedNetError{mode: faultDrop}
+	}
+	return c.Conn.Read(p)
+}
+
+// injectedNetError is the net.Error the fault modes surface; Timeout()
+// makes the timeout mode indistinguishable from a real deadline expiry.
+type injectedNetError struct {
+	mode    netFaultMode
+	timeout bool
+}
+
+var _ net.Error = (*injectedNetError)(nil)
+
+func (e *injectedNetError) Error() string {
+	return fmt.Sprintf("injected network fault: %s", e.mode)
+}
+
+func (e *injectedNetError) Timeout() bool   { return e.timeout }
+func (e *injectedNetError) Temporary() bool { return true }
+
+// Is lets chaos assertions match injected faults with errors.Is.
+func (e *injectedNetError) Is(target error) bool { return target == pipeline.ErrInjected }

@@ -1,0 +1,208 @@
+// Package remote distributes oracle evaluations over a fleet of TCP
+// workers. A Worker wraps any pipeline.FallibleSystem behind a listener; a
+// FleetSystem is the client half: it implements pipeline.FallibleSystem by
+// fanning evaluations across N workers with per-worker retry/breaker
+// stacks, health tracking, hedged dispatch of stragglers, and graceful
+// degradation to a local fallback.
+//
+// # Wire protocol
+//
+// The transport is length-prefixed binary frames over TCP, one
+// request/response exchange at a time per connection (no multiplexing —
+// the fleet opens one connection per worker and serializes on it):
+//
+//	frame    := length(uint32 BE) payload
+//	request  := version(1) msgScore(1) fingerprint(uint64 BE)
+//	            ncols(uint16 BE) {kind(1) nameLen(uint16 BE) name}* csv...
+//	response := version(1) status(1) scoreBits(uint64 BE) attempts(uint32 BE) errmsg...
+//
+// The dataset travels as CSV (dataset.WriteCSV), whose shortest-round-trip
+// float formatting reproduces every numeric bit pattern on the far side.
+// The schema block pins each column to the sender's exact kind, because CSV
+// type inference alone would silently re-type string columns whose values
+// look numeric (e.g. "-1"/"1" class labels) — the worker decodes with
+// dataset.InferOptions.Kinds so the reconstructed dataset is the one the
+// client scored. The fingerprint rides alongside so fault injection and
+// worker-side logging can key on the dataset identity without re-hashing.
+//
+// Status codes classify the outcome exactly like pipeline.ScoreResult:
+// statusScore and statusDeterministic carry trustworthy scores;
+// statusTransient and statusPermanent carry an error message and no score.
+// Transport-level failures (dial errors, resets, deadline expiry) never
+// reach the wire — the client classifies them as transient locally.
+package remote
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/dataset"
+	"repro/internal/pipeline"
+)
+
+const (
+	protocolVersion = 1
+	msgScore        = 1
+
+	// maxFrameSize bounds a frame payload so a corrupt or hostile length
+	// prefix cannot force an arbitrary allocation.
+	maxFrameSize = 64 << 20
+
+	statusScore         = 0
+	statusDeterministic = 1
+	statusTransient     = 2
+	statusPermanent     = 3
+)
+
+// errProtocol marks a malformed frame; connections that produce one are
+// dropped rather than resynchronized.
+var errProtocol = errors.New("remote: protocol error")
+
+// writeFrame sends one length-prefixed payload as a single Write, so
+// network-level fault injection observes whole frames.
+func writeFrame(w io.Writer, payload []byte) error {
+	buf := make([]byte, 4+len(payload))
+	binary.BigEndian.PutUint32(buf, uint32(len(payload)))
+	copy(buf[4:], payload)
+	_, err := w.Write(buf)
+	return err
+}
+
+// readFrame receives one length-prefixed payload.
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrameSize {
+		return nil, fmt.Errorf("%w: frame of %d bytes exceeds limit", errProtocol, n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}
+
+// encodeRequest builds a score-request frame payload: header, fingerprint,
+// the dataset's column schema, and its CSV serialization. The payload is a
+// pure function of the dataset, so the fleet encodes it once per evaluation
+// and every retried or hedged dispatch reuses the bytes.
+func encodeRequest(d *dataset.Dataset) ([]byte, error) {
+	var csv bytes.Buffer
+	if err := d.WriteCSV(&csv); err != nil {
+		return nil, err
+	}
+	names := d.ColumnNames()
+	buf := make([]byte, 0, 12+8*len(names)+csv.Len())
+	buf = append(buf, protocolVersion, msgScore)
+	buf = binary.BigEndian.AppendUint64(buf, d.Fingerprint())
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(names)))
+	for _, name := range names {
+		buf = append(buf, byte(d.Column(name).Kind))
+		buf = binary.BigEndian.AppendUint16(buf, uint16(len(name)))
+		buf = append(buf, name...)
+	}
+	return append(buf, csv.Bytes()...), nil
+}
+
+// decodeRequest splits a score-request payload into the fingerprint, the
+// schema (as kind-forcing decode options), and the CSV bytes.
+func decodeRequest(payload []byte) (fp uint64, opts dataset.InferOptions, csv []byte, err error) {
+	if len(payload) < 12 || payload[0] != protocolVersion || payload[1] != msgScore {
+		return 0, opts, nil, fmt.Errorf("%w: bad score request header", errProtocol)
+	}
+	fp = binary.BigEndian.Uint64(payload[2:])
+	ncols := int(binary.BigEndian.Uint16(payload[10:]))
+	rest := payload[12:]
+	opts.Kinds = make(map[string]dataset.Kind, ncols)
+	for i := 0; i < ncols; i++ {
+		if len(rest) < 3 {
+			return 0, opts, nil, fmt.Errorf("%w: truncated schema block", errProtocol)
+		}
+		kind := dataset.Kind(rest[0])
+		n := int(binary.BigEndian.Uint16(rest[1:]))
+		if len(rest) < 3+n {
+			return 0, opts, nil, fmt.Errorf("%w: truncated schema block", errProtocol)
+		}
+		opts.Kinds[string(rest[3:3+n])] = kind
+		rest = rest[3+n:]
+	}
+	return fp, opts, rest, nil
+}
+
+// parseRequestFingerprint extracts the fingerprint from a fully framed
+// request as written by writeFrame, without consuming it. It exists for
+// network-level fault injection, which keys faults on dataset identity.
+func parseRequestFingerprint(frame []byte) (uint64, bool) {
+	if len(frame) < 4+12 {
+		return 0, false
+	}
+	if int(binary.BigEndian.Uint32(frame)) != len(frame)-4 {
+		return 0, false
+	}
+	if frame[4] != protocolVersion || frame[5] != msgScore {
+		return 0, false
+	}
+	return binary.BigEndian.Uint64(frame[6:]), true
+}
+
+// encodeResponse flattens a ScoreResult into a response payload.
+func encodeResponse(res pipeline.ScoreResult) []byte {
+	status := byte(statusScore)
+	msg := ""
+	switch {
+	case res.Err != nil && res.Transient:
+		status = statusTransient
+		msg = res.Err.Error()
+	case res.Err != nil:
+		status = statusPermanent
+		msg = res.Err.Error()
+	case res.Deterministic:
+		status = statusDeterministic
+	}
+	buf := make([]byte, 14+len(msg))
+	buf[0] = protocolVersion
+	buf[1] = status
+	binary.BigEndian.PutUint64(buf[2:], math.Float64bits(res.Score))
+	binary.BigEndian.PutUint32(buf[10:], uint32(res.Attempts))
+	copy(buf[14:], msg)
+	return buf
+}
+
+// decodeResponse rebuilds the ScoreResult a worker sent. Remote failures
+// come back classified: transient ones wrap pipeline.ErrTransient so retry
+// stacks treat them exactly like local transient failures.
+func decodeResponse(payload []byte) (pipeline.ScoreResult, error) {
+	if len(payload) < 14 || payload[0] != protocolVersion {
+		return pipeline.ScoreResult{}, fmt.Errorf("%w: bad score response header", errProtocol)
+	}
+	score := math.Float64frombits(binary.BigEndian.Uint64(payload[2:]))
+	attempts := int(binary.BigEndian.Uint32(payload[10:]))
+	msg := string(payload[14:])
+	switch payload[1] {
+	case statusScore:
+		return pipeline.ScoreResult{Score: score, Attempts: attempts}, nil
+	case statusDeterministic:
+		return pipeline.ScoreResult{Score: score, Deterministic: true, Attempts: attempts}, nil
+	case statusTransient:
+		return pipeline.ScoreResult{
+			Score:     math.NaN(),
+			Err:       fmt.Errorf("remote worker: %s: %w", msg, pipeline.ErrTransient),
+			Transient: true,
+			Attempts:  attempts,
+		}, nil
+	case statusPermanent:
+		return pipeline.ScoreResult{
+			Score:    math.NaN(),
+			Err:      fmt.Errorf("remote worker: %s", msg),
+			Attempts: attempts,
+		}, nil
+	}
+	return pipeline.ScoreResult{}, fmt.Errorf("%w: unknown status %d", errProtocol, payload[1])
+}

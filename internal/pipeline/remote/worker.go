@@ -1,0 +1,100 @@
+package remote
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/pipeline"
+)
+
+// Worker serves score requests for one oracle over a listener: the server
+// half of the remote transport. It wraps any FallibleSystem — the scorer's
+// own failure classification travels back to the client intact.
+type Worker struct {
+	// System is the wrapped error-aware scorer (required).
+	System pipeline.FallibleSystem
+	// Logf, when set, receives one line per served connection and per
+	// protocol error (e.g. log.Printf). Nil silences the worker.
+	Logf func(format string, args ...any)
+}
+
+func (w *Worker) logf(format string, args ...any) {
+	if w.Logf != nil {
+		w.Logf(format, args...)
+	}
+}
+
+// Serve accepts connections until ctx is cancelled or the listener fails,
+// handling each connection on its own goroutine. It closes the listener on
+// cancellation and waits for in-flight connections before returning
+// ctx.Err().
+func (w *Worker) Serve(ctx context.Context, ln net.Listener) error {
+	stop := context.AfterFunc(ctx, func() { ln.Close() })
+	defer stop()
+	var wg sync.WaitGroup
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			wg.Wait()
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			return err
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w.serveConn(ctx, conn)
+		}()
+	}
+}
+
+// serveConn answers score requests on one connection until the peer hangs
+// up, a frame is malformed, or ctx is cancelled (which unblocks any
+// in-flight read by expiring the connection's deadline).
+func (w *Worker) serveConn(ctx context.Context, conn net.Conn) {
+	defer conn.Close()
+	stop := context.AfterFunc(ctx, func() { conn.SetDeadline(time.Now()) })
+	defer stop()
+	for {
+		payload, err := readFrame(conn)
+		if err != nil {
+			return // peer closed, deadline expired, or garbage framing
+		}
+		fp, opts, csv, err := decodeRequest(payload)
+		if err != nil {
+			w.logf("remote worker: %s: %v", conn.RemoteAddr(), err)
+			return
+		}
+		res := w.score(ctx, opts, csv)
+		if err := writeFrame(conn, encodeResponse(res)); err != nil {
+			w.logf("remote worker: %s: reply for %016x: %v", conn.RemoteAddr(), fp, err)
+			return
+		}
+	}
+}
+
+// score decodes the dataset with the sender's schema and evaluates it. A
+// payload that does not parse is a permanent failure — retrying the same
+// bytes cannot help. A scorer panic is likewise answered as a permanent
+// failure instead of killing the worker process: one poisoned dataset must
+// not take the whole fleet member down.
+func (w *Worker) score(ctx context.Context, opts dataset.InferOptions, csv []byte) (res pipeline.ScoreResult) {
+	defer func() {
+		if r := recover(); r != nil {
+			w.logf("remote worker: scorer panic: %v", r)
+			res = pipeline.ScoreResult{Score: math.NaN(), Err: fmt.Errorf("remote worker: scorer panic: %v", r)}
+		}
+	}()
+	d, err := dataset.ReadCSV(bytes.NewReader(csv), opts)
+	if err != nil {
+		return pipeline.ScoreResult{Score: math.NaN(), Err: err}
+	}
+	return w.System.TryMalfunctionScore(ctx, d)
+}
