@@ -38,9 +38,21 @@ import (
 )
 
 func main() {
-	if len(os.Args) > 1 && os.Args[1] == "serve-oracle" {
-		serveOracle(os.Args[2:])
-		return
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "serve-oracle":
+			serveOracle(os.Args[2:])
+			return
+		case "profile":
+			profileCmd(os.Args[2:])
+			return
+		case "diff":
+			diffCmd(os.Args[2:])
+			return
+		case "watch":
+			watchCmd(os.Args[2:])
+			return
+		}
 	}
 	var (
 		passPath   = flag.String("pass", "", "CSV file of the passing dataset")
@@ -61,6 +73,7 @@ func main() {
 		sample     = flag.Int("sample", 0, "fit expensive profiles on a deterministic sample of at most this many rows, with error bounds (0 = exact)")
 		sampleSeed = flag.Int64("sample-seed", 1, "seed of the deterministic profile-fitting sample draw")
 		listProfs  = flag.Bool("list-profiles", false, "list the registered PVT profile classes and exit")
+		baseline   = flag.String("baseline", "", "pinned baseline artifact (from `dataprism profile`): its profiles replace discovery on the passing dataset, and the report cites it as each violated profile's provenance")
 		timeout    = flag.Duration("timeout", 0, "abort the search after this long (0 = no limit)")
 		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile of the search to this file")
 		memProf    = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -138,6 +151,7 @@ func main() {
 		}
 	default:
 		fmt.Fprintln(os.Stderr, "usage: dataprism -scenario <name> | -pass <csv> -fail <csv> -system-cmd <cmd>")
+		fmt.Fprintln(os.Stderr, "       dataprism profile | diff | watch | serve-oracle  (profile artifacts & drift; -h per subcommand)")
 		flag.PrintDefaults()
 		exit(2)
 	}
@@ -210,6 +224,14 @@ func main() {
 	if store != nil {
 		e.Store = store
 	}
+	if *baseline != "" {
+		bp, fp, err := loadBaselineArtifact(*baseline)
+		if err != nil {
+			fatal(err)
+		}
+		e.BaselineProfiles, e.BaselineName = bp, *baseline
+		baselinePath, baselineFingerprint = *baseline, fp
+	}
 	var (
 		res *dataprism.Result
 		err error
@@ -242,7 +264,7 @@ func main() {
 		if *jsonOut {
 			emitJSON(sys, threshold, passScore, failScore, res, true)
 		} else {
-			fmt.Print(report.Summary{SystemName: sys.Name(), Tau: threshold, PassScore: passScore, FailScore: failScore, Result: res}.Markdown())
+			fmt.Print(report.Summary{SystemName: sys.Name(), Tau: threshold, PassScore: passScore, FailScore: failScore, Baseline: baselinePath, BaselineFingerprint: baselineFingerprint, Result: res}.Markdown())
 		}
 		if *outPath != "" && res.Transformed != nil {
 			if err := res.Transformed.WriteCSVFile(*outPath); err != nil {
@@ -252,7 +274,7 @@ func main() {
 		return
 	}
 
-	summary := report.Summary{SystemName: sys.Name(), Tau: threshold, PassScore: passScore, FailScore: failScore, Result: res}
+	summary := report.Summary{SystemName: sys.Name(), Tau: threshold, PassScore: passScore, FailScore: failScore, Baseline: baselinePath, BaselineFingerprint: baselineFingerprint, Result: res}
 	if !*verbose {
 		res.Trace = nil // keep the default text report compact
 	}
@@ -361,6 +383,8 @@ func applyProfileSelector(opts *dataprism.DiscoveryOptions, spec string) error {
 // jsonResult is the machine-readable output schema of -json.
 type jsonResult struct {
 	System         string              `json:"system"`
+	Baseline       string              `json:"baseline,omitempty"`
+	BaselineFP     string              `json:"baseline_fingerprint,omitempty"`
 	Tau            float64             `json:"tau"`
 	PassScore      float64             `json:"pass_score"`
 	FailScore      float64             `json:"fail_score"`
@@ -406,6 +430,8 @@ type jsonTraceStep struct {
 func emitJSON(sys dataprism.System, tau, passScore, failScore float64, res *dataprism.Result, found bool) {
 	out := jsonResult{
 		System:         sys.Name(),
+		Baseline:       baselinePath,
+		BaselineFP:     baselineFingerprint,
 		Tau:            tau,
 		PassScore:      passScore,
 		FailScore:      failScore,
@@ -476,6 +502,10 @@ var closeScoreStore = func() {}
 // activeFleet is the remote worker fleet of this run, when -remote-workers
 // is set; emitJSON folds its per-worker diagnostics into the report.
 var activeFleet *remote.FleetSystem
+
+// baselinePath/baselineFingerprint record the -baseline artifact of this
+// run so every output format cites the provenance of violated profiles.
+var baselinePath, baselineFingerprint string
 
 func exit(code int) {
 	reportOracleFailures()

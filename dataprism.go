@@ -215,8 +215,44 @@ func TransformationsFor(p Profile) []Transformation { return transform.ForProfil
 // DiscoveryOptions.Classes (absent means enabled).
 type PVTClass = pvt.Class
 
+// ProfileCodec is the optional codec half of a PVTClass: classes
+// implementing it alongside PVTClass can persist their profiles into
+// versioned profile artifacts (the `dataprism profile` / `diff` / `watch`
+// CLI surface) and reconstruct them later. EncodeProfile must claim only
+// the class's own profiles — return (nil, nil) for others — and produce a
+// canonical JSON-encodable value (equal profiles marshal to identical
+// bytes); DecodeProfile must invert it.
+type ProfileCodec = pvt.ProfileCodec
+
+// ProfileDrifter is the optional drift half of a PVTClass: a normalized
+// [0,1] magnitude for how far the parameters of the "same" profile (same
+// Key) moved between two artifacts. Without it, any parameter change
+// reports the generic magnitude 1.
+type ProfileDrifter = pvt.ProfileDrifter
+
+// EncodeProfile serializes a profile through its owning class's codec,
+// returning the class name and canonical JSON bytes. It fails when no
+// registered class with a codec claims the profile.
+func EncodeProfile(p Profile) (class string, data []byte, err error) {
+	return profile.EncodeProfile(p)
+}
+
+// DecodeProfile reconstructs a profile from the named class's wire form.
+func DecodeProfile(class string, data []byte) (Profile, error) {
+	return profile.DecodeProfile(class, data)
+}
+
+// ProfileDriftMagnitude scores the normalized [0,1] parameter drift between
+// two spellings of the same profile: 0 when parameters agree, the owning
+// class's drift metric when registered, 1 otherwise.
+func ProfileDriftMagnitude(class string, old, new Profile) float64 {
+	return profile.DriftMagnitude(class, old, new)
+}
+
 // RegisterClass adds a PVT class to the process-wide catalog. It fails on a
-// duplicate name, leaving the catalog unchanged.
+// duplicate name, leaving the catalog unchanged. Classes additionally
+// implementing ProfileCodec (and optionally ProfileDrifter) become
+// persistable into profile artifacts.
 func RegisterClass(c PVTClass) error { return pvt.Register(c) }
 
 // MustRegisterClass is RegisterClass panicking on error — for registration

@@ -53,7 +53,7 @@ func ExampleDiscoverProfiles() {
 		MustAddCategorical("grade", []string{"A", "B", "A", "C"}).
 		MustAddNumeric("score", []float64{91, 82, 95, 70})
 	opts := dataprism.DefaultDiscoveryOptions()
-	opts.Disable = map[string]bool{"selectivity": true, "indep": true}
+	opts.Classes = map[string]bool{"selectivity": false, "indep": false}
 	for _, p := range dataprism.DiscoverProfiles(d, opts) {
 		fmt.Println(p)
 	}

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -109,6 +110,31 @@ func (MonotoneClass) Transforms(p dataprism.Profile) []dataprism.Transformation 
 	return nil
 }
 
+// monotoneWire is the class's canonical artifact form. The profile's only
+// parameter is the attribute, so the wire struct is a single field.
+type monotoneWire struct {
+	Attr string `json:"attr"`
+}
+
+// EncodeProfile makes the class persistable into profile artifacts
+// (dataprism.ProfileCodec). It claims only its own profiles, returning
+// (nil, nil) for every other class's.
+func (MonotoneClass) EncodeProfile(p dataprism.Profile) (any, error) {
+	q, ok := p.(*MonotoneProfile)
+	if !ok {
+		return nil, nil
+	}
+	return monotoneWire{Attr: q.Attr}, nil
+}
+
+func (MonotoneClass) DecodeProfile(data []byte) (dataprism.Profile, error) {
+	var w monotoneWire
+	if err := json.Unmarshal(data, &w); err != nil {
+		return nil, err
+	}
+	return &MonotoneProfile{Attr: w.Attr}, nil
+}
+
 func main() {
 	dataprism.MustRegisterClass(MonotoneClass{})
 
@@ -156,4 +182,20 @@ func main() {
 		fmt.Printf("  class %q owns %s\n", dataprism.ClassOf(p.Profile), p)
 	}
 	fmt.Printf("malfunction after repair: %.3f\n", res.FinalScore)
+
+	// Because MonotoneClass also implements ProfileCodec, its profiles
+	// survive the trip into a versioned profile artifact and back — the
+	// registry dispatches to the class that claims the profile.
+	class, wire, err := dataprism.EncodeProfile(&MonotoneProfile{Attr: "timestamp"})
+	if err != nil {
+		fmt.Println("encoding custom profile:", err)
+		return
+	}
+	back, err := dataprism.DecodeProfile(class, wire)
+	if err != nil {
+		fmt.Println("decoding custom profile:", err)
+		return
+	}
+	fmt.Printf("\nartifact round-trip: class %q wire %s decodes to %s (params preserved: %v)\n",
+		class, wire, back, back.SameParams(&MonotoneProfile{Attr: "timestamp"}))
 }

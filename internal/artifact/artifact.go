@@ -1,0 +1,218 @@
+// Package artifact makes discovered profile sets first-class versioned
+// artifacts: a canonical, deterministic JSON document pinning what "normal"
+// looked like for a dataset — which can be committed next to a pipeline,
+// diffed against a re-profile of today's feed, and watched for drift.
+//
+// The contract is byte-level determinism: building an artifact for the same
+// dataset content with the same enabled classes yields byte-identical
+// output regardless of chunk layout, worker count, or map iteration order.
+// Three mechanisms deliver it: profiles encode through the per-class
+// canonical codecs (internal/profile), entries are sorted by (class, key),
+// and Build re-chunks any non-default chunk geometry to the default before
+// discovery so that sampled fitting — whose reservoir draws are seeded by
+// chunk start offsets — sees the same chunk boundaries every time.
+//
+// Versioning: SchemaVersion stamps the artifact layout itself, and
+// dataset.FingerprintAlgoVersion stamps the fingerprint algorithm the
+// artifact's dataset digest was computed with. A mismatch in either makes
+// two artifacts incomparable (Compatible reports why) — the remedy is
+// re-profiling the baseline, never guessing across versions.
+package artifact
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"repro/internal/dataset"
+	"repro/internal/profile"
+)
+
+// SchemaVersion identifies the artifact document layout. It MUST be bumped
+// on any change to the Artifact/Entry wire structs or to a per-class
+// profile codec that alters produced bytes, because artifacts persist
+// across builds: a stale reader must fail loudly instead of mis-decoding.
+const SchemaVersion = 1
+
+// Entry is one persisted profile: its owning class, its identity Key, and
+// the class codec's canonical JSON encoding of its parameters (including
+// any sampling fit bound).
+type Entry struct {
+	Class string          `json:"class"`
+	Key   string          `json:"key"`
+	Data  json.RawMessage `json:"data"`
+}
+
+// Sampling records the sampled-fitting configuration discovery ran with.
+// Artifacts built with different sampling configurations are comparable
+// (the per-profile fit bounds carry the precision), but the header keeps
+// the provenance explicit.
+type Sampling struct {
+	Cap        int     `json:"cap,omitempty"`
+	Seed       int64   `json:"seed,omitempty"`
+	Epsilon    float64 `json:"epsilon,omitempty"`
+	Confidence float64 `json:"confidence,omitempty"`
+}
+
+// Artifact is a versioned snapshot of the profiles a dataset satisfies.
+type Artifact struct {
+	// SchemaVersion is the artifact layout version (see SchemaVersion).
+	SchemaVersion int `json:"schema_version"`
+	// FingerprintAlgoVersion is the dataset fingerprint algorithm generation
+	// Fingerprint was computed with (dataset.FingerprintAlgoVersion).
+	FingerprintAlgoVersion int `json:"fingerprint_algo_version"`
+	// Fingerprint is the 64-bit content digest of the profiled dataset,
+	// hex-encoded. Two artifacts with equal fingerprints (and algo versions)
+	// describe identical dataset content.
+	Fingerprint string `json:"fingerprint"`
+	// Rows and Cols record the profiled dataset's shape.
+	Rows int `json:"rows"`
+	Cols int `json:"cols"`
+	// Classes is the sorted list of profile classes discovery ran with —
+	// the effective class set, after defaults and overrides.
+	Classes []string `json:"classes"`
+	// Sampling is the sampled-fitting configuration, nil when exact.
+	Sampling *Sampling `json:"sampling,omitempty"`
+	// Profiles holds every discovered profile, sorted by (class, key).
+	Profiles []Entry `json:"profiles"`
+}
+
+// Build discovers the profiles of d under opts and packages them as an
+// artifact. The dataset is re-chunked to the default chunk size first when
+// its geometry differs, so the artifact bytes are independent of how d was
+// chunked — including under sampled fitting, whose reservoir draws are
+// seeded per chunk.
+func Build(d *dataset.Dataset, opts profile.Options) (*Artifact, error) {
+	if d.ChunkSize() != dataset.DefaultChunkSize {
+		d = d.Rechunk(dataset.DefaultChunkSize)
+	}
+	profiles := profile.Discover(d, opts)
+	entries := make([]Entry, len(profiles))
+	for i, p := range profiles {
+		class, data, err := profile.EncodeProfile(p)
+		if err != nil {
+			return nil, fmt.Errorf("artifact: %w", err)
+		}
+		entries[i] = Entry{Class: class, Key: p.Key(), Data: data}
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].Class != entries[j].Class {
+			return entries[i].Class < entries[j].Class
+		}
+		return entries[i].Key < entries[j].Key
+	})
+	a := &Artifact{
+		SchemaVersion:          SchemaVersion,
+		FingerprintAlgoVersion: dataset.FingerprintAlgoVersion,
+		Fingerprint:            fmt.Sprintf("%016x", d.Fingerprint()),
+		Rows:                   d.NumRows(),
+		Cols:                   d.NumCols(),
+		Classes:                opts.EnabledClasses(),
+		Profiles:               entries,
+	}
+	if s := opts.Sample; s != (profile.SampleOptions{}) {
+		a.Sampling = &Sampling{Cap: s.Cap, Seed: s.Seed, Epsilon: s.Epsilon, Confidence: s.Confidence}
+	}
+	return a, nil
+}
+
+// Encode writes the artifact's canonical form: two-space indented JSON with
+// HTML escaping off. json.Encoder re-indents the nested raw profile
+// encodings, so the output depends only on the artifact's logical content.
+func (a *Artifact) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.SetEscapeHTML(false)
+	return enc.Encode(a)
+}
+
+// Bytes returns the canonical encoding as a byte slice.
+func (a *Artifact) Bytes() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := a.Encode(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// WriteFile atomically-ish persists the canonical encoding to path.
+func (a *Artifact) WriteFile(path string) error {
+	data, err := a.Bytes()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// Decode parses an artifact and validates its schema version. Artifacts
+// written by a different schema generation fail here — the caller must
+// re-profile rather than guess at the layout.
+func Decode(data []byte) (*Artifact, error) {
+	var a Artifact
+	if err := json.Unmarshal(data, &a); err != nil {
+		return nil, fmt.Errorf("artifact: parsing: %w", err)
+	}
+	if a.SchemaVersion != SchemaVersion {
+		return nil, fmt.Errorf("artifact: schema version %d, this build reads %d — re-profile the baseline", a.SchemaVersion, SchemaVersion)
+	}
+	// Re-compact every entry's raw bytes: the file form is indented, but
+	// Build produces compact encodings, and Compare's byte-equality fast
+	// path must see the same canonical spelling from both sources.
+	for i := range a.Profiles {
+		var buf bytes.Buffer
+		if err := json.Compact(&buf, a.Profiles[i].Data); err != nil {
+			return nil, fmt.Errorf("artifact: entry %s/%s: %w", a.Profiles[i].Class, a.Profiles[i].Key, err)
+		}
+		a.Profiles[i].Data = append([]byte(nil), buf.Bytes()...)
+	}
+	return &a, nil
+}
+
+// ReadFile loads and decodes an artifact from disk.
+func ReadFile(path string) (*Artifact, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("artifact: %w", err)
+	}
+	return Decode(data)
+}
+
+// Compatible reports whether two artifacts may be meaningfully diffed:
+// same schema generation and same fingerprint algorithm generation. A nil
+// return does not mean the artifacts are equal — it means a diff between
+// them is well-defined.
+func (a *Artifact) Compatible(b *Artifact) error {
+	if a.SchemaVersion != b.SchemaVersion {
+		return fmt.Errorf("artifact: schema versions differ (%d vs %d) — re-profile the older baseline", a.SchemaVersion, b.SchemaVersion)
+	}
+	if a.FingerprintAlgoVersion != b.FingerprintAlgoVersion {
+		return fmt.Errorf("artifact: fingerprint algorithm generations differ (%d vs %d) — fingerprints are not comparable, re-profile the older baseline", a.FingerprintAlgoVersion, b.FingerprintAlgoVersion)
+	}
+	return nil
+}
+
+// Decoded is one artifact entry reconstructed into a live profile.
+type Decoded struct {
+	Class   string
+	Key     string
+	Profile profile.Profile
+}
+
+// DecodedProfiles reconstructs every persisted profile through its class
+// codec, in artifact (class, key) order. It fails when an entry's class is
+// not registered in this process — an artifact from a build with extra
+// registered classes needs the same classes linked to be interpreted.
+func (a *Artifact) DecodedProfiles() ([]Decoded, error) {
+	out := make([]Decoded, len(a.Profiles))
+	for i, e := range a.Profiles {
+		p, err := profile.DecodeProfile(e.Class, e.Data)
+		if err != nil {
+			return nil, fmt.Errorf("artifact: entry %s/%s: %w", e.Class, e.Key, err)
+		}
+		out[i] = Decoded{Class: e.Class, Key: e.Key, Profile: p}
+	}
+	return out, nil
+}

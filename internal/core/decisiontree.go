@@ -45,7 +45,7 @@ func (e *Explainer) ExplainWithDecisionTreeContext(ctx context.Context, examples
 	}
 	var pvts []*PVT
 	if pass != nil {
-		pvts = DiscoverPVTs(pass, fail, e.options(), e.eps())
+		pvts = e.discoverPVTs(pass, fail)
 	}
 	return e.ExplainWithDecisionTreePVTsContext(ctx, pvts, examples, fail)
 }

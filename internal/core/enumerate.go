@@ -77,7 +77,7 @@ func (e *Explainer) EnumerateExplanations(pass, fail *dataset.Dataset, maxCount 
 // EnumerateExplanationsContext is EnumerateExplanations honoring the
 // caller's context.
 func (e *Explainer) EnumerateExplanationsContext(ctx context.Context, pass, fail *dataset.Dataset, maxCount int) ([][]*PVT, error) {
-	return e.EnumerateExplanationsPVTsContext(ctx, DiscoverPVTs(pass, fail, e.options(), e.eps()), fail, maxCount)
+	return e.EnumerateExplanationsPVTsContext(ctx, e.discoverPVTs(pass, fail), fail, maxCount)
 }
 
 // EnumerateExplanationsPVTs is EnumerateExplanations over a pre-built

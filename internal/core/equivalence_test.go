@@ -13,7 +13,7 @@ import (
 	"repro/internal/workload"
 )
 
-// searchSignature captures everything the registry refactor must preserve:
+// searchSignature captures everything class selection must preserve:
 // the discriminative PVT set (strings, in order), the minimal explanation,
 // the intervention count, and the final score.
 func searchSignature(t *testing.T, sys pipeline.System, tau float64, pass, fail *dataset.Dataset, opts profile.Options, workers int) string {
@@ -33,22 +33,34 @@ func searchSignature(t *testing.T, sys pipeline.System, tau float64, pass, fail 
 		strings.Join(keys, ";"), res.ExplanationString(), res.Interventions, res.FinalScore, res.Found)
 }
 
-// TestClassesEquivalentToLegacyOptions pins the migration contract of the
-// registry refactor: for each case-study workload, spelling the class
-// selection through the deprecated Enable*/Disable knobs must stay
-// byte-identical — same discriminative PVTs, same explanation, same
-// intervention count, same final score — to the Classes map spelling, at
-// any worker count.
-func TestClassesEquivalentToLegacyOptions(t *testing.T) {
+// TestClassesSpellingsEquivalent pins the contract of the one remaining
+// class-selection surface: logically equal Options.Classes spellings —
+// sparse overrides on top of the registry defaults versus an exhaustive
+// map naming every class explicitly — must stay byte-identical through the
+// full search (same discriminative PVTs, same explanation, same
+// intervention count, same final score), at any worker count.
+func TestClassesSpellingsEquivalent(t *testing.T) {
 	const rows = 300
-	type variant struct {
-		legacy  func(o *profile.Options) // deprecated spelling
-		classes func(o *profile.Options) // registry spelling
+
+	// exhaustive expands a sparse Classes override into the full effective
+	// class set, naming every registered class explicitly.
+	exhaustive := func(o *profile.Options) {
+		full := make(map[string]bool)
+		for _, name := range o.EnabledClasses() {
+			full[name] = true
+		}
+		for _, c := range profile.Discoverers() {
+			if !full[c.Name] {
+				full[c.Name] = false
+			}
+		}
+		o.Classes = full
 	}
+
 	cases := []struct {
-		name string
-		load func() (pipeline.System, float64, *dataset.Dataset, *dataset.Dataset, profile.Options)
-		v    variant
+		name   string
+		load   func() (pipeline.System, float64, *dataset.Dataset, *dataset.Dataset, profile.Options)
+		sparse func(o *profile.Options)
 	}{
 		{
 			name: "sentiment",
@@ -56,14 +68,8 @@ func TestClassesEquivalentToLegacyOptions(t *testing.T) {
 				s := workload.NewSentimentScenario(rows, 1)
 				return s.System, s.Tau, s.Pass, s.Fail, s.Options
 			},
-			v: variant{
-				legacy: func(o *profile.Options) {
-					o.EnableDistribution = true
-					o.EnableFD = true
-				},
-				classes: func(o *profile.Options) {
-					o.Classes = map[string]bool{"distribution": true, "fd": true}
-				},
+			sparse: func(o *profile.Options) {
+				o.Classes = map[string]bool{"distribution": true, "fd": true}
 			},
 		},
 		{
@@ -72,14 +78,8 @@ func TestClassesEquivalentToLegacyOptions(t *testing.T) {
 				s := workload.NewIncomeScenario(rows, 1)
 				return s.System, s.Tau, s.Pass, s.Fail, s.Options
 			},
-			v: variant{
-				legacy: func(o *profile.Options) {
-					o.EnableCausal = true
-					o.EnableUnique = true
-				},
-				classes: func(o *profile.Options) {
-					o.Classes = map[string]bool{"indep-causal": true, "unique": true}
-				},
+			sparse: func(o *profile.Options) {
+				o.Classes = map[string]bool{"indep-causal": true, "unique": true}
 			},
 		},
 		{
@@ -88,15 +88,8 @@ func TestClassesEquivalentToLegacyOptions(t *testing.T) {
 				s := workload.NewCardioScenario(rows, 1)
 				return s.System, s.Tau, s.Pass, s.Fail, s.Options
 			},
-			v: variant{
-				legacy: func(o *profile.Options) {
-					o.Classes = nil
-					o.Disable = map[string]bool{"selectivity": true}
-				},
-				classes: func(o *profile.Options) {
-					o.Classes = map[string]bool{"selectivity": false}
-					o.Disable = nil
-				},
+			sparse: func(o *profile.Options) {
+				o.Classes = map[string]bool{"selectivity": false}
 			},
 		},
 	}
@@ -104,20 +97,20 @@ func TestClassesEquivalentToLegacyOptions(t *testing.T) {
 		t.Run(tc.name, func(t *testing.T) {
 			sys, tau, pass, fail, base := tc.load()
 			for _, workers := range []int{1, 8} {
-				legacyOpts := base
-				tc.v.legacy(&legacyOpts)
-				classOpts := base
-				tc.v.classes(&classOpts)
-				lsig := searchSignature(t, sys, tau, pass, fail, legacyOpts, workers)
-				csig := searchSignature(t, sys, tau, pass, fail, classOpts, workers)
-				if lsig != csig {
-					t.Errorf("workers=%d: legacy and Classes spellings diverge\nlegacy:\n%s\nclasses:\n%s",
-						workers, lsig, csig)
+				sparseOpts := base
+				tc.sparse(&sparseOpts)
+				fullOpts := sparseOpts
+				exhaustive(&fullOpts)
+				ssig := searchSignature(t, sys, tau, pass, fail, sparseOpts, workers)
+				fsig := searchSignature(t, sys, tau, pass, fail, fullOpts, workers)
+				if ssig != fsig {
+					t.Errorf("workers=%d: sparse and exhaustive Classes spellings diverge\nsparse:\n%s\nexhaustive:\n%s",
+						workers, ssig, fsig)
 				}
 				if workers == 1 {
 					// The two worker counts must agree with each other too.
-					if w8 := searchSignature(t, sys, tau, pass, fail, classOpts, 8); w8 != csig {
-						t.Errorf("worker counts diverge\nworkers=1:\n%s\nworkers=8:\n%s", csig, w8)
+					if w8 := searchSignature(t, sys, tau, pass, fail, sparseOpts, 8); w8 != ssig {
+						t.Errorf("worker counts diverge\nworkers=1:\n%s\nworkers=8:\n%s", ssig, w8)
 					}
 				}
 			}

@@ -87,6 +87,18 @@ type Explainer struct {
 	// seed its training set by evaluating a strength-2 covering array of
 	// repair configurations, so it works without example datasets.
 	BootstrapCoveringArray bool
+	// BaselineProfiles, when non-empty, replaces profile discovery on the
+	// passing dataset: the pinned profiles — typically decoded from a
+	// versioned baseline artifact (internal/artifact) — are the candidate
+	// set, and discrimination is checked directly against the failing
+	// dataset. The explanation then cites profiles exactly as the baseline
+	// recorded them, fit bounds included, instead of a fresh re-discovery
+	// that may have drifted with the passing data.
+	BaselineProfiles []profile.Profile
+	// BaselineName labels the baseline artifact (e.g. its file path or
+	// fingerprint) in results and reports. Only meaningful alongside
+	// BaselineProfiles.
+	BaselineName string
 
 	// eval, when set, is a pre-built evaluation substrate shared across
 	// searches (EnumerateExplanations uses this so repeated greedy runs
@@ -152,6 +164,16 @@ func (e *Explainer) options() profile.Options {
 		o.Workers = e.Workers
 	}
 	return o
+}
+
+// discoverPVTs resolves the discriminative candidate set for one search:
+// pinned baseline profiles when configured (filtered down to what fail
+// violates), otherwise fresh discovery on the passing dataset.
+func (e *Explainer) discoverPVTs(pass, fail *dataset.Dataset) []*PVT {
+	if len(e.BaselineProfiles) > 0 {
+		return BuildPVTs(profile.DiscriminativeFrom(e.BaselineProfiles, fail, e.eps()))
+	}
+	return DiscoverPVTs(pass, fail, e.options(), e.eps())
 }
 
 func (e *Explainer) eps() float64 {

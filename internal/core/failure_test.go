@@ -158,8 +158,7 @@ func TestExtendedProfilesEndToEnd(t *testing.T) {
 	}
 
 	opts := profile.DefaultOptions()
-	opts.EnableFD = true
-	opts.EnableDistribution = true
+	opts.Classes = map[string]bool{"fd": true, "distribution": true}
 	e := &core.Explainer{System: sys, Tau: 0.05, Options: &opts, Seed: 35}
 	res, err := e.ExplainGreedy(pass, fail)
 	if err != nil {

@@ -28,7 +28,7 @@ func (e *Explainer) ExplainGreedy(pass, fail *dataset.Dataset) (*Result, error) 
 // partial Result.
 func (e *Explainer) ExplainGreedyContext(ctx context.Context, pass, fail *dataset.Dataset) (*Result, error) {
 	// Lines 1-4: discriminative PVTs.
-	return e.ExplainGreedyPVTsContext(ctx, DiscoverPVTs(pass, fail, e.options(), e.eps()), fail)
+	return e.ExplainGreedyPVTsContext(ctx, e.discoverPVTs(pass, fail), fail)
 }
 
 // ExplainGreedyPVTs runs DataPrismGRD on a pre-built discriminative PVT set,

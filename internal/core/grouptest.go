@@ -51,7 +51,7 @@ func (e *Explainer) ExplainGroupTest(pass, fail *dataset.Dataset) (*Result, erro
 // context.
 func (e *Explainer) ExplainGroupTestContext(ctx context.Context, pass, fail *dataset.Dataset) (*Result, error) {
 	// Algorithm 2, lines 1-4: discriminative PVTs.
-	return e.ExplainGroupTestPVTsContext(ctx, DiscoverPVTs(pass, fail, e.options(), e.eps()), fail)
+	return e.ExplainGroupTestPVTsContext(ctx, e.discoverPVTs(pass, fail), fail)
 }
 
 // ExplainGroupTestPVTs runs DataPrismGT on a pre-built discriminative PVT

@@ -105,7 +105,7 @@ func TestExplainerDefaults(t *testing.T) {
 	sys, pass, fail := statusScenario()
 	// Custom options thread through the dataset-level entry points.
 	opts := profile.DefaultOptions()
-	opts.Disable = map[string]bool{"selectivity": true, "indep": true}
+	opts.Classes = map[string]bool{"selectivity": false, "indep": false}
 	e := &core.Explainer{System: sys, Tau: 0.1, Options: &opts, Seed: 85, Eps: 1e-6}
 	res, err := e.ExplainGreedy(pass, fail)
 	if err != nil {

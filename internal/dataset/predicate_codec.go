@@ -1,0 +1,59 @@
+package dataset
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Canonical JSON codec for predicates, used when Selectivity profiles are
+// persisted into profile artifacts. Operators travel by their SQL-ish
+// spelling (stable across builds, unlike the iota values), and clauses use
+// a fixed-order wire struct so the same predicate always encodes to the
+// same bytes.
+
+// MarshalText implements encoding.TextMarshaler, spelling the operator the
+// way String does. Unknown operators fail loudly instead of producing an
+// unparseable artifact.
+func (o Op) MarshalText() ([]byte, error) {
+	if o < Eq || o > NotNull {
+		return nil, fmt.Errorf("dataset: cannot encode unknown operator %d", int(o))
+	}
+	return []byte(o.String()), nil
+}
+
+// UnmarshalText implements encoding.TextUnmarshaler.
+func (o *Op) UnmarshalText(text []byte) error {
+	for op := Eq; op <= NotNull; op++ {
+		if op.String() == string(text) {
+			*o = op
+			return nil
+		}
+	}
+	return fmt.Errorf("dataset: unknown operator %q", string(text))
+}
+
+// clauseJSON is the wire form of a Clause.
+type clauseJSON struct {
+	Attr string  `json:"attr"`
+	Op   Op      `json:"op"`
+	Str  string  `json:"str,omitempty"`
+	Num  float64 `json:"num,omitempty"`
+	// IsNum distinguishes a numeric comparison from a string one (a numeric
+	// clause may legitimately carry Num == 0, so Str/Num alone don't).
+	IsNum bool `json:"is_num,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (c Clause) MarshalJSON() ([]byte, error) {
+	return json.Marshal(clauseJSON{Attr: c.Attr, Op: c.Op, Str: c.StrVal, Num: c.NumVal, IsNum: c.IsNum})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (c *Clause) UnmarshalJSON(data []byte) error {
+	var w clauseJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	*c = Clause{Attr: w.Attr, Op: w.Op, StrVal: w.Str, NumVal: w.Num, IsNum: w.IsNum}
+	return nil
+}

@@ -99,6 +99,29 @@ func Stamp() int64 { return time.Now().UnixNano() }
 	}
 }
 
+// TestArtifactPackageInMapDeterminismScope: internal/artifact's
+// byte-identical encoding contract is guarded by mapdeterminism, so an
+// unsorted map-to-slice emission there must be flagged under the default
+// scopes.
+func TestArtifactPackageInMapDeterminismScope(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"internal/artifact/emit.go": `package artifact
+
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+`,
+	})
+	findings := runSuite(t, root, []string{"./..."}, true)
+	if len(findings) != 1 || findings[0].Analyzer != "mapdeterminism" {
+		t.Fatalf("want 1 mapdeterminism finding in internal/artifact, got %v", findings)
+	}
+}
+
 // TestRepositoryTreeIsClean runs the full default-scoped suite over this
 // repository — the acceptance criterion the CI lint job enforces with the
 // dataprismlint binary. Any finding here means a contract regression (or a

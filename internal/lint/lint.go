@@ -33,7 +33,8 @@ func Suite() []*analysis.Analyzer {
 // The scopes mirror where each invariant is load-bearing:
 //
 //   - mapdeterminism and seededrand guard the deterministic search/scoring
-//     and reporting paths;
+//     and reporting paths — including internal/artifact, whose byte-identical
+//     encoding contract a stray map iteration would break;
 //   - ctxflow guards the packages that own blocking work and cancellation
 //     plumbing: the engine, the pipeline (including the remote transport,
 //     where a raw dial would hang cancellation), and the persistent score
@@ -47,6 +48,7 @@ func DefaultScopes(module string) map[string][]string {
 		MapDeterminism.Name: {
 			p("internal/core"), p("internal/profile"), p("internal/transform"),
 			p("internal/pvt"), p("internal/engine"), p("internal/report"),
+			p("internal/artifact"),
 		},
 		SeededRand.Name: {
 			p("internal/core"), p("internal/profile"), p("internal/transform"),

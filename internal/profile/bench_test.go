@@ -44,9 +44,7 @@ func BenchmarkDiscover(b *testing.B) {
 func BenchmarkDiscoverExtended(b *testing.B) {
 	d := benchTable(2000, 10)
 	opts := DefaultOptions()
-	opts.EnableDistribution = true
-	opts.EnableFD = true
-	opts.EnableCausal = true
+	opts.Classes = map[string]bool{"distribution": true, "fd": true, "indep-causal": true}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

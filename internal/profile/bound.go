@@ -60,17 +60,19 @@ func (s SampleOptions) confidence() float64 {
 //     profiles) — holds always, not just with probability Confidence.
 //
 // A nil *Bound means the profile was fitted exactly.
+// The JSON tags define the canonical wire form profile artifacts persist
+// fit bounds in (internal/artifact).
 type Bound struct {
 	// SampleRows is the number of sampled rows the fit used; TotalRows the
 	// size of the dataset it summarizes.
-	SampleRows int
-	TotalRows  int
+	SampleRows int `json:"sample_rows"`
+	TotalRows  int `json:"total_rows"`
 	// Seed reproduces the draw (see SampleOptions.Seed).
-	Seed int64
+	Seed int64 `json:"seed"`
 	// Epsilon is the half-width of the bound at the given Confidence.
-	Epsilon    float64
-	Confidence float64
-	Method     string
+	Epsilon    float64 `json:"epsilon"`
+	Confidence float64 `json:"confidence"`
+	Method     string  `json:"method"`
 }
 
 // String renders the bound compactly, e.g. "±0.0136@95% (hoeffding, m=10000)".

@@ -19,72 +19,107 @@ func init() {
 		Describe:  "value domains per attribute: categorical sets, numeric ranges, text patterns (Figure 1 rows 1-3)",
 		DefaultOn: true,
 		Discover:  discoverDomains,
+		Encode:    encodeDomain,
+		Decode:    decodeDomain,
+		Drift:     driftDomain,
 	})
 	MustRegisterDiscoverer(Discoverer{
 		Name:      "missing",
 		Describe:  "allowed NULL fraction per attribute (Figure 1 row 5)",
 		DefaultOn: true,
 		Discover:  discoverMissing,
+		Encode:    encodeMissing,
+		Decode:    decodeMissing,
+		Drift:     driftMissing,
 	})
 	MustRegisterDiscoverer(Discoverer{
 		Name:      "outlier",
 		Describe:  "allowed k-sigma outlier fraction for numeric attributes (Figure 1 row 4)",
 		DefaultOn: true,
 		Discover:  discoverOutliers,
+		Encode:    encodeOutlier,
+		Decode:    decodeOutlier,
+		Drift:     driftOutlier,
 	})
 	MustRegisterDiscoverer(Discoverer{
 		Name:      "selectivity",
 		Describe:  "selectivity of equality predicates on small-domain categorical attributes (Figure 1 row 6)",
 		DefaultOn: true,
 		Discover:  discoverSelectivity,
+		Encode:    encodeSelectivity,
+		Decode:    decodeSelectivity,
+		Drift:     driftSelectivity,
 	})
 	MustRegisterDiscoverer(Discoverer{
 		Name:      "indep",
 		Describe:  "pairwise independence: chi-squared for categorical, Pearson for numeric pairs (Figure 1 rows 7-8)",
 		DefaultOn: true,
 		Discover:  discoverIndep,
+		Encode:    encodeIndep,
+		Decode:    decodeIndep,
+		Drift:     driftIndep,
 	})
 	MustRegisterDiscoverer(Discoverer{
 		Name:      "indep-causal",
 		Describe:  "pairwise causal coefficients for mixed categorical/numeric pairs (Figure 1 row 9)",
 		DefaultOn: false,
 		Discover:  discoverIndepCausal,
+		Encode:    encodeIndepCausal,
+		Decode:    decodeIndepCausal,
+		Drift:     driftIndepCausal,
 	})
 	MustRegisterDiscoverer(Discoverer{
 		Name:      "distribution",
 		Describe:  "decile-grid distribution (drift) profiles for numeric attributes (extension)",
 		DefaultOn: false,
 		Discover:  discoverDistributions,
+		Encode:    encodeDistribution,
+		Decode:    decodeDistribution,
+		Drift:     driftDistribution,
 	})
 	MustRegisterDiscoverer(Discoverer{
 		Name:      "frequency",
 		Describe:  "sampling cadence (median gap) of monotone numeric attributes (extension)",
 		DefaultOn: false,
 		Discover:  discoverFrequencies,
+		Encode:    encodeFrequency,
+		Decode:    decodeFrequency,
+		Drift:     driftFrequency,
 	})
 	MustRegisterDiscoverer(Discoverer{
 		Name:      "fd",
 		Describe:  "approximate functional dependencies between categorical attribute pairs (extension)",
 		DefaultOn: false,
 		Discover:  discoverFDs,
+		Encode:    encodeFD,
+		Decode:    decodeFD,
+		Drift:     driftFD,
 	})
 	MustRegisterDiscoverer(Discoverer{
 		Name:      "unique",
 		Describe:  "key-ness (near-unique) profiles per attribute (extension)",
 		DefaultOn: false,
 		Discover:  discoverUnique,
+		Encode:    encodeUnique,
+		Decode:    decodeUnique,
+		Drift:     driftUnique,
 	})
 	MustRegisterDiscoverer(Discoverer{
 		Name:      "inclusion",
 		Describe:  "inclusion dependencies between small-domain string attribute pairs (extension)",
 		DefaultOn: false,
 		Discover:  discoverInclusions,
+		Encode:    encodeInclusion,
+		Decode:    decodeInclusion,
 	})
 	MustRegisterDiscoverer(Discoverer{
 		Name:      "conditional",
 		Describe:  "Domain and Missing profiles scoped to single-attribute equality conditions (extension)",
 		DefaultOn: false,
 		Discover:  DiscoverConditional,
+		Encode:    encodeConditional,
+		Decode:    decodeConditional,
+		Drift:     driftConditional,
 	})
 }
 

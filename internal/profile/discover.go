@@ -27,58 +27,14 @@ type Options struct {
 	MaxSelectivityProfiles int
 	// Classes selects profile classes by registry name (see Discoverers):
 	// true includes a class, false excludes it, and names absent from the
-	// map fall back to each class's registered default — after the
-	// deprecated Enable*/Disable fields below have been applied. This is
-	// the one class-selection surface; everything else translates into it.
+	// map fall back to each class's registered default. This is the one
+	// class-selection surface; the CLI's -profiles flag and every scenario
+	// translate into it.
 	Classes map[string]bool
-	// EnableCausal additionally discovers causal Indep profiles
-	// (Figure 1, row 9) for mixed categorical/numeric attribute pairs.
-	//
-	// Deprecated: set Classes["indep-causal"] = true instead.
-	EnableCausal bool
-	// EnableDistribution additionally discovers Distribution (drift)
-	// profiles for numeric attributes — an extension beyond Figure 1.
-	//
-	// Deprecated: set Classes["distribution"] = true instead.
-	EnableDistribution bool
-	// EnableFD additionally discovers approximate functional dependencies
-	// between categorical attribute pairs — an extension beyond Figure 1.
-	//
-	// Deprecated: set Classes["fd"] = true instead.
-	EnableFD bool
 	// TextAlternations, when above 1, learns text Domain profiles as
 	// alternations of up to that many structured formats instead of a
 	// single pattern — handling attributes that legitimately mix formats.
 	TextAlternations int
-	// EnableUnique additionally discovers key-ness (Unique) profiles for
-	// attributes that are near-keys — an extension beyond Figure 1.
-	//
-	// Deprecated: set Classes["unique"] = true instead.
-	EnableUnique bool
-	// EnableInclusion additionally discovers inclusion dependencies between
-	// small-domain string attribute pairs — an extension beyond Figure 1.
-	//
-	// Deprecated: set Classes["inclusion"] = true instead.
-	EnableInclusion bool
-	// EnableConditional additionally discovers conditional Domain and
-	// Missing profiles, scoped to single-attribute equality conditions —
-	// the Section 3 extension analogous to conditional FDs.
-	//
-	// Deprecated: set Classes["conditional"] = true instead.
-	EnableConditional bool
-	// EnableFrequency additionally discovers sampling-cadence profiles for
-	// numeric attributes — the weekly-vs-daily feed example of the paper's
-	// introduction.
-	//
-	// Deprecated: set Classes["frequency"] = true instead.
-	EnableFrequency bool
-	// Disable suppresses discovery of entire profile classes by legacy Type
-	// name ("domain", "outlier", "missing", "selectivity", "indep", …).
-	// Disabling "indep" also disables "indep-causal", mirroring the
-	// pre-registry behavior.
-	//
-	// Deprecated: set Classes[name] = false instead.
-	Disable map[string]bool
 	// Workers bounds the goroutines fanning independent discovery work
 	// (profile classes, per-column profiles, independence pairs,
 	// selectivity estimates) out on the engine worker pool. Zero means
@@ -298,6 +254,23 @@ func discoverSelectivity(d *dataset.Dataset, opts Options) []Profile {
 	engine.ParallelFor(opts.workers(), len(preds), func(i int) {
 		out[i] = &Selectivity{Pred: preds[i], Theta: preds[i].Selectivity(sd), Fit: bound}
 	})
+	return out
+}
+
+// DiscriminativeFrom filters a pinned profile set — typically decoded from
+// a versioned baseline artifact (internal/artifact) — down to the profiles
+// the failing dataset violates beyond eps. It is the artifact-backed
+// counterpart of Discriminative: instead of re-discovering the passing
+// dataset, the caller supplies what "normal" was when the baseline was
+// pinned, so an explanation can cite the exact artifact a violated profile
+// came from. Input order is preserved.
+func DiscriminativeFrom(pinned []Profile, fail *dataset.Dataset, eps float64) []Profile {
+	var out []Profile
+	for _, p := range pinned {
+		if p.Violation(fail) > eps {
+			out = append(out, p)
+		}
+	}
 	return out
 }
 

@@ -95,13 +95,13 @@ func TestDiscoverSelectivityEnumeration(t *testing.T) {
 	}
 }
 
-func TestDiscoverDisable(t *testing.T) {
+func TestDiscoverClassesExclude(t *testing.T) {
 	d := peopleLike()
 	opts := DefaultOptions()
-	opts.Disable = map[string]bool{"selectivity": true, "indep": true, "outlier": true}
+	opts.Classes = map[string]bool{"selectivity": false, "indep": false, "outlier": false}
 	ps := Discover(d, opts)
 	if countType(ps, "selectivity")+countType(ps, "indep")+countType(ps, "outlier") != 0 {
-		t.Error("disabled classes still discovered")
+		t.Error("excluded classes still discovered")
 	}
 	if countType(ps, "domain") == 0 || countType(ps, "missing") == 0 {
 		t.Error("enabled classes missing")
@@ -111,7 +111,7 @@ func TestDiscoverDisable(t *testing.T) {
 func TestDiscoverCausal(t *testing.T) {
 	d := peopleLike()
 	opts := DefaultOptions()
-	opts.EnableCausal = true
+	opts.Classes = map[string]bool{"indep-causal": true}
 	ps := Discover(d, opts)
 	causalCount := 0
 	for _, p := range ps {
@@ -182,7 +182,7 @@ func TestDiscoverEmptyDataset(t *testing.T) {
 func TestDiscoverConditionalFlag(t *testing.T) {
 	d := peopleLike()
 	opts := DefaultOptions()
-	opts.EnableConditional = true
+	opts.Classes = map[string]bool{"conditional": true}
 	ps := Discover(d, opts)
 	conditional := 0
 	for _, p := range ps {
@@ -194,7 +194,7 @@ func TestDiscoverConditionalFlag(t *testing.T) {
 		}
 	}
 	if conditional == 0 {
-		t.Fatal("EnableConditional discovered nothing")
+		t.Fatal("conditional class discovered nothing")
 	}
 	// Conditional discovery composes with the discriminative pipeline:
 	// inject a conditional-only shift (out-of-range ages for one race) that

@@ -136,8 +136,7 @@ func TestDiscoverExtendedProfiles(t *testing.T) {
 		MustAddCategorical("city", city)
 	opts := DefaultOptions()
 	base := Discover(d, opts)
-	opts.EnableDistribution = true
-	opts.EnableFD = true
+	opts.Classes = map[string]bool{"distribution": true, "fd": true}
 	extended := Discover(d, opts)
 	var hasDist, hasFD bool
 	for _, p := range extended {
@@ -160,11 +159,11 @@ func TestDiscoverExtendedProfiles(t *testing.T) {
 			t.Errorf("%s violates its own dataset: %g", p, v)
 		}
 	}
-	// Disable flags suppress them again.
-	opts.Disable = map[string]bool{"distribution": true, "fd": true}
+	// Classes exclusions suppress them again.
+	opts.Classes = map[string]bool{"distribution": false, "fd": false}
 	suppressed := Discover(d, opts)
 	if len(suppressed) != len(base) {
-		t.Errorf("disable flags ineffective: %d vs %d", len(suppressed), len(base))
+		t.Errorf("Classes exclusions ineffective: %d vs %d", len(suppressed), len(base))
 	}
 }
 
@@ -179,7 +178,7 @@ func TestDiscoverFDSkipsWeakDependencies(t *testing.T) {
 	}
 	d := dataset.New().MustAddCategorical("a", a).MustAddCategorical("b", b)
 	opts := DefaultOptions()
-	opts.EnableFD = true
+	opts.Classes = map[string]bool{"fd": true}
 	for _, p := range Discover(d, opts) {
 		if p.Type() == "fd" {
 			t.Errorf("independent pair produced FD profile %s", p)
@@ -248,7 +247,7 @@ func TestDiscoverUnique(t *testing.T) {
 		MustAddCategorical("id", []string{"a", "b", "c", "d"}).
 		MustAddCategorical("flag", []string{"x", "x", "x", "y"})
 	opts := DefaultOptions()
-	opts.EnableUnique = true
+	opts.Classes = map[string]bool{"unique": true}
 	found := map[string]bool{}
 	for _, p := range Discover(d, opts) {
 		if p.Type() == "unique" {
@@ -291,7 +290,7 @@ func TestDiscoverInclusions(t *testing.T) {
 		MustAddCategorical("parent", []string{"a", "b", "c"}).
 		MustAddCategorical("other", []string{"x", "y", "z"})
 	opts := DefaultOptions()
-	opts.EnableInclusion = true
+	opts.Classes = map[string]bool{"inclusion": true}
 	var found []string
 	for _, p := range Discover(d, opts) {
 		if p.Type() == "inclusion" {
@@ -365,7 +364,7 @@ func TestDiscoverFrequencyFlag(t *testing.T) {
 	}
 	d := dataset.New().MustAddNumeric("ts", vals)
 	opts := DefaultOptions()
-	opts.EnableFrequency = true
+	opts.Classes = map[string]bool{"frequency": true}
 	found := false
 	for _, p := range Discover(d, opts) {
 		if p.Type() == "frequency" {
@@ -373,6 +372,6 @@ func TestDiscoverFrequencyFlag(t *testing.T) {
 		}
 	}
 	if !found {
-		t.Error("EnableFrequency discovered nothing")
+		t.Error("frequency class discovered nothing")
 	}
 }

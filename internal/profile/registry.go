@@ -26,6 +26,24 @@ type Discoverer struct {
 	// and safe for concurrent use: Discover runs once per dataset per
 	// discovery, possibly on a worker goroutine.
 	Discover func(d *dataset.Dataset, opts Options) []Profile
+	// Encode serializes a profile of this class into its canonical
+	// JSON-encodable wire value — the per-class codec surface backing
+	// profile artifacts (internal/artifact). It returns (nil, nil) for
+	// profiles of other classes (claim only your own) and an error when a
+	// claimed profile cannot be encoded. The returned value must marshal to
+	// the same bytes for equal profiles: no map-ordered or pointer-identity
+	// state may leak into it. Nil means the class has no codec and its
+	// profiles cannot be persisted.
+	Encode func(p Profile) (any, error)
+	// Decode reconstructs a profile from the wire value Encode produced.
+	// Decode(Encode(p)) must yield a profile with the same Key whose
+	// SameParams(p) holds. Set exactly when Encode is.
+	Decode func(data []byte) (Profile, error)
+	// Drift returns the normalized parameter-drift magnitude in [0,1]
+	// between two spellings of the same profile (same Key, parameters
+	// differing), for artifact diffing. Nil falls back to the generic
+	// magnitude 1 for any parameter change.
+	Drift func(old, new Profile) float64
 }
 
 var (
@@ -43,6 +61,9 @@ func RegisterDiscoverer(c Discoverer) error {
 	}
 	if c.Discover == nil {
 		return fmt.Errorf("profile: RegisterDiscoverer %q with nil Discover", c.Name)
+	}
+	if (c.Encode == nil) != (c.Decode == nil) {
+		return fmt.Errorf("profile: RegisterDiscoverer %q with half a codec (Encode and Decode must be set together)", c.Name)
 	}
 	regMu.Lock()
 	defer regMu.Unlock()
@@ -93,44 +114,11 @@ func Discoverers() []Discoverer {
 }
 
 // classSet resolves the effective enabled-class set for one discovery run:
-// registry defaults first, then the deprecated Enable* booleans (opt-ins),
-// then the deprecated Disable map (opt-outs), and finally the explicit
-// Classes entries, which take precedence over everything.
+// registry defaults first, then the explicit Classes entries on top.
 func (o *Options) classSet() map[string]bool {
 	s := make(map[string]bool)
 	for _, c := range Discoverers() {
 		s[c.Name] = c.DefaultOn
-	}
-	if o.EnableCausal {
-		s["indep-causal"] = true
-	}
-	if o.EnableDistribution {
-		s["distribution"] = true
-	}
-	if o.EnableFD {
-		s["fd"] = true
-	}
-	if o.EnableUnique {
-		s["unique"] = true
-	}
-	if o.EnableInclusion {
-		s["inclusion"] = true
-	}
-	if o.EnableConditional {
-		s["conditional"] = true
-	}
-	if o.EnableFrequency {
-		s["frequency"] = true
-	}
-	for name, off := range o.Disable {
-		if !off {
-			continue
-		}
-		s[name] = false
-		if name == "indep" {
-			// The legacy "indep" switch covered the causal subclass too.
-			s["indep-causal"] = false
-		}
 	}
 	for name, on := range o.Classes {
 		s[name] = on
@@ -139,11 +127,23 @@ func (o *Options) classSet() map[string]bool {
 }
 
 // ClassEnabled reports whether the named profile class would be discovered
-// under these options (after translating the deprecated Enable*/Disable
-// fields). Unregistered names report false.
+// under these options. Unregistered names report false.
 func (o *Options) ClassEnabled(name string) bool {
 	if _, ok := LookupDiscoverer(name); !ok {
 		return false
 	}
 	return o.classSet()[name]
+}
+
+// EnabledClasses returns the sorted names of the registered classes this
+// configuration would discover — the class list a profile artifact records.
+func (o *Options) EnabledClasses() []string {
+	s := o.classSet()
+	var out []string
+	for _, c := range Discoverers() {
+		if s[c.Name] {
+			out = append(out, c.Name)
+		}
+	}
+	return out
 }

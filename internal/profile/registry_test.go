@@ -63,31 +63,33 @@ func TestClassSetPrecedence(t *testing.T) {
 		t.Error("unregistered class reported enabled")
 	}
 
-	// Deprecated Enable* booleans opt classes in.
+	// Classes entries overlay the registry defaults in both directions.
 	o = DefaultOptions()
-	o.EnableFD = true
-	o.EnableCausal = true
-	if !o.ClassEnabled("fd") || !o.ClassEnabled("indep-causal") {
-		t.Error("Enable* shim did not enable its class")
-	}
-
-	// Deprecated Disable overrides Enable* (legacy double-gating order),
-	// and disabling "indep" covers the causal subclass.
-	o.Disable = map[string]bool{"fd": true, "indep": true}
-	if o.ClassEnabled("fd") {
-		t.Error("Disable did not override EnableFD")
-	}
-	if o.ClassEnabled("indep") || o.ClassEnabled("indep-causal") {
-		t.Error(`Disable["indep"] did not cover indep-causal`)
-	}
-
-	// Explicit Classes entries beat everything.
 	o.Classes = map[string]bool{"fd": true, "domain": false}
 	if !o.ClassEnabled("fd") {
-		t.Error("Classes include did not override Disable")
+		t.Error("Classes include did not override the default-off registration")
 	}
 	if o.ClassEnabled("domain") {
-		t.Error("Classes exclude did not override default")
+		t.Error("Classes exclude did not override the default-on registration")
+	}
+	// Names absent from the map keep their registered defaults.
+	if !o.ClassEnabled("missing") || o.ClassEnabled("unique") {
+		t.Error("Classes overlay disturbed unrelated defaults")
+	}
+
+	// EnabledClasses reflects the same resolution, sorted by class name.
+	got := o.EnabledClasses()
+	for i := 1; i < len(got); i++ {
+		if got[i-1] >= got[i] {
+			t.Fatalf("EnabledClasses not sorted: %v", got)
+		}
+	}
+	set := make(map[string]bool, len(got))
+	for _, name := range got {
+		set[name] = true
+	}
+	if !set["fd"] || set["domain"] || !set["missing"] || set["unique"] {
+		t.Errorf("EnabledClasses resolution wrong: %v", got)
 	}
 }
 
@@ -103,16 +105,22 @@ func TestDiscoverClassesSelector(t *testing.T) {
 		t.Error("default-on classes missing")
 	}
 
-	// Byte-identical to the deprecated Disable spelling.
-	legacy := DefaultOptions()
-	legacy.Disable = map[string]bool{"selectivity": true, "indep": true, "outlier": true}
-	lp := Discover(d, legacy)
-	if len(lp) != len(ps) {
-		t.Fatalf("Classes path found %d profiles, Disable path %d", len(ps), len(lp))
+	// Byte-identical to naming the surviving classes as an explicit set.
+	exact := DefaultOptions()
+	exact.Classes = make(map[string]bool)
+	for _, c := range Discoverers() {
+		exact.Classes[c.Name] = false
+	}
+	for _, name := range opts.EnabledClasses() {
+		exact.Classes[name] = true
+	}
+	ep := Discover(d, exact)
+	if len(ep) != len(ps) {
+		t.Fatalf("sparse Classes path found %d profiles, exact-set path %d", len(ps), len(ep))
 	}
 	for i := range ps {
-		if ps[i].String() != lp[i].String() {
-			t.Fatalf("profile %d differs: %s vs %s", i, ps[i], lp[i])
+		if ps[i].String() != ep[i].String() {
+			t.Fatalf("profile %d differs: %s vs %s", i, ps[i], ep[i])
 		}
 	}
 }

@@ -50,6 +50,27 @@ type Class interface {
 // defaultToggler is the optional interface controlling default activation.
 type defaultToggler interface{ DefaultEnabled() bool }
 
+// ProfileCodec is the optional codec half of a Class: classes implementing
+// it can serialize their profiles into versioned artifacts
+// (internal/artifact) and reconstruct them later. EncodeProfile must claim
+// only its own profiles (return (nil, nil) for others) and produce a
+// canonical JSON-encodable value — equal profiles must marshal to identical
+// bytes. DecodeProfile(EncodeProfile(p)) must yield a profile with the same
+// Key whose SameParams(p) holds. Classes without a codec still work for
+// in-process discovery, but their profiles cannot be persisted.
+type ProfileCodec interface {
+	EncodeProfile(p profile.Profile) (any, error)
+	DecodeProfile(data []byte) (profile.Profile, error)
+}
+
+// ProfileDrifter is the optional drift half of a Class: a normalized [0,1]
+// magnitude for how far the parameters of the "same" profile (same Key)
+// moved between two artifacts. Classes without it fall back to the generic
+// magnitude 1 for any parameter change.
+type ProfileDrifter interface {
+	ProfileDrift(old, new profile.Profile) float64
+}
+
 // DefaultEnabled reports whether a class is discovered without an explicit
 // opt-in: the class's DefaultEnabled method when implemented, true
 // otherwise (a user registering a class presumably wants it active).
@@ -66,12 +87,20 @@ func DefaultEnabled(c Class) bool {
 // catalog unchanged.
 func Register(c Class) error {
 	name := c.Name()
-	if err := profile.RegisterDiscoverer(profile.Discoverer{
+	disc := profile.Discoverer{
 		Name:      name,
 		Describe:  c.Describe(),
 		DefaultOn: DefaultEnabled(c),
 		Discover:  c.Discover,
-	}); err != nil {
+	}
+	if codec, ok := c.(ProfileCodec); ok {
+		disc.Encode = codec.EncodeProfile
+		disc.Decode = codec.DecodeProfile
+	}
+	if drifter, ok := c.(ProfileDrifter); ok {
+		disc.Drift = drifter.ProfileDrift
+	}
+	if err := profile.RegisterDiscoverer(disc); err != nil {
 		return fmt.Errorf("pvt: %w", err)
 	}
 	if err := transform.RegisterBuilder(name, c.Transforms); err != nil {

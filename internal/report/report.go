@@ -37,7 +37,23 @@ type Summary struct {
 	Tau        float64
 	PassScore  float64
 	FailScore  float64
-	Result     *core.Result
+	// Baseline names the pinned profile artifact the search's candidate
+	// profiles were decoded from (its path or label), empty when profiles
+	// were discovered fresh from the passing dataset. When set, the report
+	// cites it as the provenance of every violated profile.
+	Baseline string
+	// BaselineFingerprint is the artifact's recorded dataset fingerprint.
+	BaselineFingerprint string
+	Result              *core.Result
+}
+
+// baselineLabel renders the artifact provenance, e.g.
+// "baseline.json (fingerprint 61af206de350d311)".
+func (s Summary) baselineLabel() string {
+	if s.BaselineFingerprint == "" {
+		return s.Baseline
+	}
+	return fmt.Sprintf("%s (fingerprint %s)", s.Baseline, s.BaselineFingerprint)
 }
 
 // Text renders a terminal-oriented report.
@@ -46,6 +62,9 @@ func (s Summary) Text() string {
 	fmt.Fprintf(&b, "system: %s\n", s.SystemName)
 	fmt.Fprintf(&b, "malfunction(pass) = %.3f, malfunction(fail) = %.3f, tau = %.2f\n",
 		s.PassScore, s.FailScore, s.Tau)
+	if s.Baseline != "" {
+		fmt.Fprintf(&b, "baseline artifact: %s\n", s.baselineLabel())
+	}
 	r := s.Result
 	if r == nil {
 		b.WriteString("no result\n")
@@ -75,6 +94,9 @@ func (s Summary) Text() string {
 	}
 	if r.Found {
 		fmt.Fprintf(&b, "minimal explanation: %s\n", r.ExplanationString())
+		if s.Baseline != "" {
+			fmt.Fprintf(&b, "violated profiles cite baseline %s\n", s.baselineLabel())
+		}
 		names, groups := byClass(r.Explanation)
 		if len(names) > 0 {
 			b.WriteString("root causes by class:\n")
@@ -97,6 +119,9 @@ func (s Summary) Markdown() string {
 	fmt.Fprintf(&b, "| malfunction (passing) | %.3f |\n", s.PassScore)
 	fmt.Fprintf(&b, "| malfunction (failing) | %.3f |\n", s.FailScore)
 	fmt.Fprintf(&b, "| threshold τ | %.2f |\n", s.Tau)
+	if s.Baseline != "" {
+		fmt.Fprintf(&b, "| baseline artifact | %s |\n", s.baselineLabel())
+	}
 	r := s.Result
 	if r == nil {
 		return b.String()
@@ -119,6 +144,9 @@ func (s Summary) Markdown() string {
 	fmt.Fprintf(&b, "| final score | %.3f |\n\n", r.FinalScore)
 	if r.Found {
 		b.WriteString("### Root causes (minimal explanation)\n\n")
+		if s.Baseline != "" {
+			fmt.Fprintf(&b, "Violated profiles are cited from baseline artifact %s.\n\n", s.baselineLabel())
+		}
 		names, groups := byClass(r.Explanation)
 		for _, n := range names {
 			fmt.Fprintf(&b, "- **%s**\n", n)
