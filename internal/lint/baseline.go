@@ -1,0 +1,138 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// The baseline is the burn-down ledger for legacy findings: a committed
+// lint.baseline.json whose entries are demoted from CI-gating to warnings.
+// New findings — anything not matching an entry — still fail the build, so
+// the tree can only get cleaner. Entries match on (analyzer, root-relative
+// file, message) with a per-key count budget; line numbers are deliberately
+// excluded so unrelated edits above a baselined finding don't resurrect it.
+// An entry no longer matched by any finding is reported as stale so the
+// ledger shrinks alongside the fixes. The acceptance state for this
+// repository is an empty baseline.
+
+// BaselineEntry aggregates identical findings in one file.
+type BaselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Message  string `json:"message"`
+	Count    int    `json:"count"`
+}
+
+// Baseline is the committed burn-down ledger.
+type Baseline struct {
+	Version  int             `json:"version"`
+	Findings []BaselineEntry `json:"findings"`
+}
+
+func baselineKey(analyzer, file, message string) string {
+	return analyzer + "\x00" + file + "\x00" + message
+}
+
+// relFile renders file root-relative with forward slashes (the baseline's
+// stable spelling).
+func relFile(root, file string) string {
+	if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(rel)
+	}
+	return filepath.ToSlash(file)
+}
+
+// NewBaseline aggregates findings into a baseline with root-relative paths,
+// sorted by (file, analyzer, message).
+func NewBaseline(root string, findings []Finding) *Baseline {
+	counts := make(map[string]*BaselineEntry)
+	var order []string
+	for _, f := range findings {
+		key := baselineKey(f.Analyzer, relFile(root, f.File), f.Message)
+		if e, ok := counts[key]; ok {
+			e.Count++
+			continue
+		}
+		counts[key] = &BaselineEntry{Analyzer: f.Analyzer, File: relFile(root, f.File), Message: f.Message, Count: 1}
+		order = append(order, key)
+	}
+	b := &Baseline{Version: 1}
+	for _, key := range order {
+		b.Findings = append(b.Findings, *counts[key])
+	}
+	sort.Slice(b.Findings, func(i, j int) bool {
+		a, c := b.Findings[i], b.Findings[j]
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		if a.Analyzer != c.Analyzer {
+			return a.Analyzer < c.Analyzer
+		}
+		return a.Message < c.Message
+	})
+	return b
+}
+
+// LoadBaseline reads a baseline file; a missing file is an empty baseline
+// (every finding is fresh), a malformed one is an error.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &Baseline{Version: 1}, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("lint: reading baseline: %w", err)
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("lint: parsing baseline %s: %w", path, err)
+	}
+	return &b, nil
+}
+
+// Save writes the canonical (indented, trailing newline) baseline form.
+func (b *Baseline) Save(path string) error {
+	if b.Findings == nil {
+		b.Findings = []BaselineEntry{}
+	}
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Filter splits findings into fresh (not covered by the baseline — these
+// gate CI) and baselined, and returns the entries no longer matched by
+// anything (stale, ready to delete). Matching consumes each entry's count
+// budget in finding order.
+func (b *Baseline) Filter(root string, findings []Finding) (fresh, baselined []Finding, stale []BaselineEntry) {
+	budget := make(map[string]int, len(b.Findings))
+	for _, e := range b.Findings {
+		n := e.Count
+		if n <= 0 {
+			n = 1
+		}
+		budget[baselineKey(e.Analyzer, e.File, e.Message)] += n
+	}
+	used := make(map[string]int)
+	for _, f := range findings {
+		key := baselineKey(f.Analyzer, relFile(root, f.File), f.Message)
+		if used[key] < budget[key] {
+			used[key]++
+			baselined = append(baselined, f)
+			continue
+		}
+		fresh = append(fresh, f)
+	}
+	for _, e := range b.Findings {
+		if used[baselineKey(e.Analyzer, e.File, e.Message)] == 0 {
+			stale = append(stale, e)
+		}
+	}
+	return fresh, baselined, stale
+}

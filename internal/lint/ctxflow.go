@@ -6,9 +6,9 @@ import (
 	"repro/internal/lint/analysis"
 )
 
-// CtxFlow enforces the cancellation contract of the engine and pipeline
-// layers: every blocking operation must observe the caller's
-// context.Context. It flags
+// CtxFlow enforces the cancellation contract of the engine, pipeline,
+// scorestore, and artifact layers: every blocking operation must observe
+// the caller's context.Context. It flags
 //
 //   - time.Sleep — an uninterruptible block; select on time.NewTimer and
 //     ctx.Done() instead (pipeline.Retry's backoff is the reference
@@ -18,40 +18,74 @@ import (
 //   - net.Dial / net.DialTimeout — raw dials that cannot be abandoned when
 //     the search is cancelled; use net.Dialer.DialContext (the remote
 //     transport does);
+//   - time.Tick — leaks its ticker and offers no cancellation path at all;
+//   - time.NewTicker in a function that never selects on ctx.Done() — a
+//     feed loop that cannot be stopped (artifact.Watcher.Run is the
+//     reference: every tick races a ctx.Done() case);
 //   - dropped context parameters — a named ctx parameter the function body
 //     never reads, which silently severs the cancellation chain for every
 //     callee. Rename deliberate drops to _ (interface-satisfaction
 //     adapters do this) so the severing is visible at the signature.
 var CtxFlow = &analysis.Analyzer{
 	Name: "ctxflow",
-	Doc:  "flags time.Sleep, exec.Command, net.Dial, and dropped context.Context parameters in cancellation-bearing packages; blocking work must observe ctx",
+	Doc:  "flags time.Sleep, exec.Command, net.Dial, ctx-less tickers, and dropped context.Context parameters in cancellation-bearing packages; blocking work must observe ctx",
 	Run:  runCtxFlow,
 }
 
 func runCtxFlow(pass *analysis.Pass) (any, error) {
 	for _, f := range pass.Files {
-		ast.Inspect(f, func(n ast.Node) bool {
-			switch n := n.(type) {
-			case *ast.CallExpr:
-				fn := calleeFunc(pass.TypesInfo, n)
-				if isPkgFunc(fn, "time", "Sleep") {
-					pass.Reportf(n.Pos(), "time.Sleep blocks without observing the context; select on a time.NewTimer and ctx.Done() (see pipeline.Retry)")
-				}
-				if isPkgFunc(fn, "os/exec", "Command") {
-					pass.Reportf(n.Pos(), "exec.Command spawns a process cancellation cannot kill; use exec.CommandContext(ctx, ...)")
-				}
-				if isPkgFunc(fn, "net", "Dial") || isPkgFunc(fn, "net", "DialTimeout") {
-					pass.Reportf(n.Pos(), "raw net dial cannot be abandoned on cancellation; use net.Dialer.DialContext (see the remote transport)")
-				}
-			case *ast.FuncDecl:
-				if n.Body != nil {
-					checkDroppedCtx(pass, n)
-				}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
 			}
-			return true
-		})
+			checkDroppedCtx(pass, fd)
+			hasDone := selectsOnDone(pass, fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(pass.TypesInfo, call)
+				switch {
+				case isPkgFunc(fn, "time", "Sleep"):
+					pass.Reportf(call.Pos(), "time.Sleep blocks without observing the context; select on a time.NewTimer and ctx.Done() (see pipeline.Retry)")
+				case isPkgFunc(fn, "os/exec", "Command"):
+					pass.Reportf(call.Pos(), "exec.Command spawns a process cancellation cannot kill; use exec.CommandContext(ctx, ...)")
+				case isPkgFunc(fn, "net", "Dial") || isPkgFunc(fn, "net", "DialTimeout"):
+					pass.Reportf(call.Pos(), "raw net dial cannot be abandoned on cancellation; use net.Dialer.DialContext (see the remote transport)")
+				case isPkgFunc(fn, "time", "Tick"):
+					pass.Reportf(call.Pos(), "time.Tick leaks its ticker and has no cancellation path; use time.NewTicker and select on ctx.Done() (see artifact.Watcher.Run)")
+				case isPkgFunc(fn, "time", "NewTicker") && !hasDone:
+					pass.Reportf(call.Pos(), "time.NewTicker in a function that never consults ctx.Done(): the tick loop cannot be stopped; select each tick against ctx.Done() (see artifact.Watcher.Run)")
+				}
+				return true
+			})
+		}
 	}
 	return nil, nil
+}
+
+// selectsOnDone reports whether the function body (closures included)
+// consults ctx.Done() anywhere — the signal that its tick/receive loops
+// have a cancellation path.
+func selectsOnDone(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(pass.TypesInfo, call)
+		if methodOn(fn, "context", "Context", "Done") {
+			found = true
+		}
+		return !found
+	})
+	return found
 }
 
 // checkDroppedCtx reports named context.Context parameters that the

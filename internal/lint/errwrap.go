@@ -1,0 +1,207 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// ErrWrap promotes the PR 5 cancellation bugfix to an enforced contract:
+// the sentinel errors the engine/pipeline/scorestore layers branch on —
+// context.Canceled, pipeline.ErrBreakerOpen/ErrTransient, remote.ErrFleetDown,
+// the scorestore corruption errors — must survive wrapping, which means
+// every wrap goes through %w (or errors.Join) and every test goes through
+// errors.Is. Three errors.Is-defeating patterns are flagged:
+//
+//   - comparing an error against a package-level sentinel variable with
+//     == / != — false the moment anyone wraps the error en route (exempt
+//     inside an Is(error) bool method, where == against the target is the
+//     errors.Is protocol itself);
+//   - formatting an error operand with %v/%s inside fmt.Errorf — the
+//     resulting error stringifies the cause, severing Unwrap;
+//   - calling .Error() inside fmt.Errorf/errors.New arguments — the
+//     sentinel chain is laundered into a plain string.
+var ErrWrap = &analysis.Analyzer{
+	Name: "errwrap",
+	Doc:  "flags errors.Is-defeating sentinel handling: ==/!= against sentinel error vars, error operands under %v/%s in fmt.Errorf, and .Error() laundering inside error constructors; wrap with %w / errors.Join and test with errors.Is",
+	Run:  runErrWrap,
+}
+
+func runErrWrap(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, isFunc := decl.(*ast.FuncDecl)
+			inIsMethod := isFunc && isErrorIsMethod(pass, fd)
+			ast.Inspect(decl, func(n ast.Node) bool {
+				switch x := n.(type) {
+				case *ast.BinaryExpr:
+					if (x.Op == token.EQL || x.Op == token.NEQ) && !inIsMethod {
+						checkSentinelCompare(pass, x)
+					}
+				case *ast.CallExpr:
+					checkErrorfVerbs(pass, x)
+					checkErrorLaundering(pass, x)
+				}
+				return true
+			})
+		}
+	}
+	return nil, nil
+}
+
+// isErrorIsMethod reports whether fd is an Is(error) bool method — the
+// errors.Is matching protocol, whose whole job is identity comparison
+// against sentinels.
+func isErrorIsMethod(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	if fd.Recv == nil || fd.Name.Name != "Is" {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig := fn.Type().(*types.Signature)
+	if sig.Params().Len() != 1 || sig.Results().Len() != 1 {
+		return false
+	}
+	if !types.Identical(sig.Params().At(0).Type(), types.Universe.Lookup("error").Type()) {
+		return false
+	}
+	b, ok := sig.Results().At(0).Type().(*types.Basic)
+	return ok && b.Kind() == types.Bool
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+// isErrorType reports whether t implements error.
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Implements(t, errorIface)
+}
+
+// sentinelErrVar resolves e to a package-level error variable (a sentinel),
+// or nil.
+func sentinelErrVar(pass *analysis.Pass, e ast.Expr) *types.Var {
+	var id *ast.Ident
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = x
+	case *ast.SelectorExpr:
+		id = x.Sel
+	default:
+		return nil
+	}
+	v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+	if !ok || v.Pkg() == nil || !isErrorType(v.Type()) {
+		return nil
+	}
+	if v.Parent() != v.Pkg().Scope() {
+		return nil // local error variable, not a sentinel
+	}
+	return v
+}
+
+// checkSentinelCompare flags ==/!= where one operand is a package-level
+// sentinel error variable and the other is error-typed.
+func checkSentinelCompare(pass *analysis.Pass, x *ast.BinaryExpr) {
+	for _, pair := range [][2]ast.Expr{{x.X, x.Y}, {x.Y, x.X}} {
+		sentinel := sentinelErrVar(pass, pair[0])
+		if sentinel == nil {
+			continue
+		}
+		if !isErrorType(pass.TypesInfo.TypeOf(pair[1])) {
+			continue
+		}
+		pass.Reportf(x.Pos(), "compares an error against the sentinel %s.%s with %s: false for any wrapped form, so retry/breaker/cancellation classification silently breaks; use errors.Is", sentinel.Pkg().Name(), sentinel.Name(), x.Op)
+		return
+	}
+}
+
+// checkErrorfVerbs flags error-typed fmt.Errorf operands formatted with
+// %v/%s instead of %w.
+func checkErrorfVerbs(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := calleeFunc(pass.TypesInfo, call)
+	if !isPkgFunc(fn, "fmt", "Errorf") || len(call.Args) < 2 {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return
+	}
+	verbs := formatVerbs(constant.StringVal(tv.Value))
+	for i, verb := range verbs {
+		argIdx := 1 + i
+		if argIdx >= len(call.Args) {
+			break
+		}
+		if verb != 'v' && verb != 's' {
+			continue
+		}
+		if isErrorType(pass.TypesInfo.TypeOf(call.Args[argIdx])) {
+			pass.Reportf(call.Args[argIdx].Pos(), "formats an error with %%%c, stringifying it and severing Unwrap: errors.Is can no longer see the sentinel; use %%w (or errors.Join for several)", verb)
+		}
+	}
+}
+
+// formatVerbs returns the verb runes of a Printf-style format, one entry
+// per consumed argument ('*' for a width/precision argument).
+func formatVerbs(format string) []rune {
+	var verbs []rune
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		// Flags, width, precision — '*' consumes an argument of its own.
+		for i < len(format) {
+			c := format[i]
+			if c == '*' {
+				verbs = append(verbs, '*')
+				i++
+				continue
+			}
+			if c == '+' || c == '-' || c == '#' || c == ' ' || c == '0' || c == '.' || (c >= '1' && c <= '9') {
+				i++
+				continue
+			}
+			break
+		}
+		if i >= len(format) {
+			break
+		}
+		if format[i] == '%' {
+			continue // literal %%, consumes nothing
+		}
+		verbs = append(verbs, rune(format[i]))
+	}
+	return verbs
+}
+
+// checkErrorLaundering flags .Error() calls appearing as arguments to error
+// constructors — the sentinel chain is collapsed into a plain string.
+func checkErrorLaundering(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := calleeFunc(pass.TypesInfo, call)
+	if !isPkgFunc(fn, "fmt", "Errorf") && !isPkgFunc(fn, "errors", "New") {
+		return
+	}
+	for _, arg := range call.Args {
+		inner, ok := ast.Unparen(arg).(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		m := calleeFunc(pass.TypesInfo, inner)
+		if m == nil || m.Name() != "Error" {
+			continue
+		}
+		sig, ok := m.Type().(*types.Signature)
+		if !ok || sig.Recv() == nil || sig.Params().Len() != 0 {
+			continue
+		}
+		if !isErrorType(sig.Recv().Type()) {
+			continue
+		}
+		pass.Reportf(inner.Pos(), ".Error() inside an error constructor launders the sentinel chain into a string; wrap the error itself with %%w")
+	}
+}

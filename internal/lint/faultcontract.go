@@ -23,10 +23,25 @@ import (
 //     consults — collapsing "the measurement failed" into "the system
 //     malfunctions", which corrupts causal conclusions and fault
 //     accounting.
+//
+// Since lint v2 the discarded-error check is interprocedural within the
+// package: an in-package helper that forwards an engine/pipeline score pair
+// (return ev.Score(ctx, d), possibly through further helpers) is itself
+// score-bearing, so `s, _ := helper(...)` is flagged too. The summaries come
+// from the shared call-graph layer in summary.go.
 var FaultContract = &analysis.Analyzer{
 	Name: "faultcontract",
-	Doc:  "flags engine/pipeline score errors discarded with _, and ScoreResult.Score reads that never consult Err/Transient/Deterministic; failed measurements must not flow into caches or stats",
+	Doc:  "flags engine/pipeline score errors discarded with _ (including through score-forwarding helpers), and ScoreResult.Score reads that never consult Err/Transient/Deterministic; failed measurements must not flow into caches or stats",
 	Run:  runFaultContract,
+}
+
+// FaultContractIntra is the PR 5 intraprocedural variant (summaries
+// disabled), kept so the regression corpus (testdata/src/faultinterproc) can
+// prove the interprocedural delta.
+var FaultContractIntra = &analysis.Analyzer{
+	Name: "faultcontract",
+	Doc:  "intraprocedural (summary-free) faultcontract, kept as the old-vs-new regression reference",
+	Run:  func(pass *analysis.Pass) (any, error) { return runFaultContractImpl(pass, nil) },
 }
 
 // scoreResultChecks are the ScoreResult fields whose consultation proves
@@ -34,10 +49,14 @@ var FaultContract = &analysis.Analyzer{
 var scoreResultChecks = map[string]bool{"Err": true, "Transient": true, "Deterministic": true}
 
 func runFaultContract(pass *analysis.Pass) (any, error) {
+	return runFaultContractImpl(pass, computeSummaries(pass))
+}
+
+func runFaultContractImpl(pass *analysis.Pass, sums *summarySet) (any, error) {
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			if as, ok := n.(*ast.AssignStmt); ok {
-				checkDiscardedScoreErr(pass, as)
+				checkDiscardedScoreErr(pass, as, sums)
 			}
 			return true
 		})
@@ -54,8 +73,9 @@ func runFaultContract(pass *analysis.Pass) (any, error) {
 }
 
 // checkDiscardedScoreErr flags `score, _ := f(...)` where f is an
-// engine/pipeline function returning (float64, error).
-func checkDiscardedScoreErr(pass *analysis.Pass, as *ast.AssignStmt) {
+// engine/pipeline function returning (float64, error), or an in-package
+// helper whose summary shows it forwards such a pair.
+func checkDiscardedScoreErr(pass *analysis.Pass, as *ast.AssignStmt, sums *summarySet) {
 	if len(as.Rhs) != 1 || len(as.Lhs) != 2 {
 		return
 	}
@@ -67,17 +87,7 @@ func checkDiscardedScoreErr(pass *analysis.Pass, as *ast.AssignStmt) {
 	if fn == nil || fn.Pkg() == nil {
 		return
 	}
-	if p := fn.Pkg().Path(); p != enginePath && p != pipelinePath {
-		return
-	}
-	sig, ok := fn.Type().(*types.Signature)
-	if !ok || sig.Results().Len() != 2 {
-		return
-	}
-	if b, ok := sig.Results().At(0).Type().(*types.Basic); !ok || b.Kind() != types.Float64 {
-		return
-	}
-	if !types.Identical(sig.Results().At(1).Type(), types.Universe.Lookup("error").Type()) {
+	if !isEngineScoreFunc(fn) && !sums.isScoreSource(fn) {
 		return
 	}
 	if id, ok := ast.Unparen(as.Lhs[1]).(*ast.Ident); ok && id.Name == "_" {

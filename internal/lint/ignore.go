@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"go/ast"
 	"go/token"
+	"sort"
 	"strings"
 )
 
@@ -24,11 +25,24 @@ type ignoreDirective struct {
 	all       bool
 	reason    string
 	pos       token.Pos
+	// used is set when the directive suppresses at least one diagnostic in
+	// a run; the driver reports never-used directives as stale.
+	used bool
 }
 
 // malformed reports whether the directive is missing its analyzer list or
 // its reason.
 func (d *ignoreDirective) malformed() bool { return !d.all && d.analyzers == nil }
+
+// names returns the named analyzers in sorted order (empty for wildcard).
+func (d *ignoreDirective) names() []string {
+	out := make([]string, 0, len(d.analyzers))
+	for name := range d.analyzers {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
 
 // ignoreIndex resolves diagnostics against the //lint:ignore directives of
 // one package.
@@ -36,6 +50,9 @@ type ignoreIndex struct {
 	fset *token.FileSet
 	// byLine maps file:line to the directives governing that line.
 	byLine map[string][]*ignoreDirective
+	// directives holds every well-formed directive in parse order, for the
+	// stale-suppression sweep.
+	directives []*ignoreDirective
 	// malformed holds directives missing an analyzer list or a reason; the
 	// driver reports these as findings so an ignore can never silently
 	// fail to justify itself.
@@ -45,10 +62,15 @@ type ignoreIndex struct {
 const ignorePrefix = "//lint:ignore"
 
 // buildIgnoreIndex scans every comment of the files for lint:ignore
-// directives.
-func buildIgnoreIndex(fset *token.FileSet, files []*ast.File) *ignoreIndex {
+// directives. Files in generated (keyed by filename) are skipped entirely:
+// their diagnostics are dropped, so their directives neither suppress nor
+// count as stale.
+func buildIgnoreIndex(fset *token.FileSet, files []*ast.File, generated map[string]bool) *ignoreIndex {
 	idx := &ignoreIndex{fset: fset, byLine: make(map[string][]*ignoreDirective)}
 	for _, f := range files {
+		if generated[fset.Position(f.Package).Filename] {
+			continue
+		}
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				if !strings.HasPrefix(c.Text, ignorePrefix) {
@@ -61,6 +83,7 @@ func buildIgnoreIndex(fset *token.FileSet, files []*ast.File) *ignoreIndex {
 					idx.malformed = append(idx.malformed, d)
 					continue
 				}
+				idx.directives = append(idx.directives, d)
 				idx.add(d, pos.Line)
 				idx.add(d, pos.Line+1)
 			}
@@ -103,14 +126,15 @@ func parseIgnore(text string) *ignoreDirective {
 	return d
 }
 
-// suppressed reports whether a diagnostic from the named analyzer at pos is
-// covered by a directive.
-func (idx *ignoreIndex) suppressed(analyzer string, pos token.Pos) bool {
+// match returns the directive covering a diagnostic from the named analyzer
+// at pos (marking it used), or nil.
+func (idx *ignoreIndex) match(analyzer string, pos token.Pos) *ignoreDirective {
 	p := idx.fset.Position(pos)
 	for _, d := range idx.byLine[ignoreKey(p.Filename, p.Line)] {
 		if d.all || d.analyzers[analyzer] {
-			return true
+			d.used = true
+			return d
 		}
 	}
-	return false
+	return nil
 }

@@ -1,0 +1,480 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// LockOrder enforces the concurrency hygiene contracts of the engine,
+// pipeline, and scorestore layers, where a stalled lock holder stalls the
+// whole evaluation fleet. Three patterns are flagged:
+//
+//   - a mutex held across a blocking operation — channel send/receive,
+//     select without default, WaitGroup/Cond.Wait, time.Sleep, or
+//     ctx-less I/O through io/net interfaces — directly or through an
+//     in-package helper that blocks (propagated over the call graph). A
+//     blocked holder makes every contender wait on something cancellation
+//     cannot interrupt; release the lock before blocking, or select on
+//     ctx.Done(). Deliberate holds (e.g. the remote transport serializing
+//     round trips on a persistent connection) carry //lint:ignore lockorder
+//     justifications. os.File writes are deliberately not in the blocking
+//     set: the scorestore journal's write-under-lock is its crash-safety
+//     design.
+//   - a lock-bearing value (sync.Mutex/RWMutex/WaitGroup/Cond, directly or
+//     embedded) passed or received by value — the copy has its own lock
+//     state, so the "protected" data races anyway;
+//   - a goroutine with no join or cancellation path: its body (or callee
+//     arguments) reference no channel, WaitGroup, Cond, or ctx, so nothing
+//     can wait for it and nothing can stop it — a leak under the engine's
+//     bounded-shutdown contract.
+var LockOrder = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc:  "flags mutexes held across blocking operations (channel ops, Wait, ctx-less I/O — including through in-package helpers), lock-bearing values passed by value, and goroutines with no join or cancellation path",
+	Run:  runLockOrder,
+}
+
+// blockPrim is the root blocking primitive a function (transitively)
+// reaches, used to render transitive diagnostics.
+type blockPrim struct {
+	prim string
+}
+
+func runLockOrder(pass *analysis.Pass) (any, error) {
+	g := analysis.BuildCallGraph(pass)
+	blocking := blockingFuncs(pass, g)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			checkCopiedLocks(pass, fd)
+			if fd.Body != nil {
+				checkLockRegions(pass, fd.Body, blocking)
+				checkGoroutines(pass, fd.Body)
+			}
+		}
+	}
+	return nil, nil
+}
+
+// blockingFuncs computes which declared functions may block: intrinsically
+// (their body contains a blocking primitive outside go-statement literals)
+// or transitively (they call a blocking in-package function), propagated
+// bottom-up over SCCs.
+func blockingFuncs(pass *analysis.Pass, g *analysis.CallGraph) map[*types.Func]blockPrim {
+	out := make(map[*types.Func]blockPrim)
+	for _, n := range g.Nodes {
+		if desc := intrinsicBlock(pass, n.Decl.Body); desc != "" {
+			out[n.Fn] = blockPrim{prim: desc}
+		}
+	}
+	for _, scc := range g.BottomUpSCCs() {
+		for changed := true; changed; {
+			changed = false
+			for _, n := range scc {
+				if _, done := out[n.Fn]; done {
+					continue
+				}
+				for _, c := range n.Callees {
+					if info, ok := out[c.Fn]; ok {
+						out[n.Fn] = info
+						changed = true
+						break
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// intrinsicBlock returns a description of the first blocking primitive in
+// body, or "". Function literal bodies are skipped: a literal only blocks
+// its caller if invoked, and when spawned with `go` it blocks nobody here.
+func intrinsicBlock(pass *analysis.Pass, body *ast.BlockStmt) string {
+	desc := ""
+	var visit func(n ast.Node) bool
+	visit = func(n ast.Node) bool {
+		if desc != "" {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.GoStmt:
+			for _, arg := range x.Call.Args {
+				ast.Inspect(arg, visit)
+			}
+			return false
+		case *ast.SelectStmt:
+			if d := blockingPrimitive(pass, n); d != "" {
+				desc = d
+				return false
+			}
+			// A select with default polls: its comm expressions never
+			// block, but its clause bodies still run inline.
+			visitSelectBodies(x, visit)
+			return false
+		default:
+			if d := blockingPrimitive(pass, n); d != "" {
+				desc = d
+				return false
+			}
+		}
+		return true
+	}
+	ast.Inspect(body, visit)
+	return desc
+}
+
+// visitSelectBodies applies visit to the clause bodies of a select,
+// skipping the comm statements themselves.
+func visitSelectBodies(sel *ast.SelectStmt, visit func(ast.Node) bool) {
+	for _, cl := range sel.Body.List {
+		if cc, ok := cl.(*ast.CommClause); ok {
+			for _, s := range cc.Body {
+				ast.Inspect(s, visit)
+			}
+		}
+	}
+}
+
+// blockingPrimitive classifies a single AST node as a blocking operation,
+// returning a human description or "".
+func blockingPrimitive(pass *analysis.Pass, n ast.Node) string {
+	switch x := n.(type) {
+	case *ast.SendStmt:
+		return "a channel send"
+	case *ast.UnaryExpr:
+		if x.Op == token.ARROW {
+			return "a channel receive"
+		}
+	case *ast.SelectStmt:
+		for _, cl := range x.Body.List {
+			if cc, ok := cl.(*ast.CommClause); ok && cc.Comm == nil {
+				return "" // has a default clause: non-blocking poll
+			}
+		}
+		return "a select with no default"
+	case *ast.RangeStmt:
+		if t := pass.TypesInfo.TypeOf(x.X); t != nil {
+			if _, ok := t.Underlying().(*types.Chan); ok {
+				return "ranging over a channel"
+			}
+		}
+	case *ast.CallExpr:
+		fn := calleeFunc(pass.TypesInfo, x)
+		if fn == nil {
+			return ""
+		}
+		if isPkgFunc(fn, "time", "Sleep") {
+			return "time.Sleep"
+		}
+		if isPkgFunc(fn, "io", "ReadFull") || isPkgFunc(fn, "io", "ReadAll") || isPkgFunc(fn, "io", "Copy") {
+			return "io." + fn.Name()
+		}
+		if methodOn(fn, "sync", "WaitGroup", "Wait") {
+			return "sync.WaitGroup.Wait"
+		}
+		if methodOn(fn, "sync", "Cond", "Wait") {
+			return "sync.Cond.Wait"
+		}
+		// Read/Write/Accept through the io/net interfaces: the static
+		// callee is the interface method, whose defining package pins the
+		// classification (os.File's concrete methods are deliberately not
+		// matched — see the analyzer doc).
+		if fn.Pkg() != nil {
+			if p := fn.Pkg().Path(); p == "io" || p == "net" {
+				switch fn.Name() {
+				case "Read", "Write", "Accept":
+					if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+						_, recv := namedType(sig.Recv().Type())
+						return fmt.Sprintf("%s.%s.%s", fn.Pkg().Name(), recv, fn.Name())
+					}
+				}
+			}
+		}
+	}
+	return ""
+}
+
+// checkLockRegions scans every statement list of the body for
+// Lock/RLock...Unlock regions and reports the first blocking operation each
+// region contains.
+func checkLockRegions(pass *analysis.Pass, body *ast.BlockStmt, blocking map[*types.Func]blockPrim) {
+	var scanList func(list []ast.Stmt)
+	scanList = func(list []ast.Stmt) {
+		for i, s := range list {
+			mu, kind := lockAcquire(pass, s)
+			if mu == "" {
+				continue
+			}
+			end := len(list)
+			for j := i + 1; j < len(list); j++ {
+				if isUnlockOf(pass, list[j], mu, kind) {
+					end = j
+					break
+				}
+			}
+			reportRegionBlock(pass, mu, list[i+1:end], blocking)
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch b := n.(type) {
+		case *ast.BlockStmt:
+			scanList(b.List)
+		case *ast.CaseClause:
+			scanList(b.Body)
+		case *ast.CommClause:
+			scanList(b.Body)
+		}
+		return true
+	})
+}
+
+// reportRegionBlock reports the first blocking operation inside a lock-held
+// region (one finding per region keeps a long critical section one fix, not
+// a flood).
+func reportRegionBlock(pass *analysis.Pass, mu string, region []ast.Stmt, blocking map[*types.Func]blockPrim) {
+	reported := false
+	var visit func(n ast.Node) bool
+	visit = func(n ast.Node) bool {
+		if reported {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.DeferStmt:
+			return false // runs at return, after the paired deferred unlock
+		case *ast.GoStmt:
+			for _, arg := range x.Call.Args {
+				ast.Inspect(arg, visit)
+			}
+			return false
+		case *ast.SelectStmt:
+			if d := blockingPrimitive(pass, n); d != "" {
+				reported = true
+				pass.Reportf(n.Pos(), "%s while %s is held stalls every contender on the lock; release it before blocking, make the wait cancellable, or justify with //lint:ignore lockorder <reason>", d, mu)
+				return false
+			}
+			visitSelectBodies(x, visit)
+			return false
+		}
+		desc := blockingPrimitive(pass, n)
+		if desc == "" {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if fn := calleeFunc(pass.TypesInfo, call); fn != nil {
+					if info, ok := blocking[fn]; ok {
+						desc = fmt.Sprintf("a call to %s, which blocks on %s", fn.Name(), info.prim)
+					}
+				}
+			}
+		}
+		if desc != "" {
+			reported = true
+			pass.Reportf(n.Pos(), "%s while %s is held stalls every contender on the lock; release it before blocking, make the wait cancellable, or justify with //lint:ignore lockorder <reason>", desc, mu)
+			return false
+		}
+		return true
+	}
+	for _, s := range region {
+		if reported {
+			break
+		}
+		ast.Inspect(s, visit)
+	}
+}
+
+// lockAcquire reports whether s is `x.Lock()` / `x.RLock()` on a
+// sync.Mutex/RWMutex, returning the rendered mutex expression and the lock
+// kind ("Lock"/"RLock"), or ("", "").
+func lockAcquire(pass *analysis.Pass, s ast.Stmt) (mu, kind string) {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return "", ""
+	}
+	call, ok := ast.Unparen(es.X).(*ast.CallExpr)
+	if !ok {
+		return "", ""
+	}
+	fn := calleeFunc(pass.TypesInfo, call)
+	if fn == nil || fn.Name() != "Lock" && fn.Name() != "RLock" {
+		return "", ""
+	}
+	if !methodOn(fn, "sync", "Mutex", fn.Name()) && !methodOn(fn, "sync", "RWMutex", fn.Name()) {
+		return "", ""
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	return describeTarget(sel.X), fn.Name()
+}
+
+// isUnlockOf reports whether s releases the lock previously taken on the
+// rendered mutex expression mu (Unlock for Lock, RUnlock for RLock),
+// matching syntactically on the rendered receiver.
+func isUnlockOf(pass *analysis.Pass, s ast.Stmt, mu, kind string) bool {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := ast.Unparen(es.X).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn := calleeFunc(pass.TypesInfo, call)
+	want := "Unlock"
+	if kind == "RLock" {
+		want = "RUnlock"
+	}
+	if fn == nil || fn.Name() != want {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	return ok && describeTarget(sel.X) == mu
+}
+
+// checkCopiedLocks flags by-value receivers and parameters whose type
+// (transitively) contains a lock.
+func checkCopiedLocks(pass *analysis.Pass, fd *ast.FuncDecl) {
+	check := func(field *ast.Field) {
+		t := pass.TypesInfo.TypeOf(field.Type)
+		if t == nil {
+			return
+		}
+		if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+			return
+		}
+		lock := lockInType(t, make(map[types.Type]bool))
+		if lock == "" {
+			return
+		}
+		for _, name := range field.Names {
+			if name.Name == "_" {
+				continue
+			}
+			pass.Reportf(name.Pos(), "passes %s by value, copying its %s: the copy has its own lock state, so the original's protection silently vanishes; pass a pointer", name.Name, lock)
+		}
+	}
+	if fd.Recv != nil {
+		for _, field := range fd.Recv.List {
+			check(field)
+		}
+	}
+	for _, field := range fd.Type.Params.List {
+		check(field)
+	}
+}
+
+// lockInType returns the name of the first sync lock type t transitively
+// contains by value ("" when none).
+func lockInType(t types.Type, seen map[types.Type]bool) string {
+	if seen[t] {
+		return ""
+	}
+	seen[t] = true
+	if path, name := namedType(t); path == "sync" {
+		switch name {
+		case "Mutex", "RWMutex", "WaitGroup", "Cond":
+			return "sync." + name
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if lock := lockInType(u.Field(i).Type(), seen); lock != "" {
+				return lock
+			}
+		}
+	case *types.Array:
+		return lockInType(u.Elem(), seen)
+	}
+	return ""
+}
+
+// checkGoroutines flags `go` statements whose goroutine has no join or
+// cancellation path: nothing can wait for it and nothing can stop it.
+func checkGoroutines(pass *analysis.Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		gs, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		if !goroutineHasJoin(pass, gs) {
+			pass.Reportf(gs.Pos(), "goroutine has no join or cancellation path: it neither signals completion (channel send, WaitGroup.Done) nor observes ctx; a leak under the bounded-shutdown contract — thread a ctx, channel, or WaitGroup")
+		}
+		return true
+	})
+}
+
+// goroutineHasJoin reports whether the spawned goroutine can be joined or
+// cancelled: its literal body touches a channel, WaitGroup/Cond, or ctx —
+// or, for a named callee, a ctx/channel/WaitGroup flows in as an argument.
+func goroutineHasJoin(pass *analysis.Pass, gs *ast.GoStmt) bool {
+	lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit)
+	if !ok {
+		for _, arg := range gs.Call.Args {
+			if joinCapable(pass.TypesInfo.TypeOf(arg)) {
+				return true
+			}
+		}
+		return false
+	}
+	joined := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if joined {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.SendStmt:
+			joined = true
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				joined = true
+			}
+		case *ast.SelectStmt:
+			joined = true
+		case *ast.RangeStmt:
+			if t := pass.TypesInfo.TypeOf(x.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					joined = true
+				}
+			}
+		case *ast.Ident:
+			if obj := pass.TypesInfo.Uses[x]; obj != nil && joinCapable(obj.Type()) {
+				joined = true
+			}
+		case *ast.CallExpr:
+			fn := calleeFunc(pass.TypesInfo, x)
+			if methodOn(fn, "sync", "WaitGroup", "Done") || methodOn(fn, "sync", "WaitGroup", "Wait") ||
+				methodOn(fn, "sync", "Cond", "Signal") || methodOn(fn, "sync", "Cond", "Broadcast") {
+				joined = true
+			}
+		}
+		return !joined
+	})
+	return joined
+}
+
+// joinCapable reports whether a value of type t gives a goroutine a join or
+// cancellation path: a context, a channel, or a shared WaitGroup.
+func joinCapable(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if path, name := namedType(t); path == "context" && name == "Context" {
+		return true
+	}
+	if path, name := namedType(t); path == "sync" && (name == "WaitGroup" || name == "Cond") {
+		return true
+	}
+	_, isChan := t.Underlying().(*types.Chan)
+	return isChan
+}

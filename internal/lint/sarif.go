@@ -1,0 +1,131 @@
+package lint
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// SARIF 2.1.0 output: the minimal subset CI artifact viewers consume —
+// tool.driver.rules, results with physical locations, and in-source
+// suppression records carrying the //lint:ignore justifications. The struct
+// field order below is fixed and json.Marshal preserves it, so the output
+// is byte-deterministic for a given Result.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID       string             `json:"ruleId"`
+	Level        string             `json:"level"`
+	Message      sarifMessage       `json:"message"`
+	Locations    []sarifLocation    `json:"locations"`
+	Suppressions []sarifSuppression `json:"suppressions,omitempty"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+}
+
+type sarifSuppression struct {
+	Kind          string `json:"kind"`
+	Justification string `json:"justification"`
+}
+
+// SARIF renders a run's full result — active findings as error-level
+// results, suppressed ones with inSource suppression records — as a SARIF
+// 2.1.0 document. File paths are made root-relative where possible.
+func SARIF(root string, analyzers []*analysis.Analyzer, res *Result) ([]byte, error) {
+	rules := []sarifRule{{
+		ID:               "lint",
+		ShortDescription: sarifMessage{Text: "driver-level suppression-lifecycle findings (malformed, unknown-analyzer, or stale //lint:ignore directives)"},
+	}}
+	for _, az := range analyzers {
+		rules = append(rules, sarifRule{ID: az.Name, ShortDescription: sarifMessage{Text: az.Doc}})
+	}
+	toResult := func(f Finding) sarifResult {
+		r := sarifResult{
+			RuleID:  f.Analyzer,
+			Level:   "error",
+			Message: sarifMessage{Text: f.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{URI: sarifURI(root, f.File)},
+					Region:           sarifRegion{StartLine: f.Line, StartColumn: f.Column},
+				},
+			}},
+		}
+		if f.Suppressed {
+			r.Suppressions = []sarifSuppression{{Kind: "inSource", Justification: f.SuppressReason}}
+		}
+		return r
+	}
+	results := make([]sarifResult, 0, len(res.Findings)+len(res.Suppressed))
+	for _, f := range res.Findings {
+		results = append(results, toResult(f))
+	}
+	for _, f := range res.Suppressed {
+		results = append(results, toResult(f))
+	}
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "dataprismlint", InformationURI: "https://example.invalid/dataprism/DESIGN.md#contract-enforcement", Rules: rules}},
+			Results: results,
+		}},
+	}
+	return json.MarshalIndent(log, "", "  ")
+}
+
+// sarifURI renders file root-relative with forward slashes, per the SARIF
+// artifactLocation convention.
+func sarifURI(root, file string) string {
+	if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(rel)
+	}
+	return filepath.ToSlash(file)
+}

@@ -32,6 +32,33 @@ func badDialTimeout() (net.Conn, error) {
 	return net.DialTimeout("tcp", "localhost:1", time.Second) // want `raw net dial cannot be abandoned on cancellation`
 }
 
+func badTick() {
+	for range time.Tick(time.Second) { // want `time\.Tick leaks its ticker and has no cancellation path`
+	}
+}
+
+func badTicker(d time.Duration) {
+	t := time.NewTicker(d) // want `time\.NewTicker in a function that never consults ctx\.Done\(\)`
+	defer t.Stop()
+	for range t.C {
+		break
+	}
+}
+
+// goodTickerCtx: every tick races ctx.Done(), the artifact.Watcher.Run
+// idiom.
+func goodTickerCtx(ctx context.Context, d time.Duration) {
+	t := time.NewTicker(d)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
 // goodDialContext: the dial dies with the context.
 func goodDialContext(ctx context.Context) (net.Conn, error) {
 	var d net.Dialer

@@ -1,0 +1,74 @@
+// Package errwrap is the golden fixture for the errwrap analyzer:
+// ==/!= against sentinel error variables, %v/%s formatting of error
+// operands in fmt.Errorf, and .Error() laundering inside error
+// constructors are flagged; errors.Is, %w, errors.Join, nil comparisons,
+// and the Is-method protocol are not.
+package errwrap
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// ErrLocal is a package-level sentinel.
+var ErrLocal = errors.New("local sentinel")
+
+func badEqSentinel(err error) bool {
+	return err == context.Canceled // want `compares an error against the sentinel context\.Canceled with ==`
+}
+
+func badNeqSentinel(err error) bool {
+	return err != ErrLocal // want `compares an error against the sentinel errwrap\.ErrLocal with !=`
+}
+
+func badFmtV(err error) error {
+	return fmt.Errorf("scoring failed: %v", err) // want `formats an error with %v, stringifying it and severing Unwrap`
+}
+
+func badFmtS(err error) error {
+	return fmt.Errorf("oracle %s said: %s", "remote", err) // want `formats an error with %s, stringifying it and severing Unwrap`
+}
+
+func badLaunder(err error) error {
+	return errors.New(err.Error()) // want `\.Error\(\) inside an error constructor launders the sentinel chain`
+}
+
+func badLaunderF(err error) error {
+	return fmt.Errorf("wrapped: %s", err.Error()) // want `\.Error\(\) inside an error constructor launders the sentinel chain`
+}
+
+// goodNilCompare: == nil is not a sentinel comparison.
+func goodNilCompare(err error) bool {
+	return err == nil
+}
+
+// goodErrorsIs: the sanctioned classification.
+func goodErrorsIs(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, ErrLocal)
+}
+
+// goodWrap: %w preserves the chain.
+func goodWrap(err error) error {
+	return fmt.Errorf("scoring failed: %w", err)
+}
+
+// goodJoin: errors.Join preserves every branch.
+func goodJoin(a, b error) error {
+	return errors.Join(a, b)
+}
+
+// goodNonErrorVerbs: %v over non-error operands is unrelated.
+func goodNonErrorVerbs(n int, s string) error {
+	return fmt.Errorf("bad row %d in %v", n, s)
+}
+
+type faultKind struct{ kind string }
+
+func (f *faultKind) Error() string { return f.kind }
+
+// goodIsMethod: == against the target inside Is(error) bool IS the
+// errors.Is protocol.
+func (f *faultKind) Is(target error) bool {
+	return target == ErrLocal
+}

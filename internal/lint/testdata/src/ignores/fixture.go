@@ -25,3 +25,28 @@ func wrongAnalyzerNamed() int64 {
 	//lint:ignore cowmutate reason aimed at a different analyzer
 	return time.Now().UnixNano() // want `time\.Now`
 }
+
+func staleNamed() int {
+	//lint:ignore seededrand nothing on the next line trips seededrand
+	// want@-1 `stale //lint:ignore directive`
+	return 42
+}
+
+func staleWildcard() int {
+	//lint:ignore * blanket suppression with nothing left to suppress
+	// want@-1 `stale //lint:ignore directive`
+	return 7
+}
+
+func unknownAnalyzerNamed() int64 {
+	//lint:ignore seedrand typo'd analyzer name
+	// want@-1 `names unknown analyzer "seedrand"`
+	return time.Now().UnixNano() // want `time\.Now`
+}
+
+// multiFinding: one directive suppresses every matching finding on its
+// line — two wall-clock reads, one justification, zero leaks.
+func multiFinding() int64 {
+	//lint:ignore seededrand both reads on this line are log-ordering only
+	return time.Now().UnixNano() + time.Now().UnixNano()
+}

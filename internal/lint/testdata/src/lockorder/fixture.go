@@ -1,0 +1,179 @@
+// Package lockorder is the golden fixture for the lockorder analyzer:
+// mutexes held across blocking operations (directly or through in-package
+// helpers), lock-bearing values passed by value, and goroutines with no
+// join or cancellation path are flagged; release-before-block, pointer
+// passing, and joined/cancellable goroutines are not.
+package lockorder
+
+import (
+	"context"
+	"io"
+	"sync"
+	"time"
+)
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+type table struct {
+	mu   sync.RWMutex
+	rows map[string]int
+}
+
+// blockingHelper blocks intrinsically; callers holding a lock across it are
+// flagged with the transitive description.
+func blockingHelper(ch chan int) int {
+	return <-ch
+}
+
+// pureHelper never blocks; calling it under a lock is fine.
+func pureHelper(n int) int { return n * 2 }
+
+func badSendWhileLocked(c *counter, ch chan int) {
+	c.mu.Lock()
+	ch <- c.n // want `a channel send while c\.mu is held stalls every contender`
+	c.mu.Unlock()
+}
+
+func badRecvWhileDeferLocked(c *counter, ch chan int) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return <-ch + c.n // want `a channel receive while c\.mu is held stalls every contender`
+}
+
+func badBlockingCallWhileLocked(c *counter, ch chan int) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return blockingHelper(ch) // want `a call to blockingHelper, which blocks on a channel receive while c\.mu is held`
+}
+
+func badWaitWhileLocked(c *counter, wg *sync.WaitGroup) {
+	c.mu.Lock()
+	wg.Wait() // want `sync\.WaitGroup\.Wait while c\.mu is held stalls every contender`
+	c.mu.Unlock()
+}
+
+func badSleepWhileLocked(c *counter) {
+	c.mu.Lock()
+	time.Sleep(time.Millisecond) // want `time\.Sleep while c\.mu is held stalls every contender`
+	c.mu.Unlock()
+}
+
+func badIOWhileLocked(c *counter, w io.Writer, buf []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w.Write(buf) // want `io\.Writer\.Write while c\.mu is held stalls every contender`
+}
+
+func badRLockAcrossRecv(t *table, ch chan string) int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.rows[<-ch] // want `a channel receive while t\.mu is held stalls every contender`
+}
+
+func badSelectWhileLocked(c *counter, ch chan int, done chan struct{}) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	select { // want `a select with no default while c\.mu is held stalls every contender`
+	case v := <-ch:
+		c.n = v
+	case <-done:
+	}
+}
+
+type gauge struct {
+	mu  sync.Mutex
+	val float64
+}
+
+func badCopiedLock(g gauge) float64 { // want `passes g by value, copying its sync\.Mutex`
+	return g.val
+}
+
+func (g gauge) badValueReceiver() float64 { // want `passes g by value, copying its sync\.Mutex`
+	return g.val
+}
+
+func badFireAndForget(c *counter) {
+	go func() { // want `goroutine has no join or cancellation path`
+		c.n++
+	}()
+}
+
+func namedNoJoin(n int) { _ = n * 2 }
+
+func badNamedNoJoin() {
+	go namedNoJoin(3) // want `goroutine has no join or cancellation path`
+}
+
+// goodReleaseBeforeSend: the lock is dropped before the blocking send.
+func goodReleaseBeforeSend(c *counter, ch chan int) {
+	c.mu.Lock()
+	n := c.n
+	c.mu.Unlock()
+	ch <- n
+}
+
+// goodPureCallWhileLocked: non-blocking helpers under a lock are fine.
+func goodPureCallWhileLocked(c *counter) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n = pureHelper(c.n)
+}
+
+// goodSelectWithDefault: a default clause makes the select a poll.
+func goodSelectWithDefault(c *counter, ch chan int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	select {
+	case v := <-ch:
+		c.n = v
+	default:
+	}
+}
+
+// goodPointerLock: lock-bearing values passed by pointer are the sanctioned
+// form.
+func goodPointerLock(g *gauge) float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.val
+}
+
+// goodJoinedGoroutine: a WaitGroup gives the spawn a join path.
+func goodJoinedGoroutine(c *counter, wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c.n++
+	}()
+}
+
+// goodChannelGoroutine: signalling completion over a channel joins it.
+func goodChannelGoroutine(c *counter) chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		c.n++
+		close(done)
+	}()
+	return done
+}
+
+// goodCtxGoroutine: observing ctx gives the spawn a cancellation path.
+func goodCtxGoroutine(ctx context.Context, c *counter) {
+	go func() {
+		<-ctx.Done()
+		c.n = 0
+	}()
+}
+
+func namedWorker(ctx context.Context) {
+	<-ctx.Done()
+}
+
+// goodNamedCtxGoroutine: a ctx argument marks a named spawn cancellable.
+func goodNamedCtxGoroutine(ctx context.Context) {
+	go namedWorker(ctx)
+}

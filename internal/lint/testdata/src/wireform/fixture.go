@@ -1,0 +1,31 @@
+// Package wireform is the golden fixture for the wireform analyzer: the
+// package declares json-tagged wire structs but is absent from
+// wireform.golden.json (unpinned), one struct emits a bare map, and one
+// exported field has no json tag. The version-bump paths are covered by
+// unit tests that swap WireGolden entries (see wireform_test.go).
+package wireform // want `wire package dataprismlint\.test/wireform is not pinned in wireform\.golden\.json`
+
+// SchemaVersion pins the wire format's version.
+const SchemaVersion = 3
+
+// Header is a well-formed wire struct.
+type Header struct {
+	Magic   string `json:"magic"`
+	Version int    `json:"version"`
+}
+
+// Payload violates both per-field contracts.
+type Payload struct {
+	Rows  []string       `json:"rows"`
+	Tags  map[string]int `json:"tags"` // want `wire struct Payload field Tags emits a bare map`
+	Debug bool           // want `wire struct Payload field Debug has no json tag`
+}
+
+// internalState has no json tags, so it is not a wire struct and is exempt
+// from the per-field contracts.
+type internalState struct {
+	scratch map[string]int
+	depth   int
+}
+
+func (s *internalState) grow() { s.depth++ }

@@ -1,0 +1,249 @@
+package lint
+
+import (
+	"crypto/sha256"
+	_ "embed"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// WireForm guards the persisted/transported byte formats of the artifact
+// and remote-protocol layers. Wire structs — exported structs with
+// json-tagged fields in the scoped packages — and wire constants (version,
+// status, message, frame, magic, record numbers) are reduced to a canonical
+// shape text whose SHA-256 is pinned, together with the package's
+// SchemaVersion/protocolVersion value, in wireform.golden.json. Changing a
+// wire struct's field set, order, types, or tags without bumping the version
+// constant in the same commit is a finding: artifacts persist across builds
+// and remote workers speak across version skew, so an unversioned shape
+// change makes a stale reader mis-decode silently. Two per-field contracts
+// are also enforced: every exported field of a wire struct carries an
+// explicit json tag (field names and order must be pinned, not inferred),
+// and no wire struct emits a bare map (Go map iteration order would leak
+// into canonical bytes; emit a sorted slice instead).
+//
+// Regenerate the pin with `dataprismlint -update-wireform` after a
+// deliberate, version-bumped change.
+var WireForm = &analysis.Analyzer{
+	Name: "wireform",
+	Doc:  "pins the structural hash of artifact/remote wire structs and constants to wireform.golden.json; shape changes without a SchemaVersion/protocolVersion bump, untagged exported fields, and bare map emission are findings",
+	Run:  runWireForm,
+}
+
+//go:embed wireform.golden.json
+var wireGoldenRaw []byte
+
+// WirePin is one package's pinned wire shape.
+type WirePin struct {
+	// Version is the package's SchemaVersion/protocolVersion value at pin
+	// time.
+	Version int `json:"version"`
+	// Hash is the SHA-256 (hex) of the canonical shape text.
+	Hash string `json:"hash"`
+	// Structs lists the wire struct names the hash covers, for human diffs.
+	Structs []string `json:"structs"`
+}
+
+// WireGolden maps package import path to its pinned wire shape, loaded from
+// the embedded wireform.golden.json. Tests may swap entries; the tree's pins
+// change only through `dataprismlint -update-wireform`.
+var WireGolden = loadWireGolden()
+
+func loadWireGolden() map[string]WirePin {
+	m := make(map[string]WirePin)
+	// A parse failure leaves the pin set empty; every wire package is then
+	// reported as unpinned, which is the loud failure we want.
+	_ = json.Unmarshal(wireGoldenRaw, &m)
+	return m
+}
+
+// wireConstMarkers are the lowercase substrings identifying package-level
+// integer constants as wire constants.
+var wireConstMarkers = []string{"version", "status", "magic", "msg", "flag", "record", "frame"}
+
+func isWireConstName(name string) bool {
+	l := strings.ToLower(name)
+	for _, m := range wireConstMarkers {
+		if strings.Contains(l, m) {
+			return true
+		}
+	}
+	return false
+}
+
+// ComputeWirePin derives the wire-shape pin of pkg: the version constant
+// value and a hash over every exported json-tagged struct's field sequence
+// (names, types, tags, in declaration order) plus the wire constants. The
+// second result is false when the package declares no wire structs.
+func ComputeWirePin(pkg *types.Package) (WirePin, bool) {
+	var lines []string
+	var structNames []string
+	qual := types.RelativeTo(pkg)
+	scope := pkg.Scope()
+	for _, name := range scope.Names() { // Names() is sorted
+		obj := scope.Lookup(name)
+		if !obj.Exported() {
+			if _, isConst := obj.(*types.Const); !isConst {
+				continue
+			}
+		}
+		switch o := obj.(type) {
+		case *types.TypeName:
+			st, ok := o.Type().Underlying().(*types.Struct)
+			if !ok || !isWireStruct(st) {
+				continue
+			}
+			structNames = append(structNames, name)
+			lines = append(lines, "struct "+name)
+			for i := 0; i < st.NumFields(); i++ {
+				f := st.Field(i)
+				lines = append(lines, fmt.Sprintf("  %s %s %q", f.Name(), types.TypeString(f.Type(), qual), st.Tag(i)))
+			}
+		case *types.Const:
+			if !isWireConstName(name) {
+				continue
+			}
+			if o.Val().Kind() != constant.Int {
+				continue
+			}
+			lines = append(lines, fmt.Sprintf("const %s = %s", name, o.Val().String()))
+		}
+	}
+	if len(structNames) == 0 {
+		return WirePin{}, false
+	}
+	sum := sha256.Sum256([]byte(strings.Join(lines, "\n")))
+	pin := WirePin{Hash: hex.EncodeToString(sum[:]), Structs: structNames}
+	pin.Version, _ = wireVersionConst(pkg)
+	return pin, true
+}
+
+// isWireStruct reports whether st carries at least one json-tagged field.
+func isWireStruct(st *types.Struct) bool {
+	for i := 0; i < st.NumFields(); i++ {
+		if tagValue(st.Tag(i), "json") != "" {
+			return true
+		}
+	}
+	return false
+}
+
+// wireVersionConst returns the package's SchemaVersion or protocolVersion
+// integer constant.
+func wireVersionConst(pkg *types.Package) (int, bool) {
+	for _, name := range []string{"SchemaVersion", "protocolVersion"} {
+		if c, ok := pkg.Scope().Lookup(name).(*types.Const); ok {
+			if v, exact := constant.Int64Val(c.Val()); exact {
+				return int(v), true
+			}
+		}
+	}
+	return 0, false
+}
+
+// tagValue extracts the value of one key from a struct tag (a minimal
+// reflect.StructTag.Get, avoiding a reflect dependency for one lookup).
+func tagValue(tag, key string) string {
+	for tag != "" {
+		tag = strings.TrimLeft(tag, " ")
+		i := strings.Index(tag, ":")
+		if i < 0 {
+			break
+		}
+		name := tag[:i]
+		rest := tag[i+1:]
+		if len(rest) == 0 || rest[0] != '"' {
+			break
+		}
+		j := strings.Index(rest[1:], `"`)
+		if j < 0 {
+			break
+		}
+		value := rest[1 : 1+j]
+		tag = rest[j+2:]
+		if name == key {
+			return value
+		}
+	}
+	return ""
+}
+
+func runWireForm(pass *analysis.Pass) (any, error) {
+	pin, isWire := ComputeWirePin(pass.Pkg)
+	if !isWire {
+		return nil, nil
+	}
+	checkWireFields(pass)
+	pkgPos := pass.Files[0].Name.Pos()
+	if _, ok := wireVersionConst(pass.Pkg); !ok {
+		pass.Reportf(pkgPos, "wire package %s has json-tagged wire structs but no SchemaVersion/protocolVersion constant; persisted formats must carry an explicit version", pass.Pkg.Path())
+	}
+	golden, pinned := WireGolden[pass.Pkg.Path()]
+	switch {
+	case !pinned:
+		pass.Reportf(pkgPos, "wire package %s is not pinned in wireform.golden.json; run dataprismlint -update-wireform and commit the pin", pass.Pkg.Path())
+	case pin.Hash != golden.Hash && pin.Version == golden.Version:
+		pass.Reportf(pkgPos, "wire shape of %s (structs %s) changed without a SchemaVersion/protocolVersion bump: a stale reader would mis-decode silently; bump the version constant in this commit and run dataprismlint -update-wireform", pass.Pkg.Path(), strings.Join(pin.Structs, ", "))
+	case pin.Hash != golden.Hash || pin.Version != golden.Version:
+		pass.Reportf(pkgPos, "wire shape pin of %s is stale; run dataprismlint -update-wireform and commit the regenerated wireform.golden.json", pass.Pkg.Path())
+	}
+	return nil, nil
+}
+
+// checkWireFields applies the per-field wire contracts — explicit json tags
+// on exported fields, no bare map emission — to every wire struct's AST.
+func checkWireFields(pass *analysis.Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok || !ts.Name.IsExported() {
+					continue
+				}
+				stAst, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				obj := pass.TypesInfo.Defs[ts.Name]
+				if obj == nil {
+					continue
+				}
+				st, ok := obj.Type().Underlying().(*types.Struct)
+				if !ok || !isWireStruct(st) {
+					continue
+				}
+				for _, field := range stAst.Fields.List {
+					tag := ""
+					if field.Tag != nil {
+						tag = strings.Trim(field.Tag.Value, "`")
+					}
+					ft := pass.TypesInfo.TypeOf(field.Type)
+					for _, name := range field.Names {
+						if !name.IsExported() {
+							continue
+						}
+						if tagValue(tag, "json") == "" {
+							pass.Reportf(name.Pos(), "wire struct %s field %s has no json tag: wire field names must be pinned explicitly, not inferred from Go names", ts.Name.Name, name.Name)
+						}
+						if ft != nil {
+							if _, isMap := ft.Underlying().(*types.Map); isMap {
+								pass.Reportf(name.Pos(), "wire struct %s field %s emits a bare map: Go map iteration order would leak into canonical bytes; emit a sorted slice instead", ts.Name.Name, name.Name)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}

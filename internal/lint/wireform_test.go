@@ -1,0 +1,122 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysis"
+)
+
+const wireV1 = `package wire
+
+const SchemaVersion = 1
+
+type Msg struct {
+	A int ` + "`json:\"a\"`" + `
+}
+`
+
+// wireV1Reshaped changes the wire shape (a new field) WITHOUT bumping
+// SchemaVersion — the unversioned change the pin exists to catch.
+const wireV1Reshaped = `package wire
+
+const SchemaVersion = 1
+
+type Msg struct {
+	A int    ` + "`json:\"a\"`" + `
+	B string ` + "`json:\"b\"`" + `
+}
+`
+
+// wireV2Reshaped is the same change done right: shape and version move in
+// the same commit.
+const wireV2Reshaped = `package wire
+
+const SchemaVersion = 2
+
+type Msg struct {
+	A int    ` + "`json:\"a\"`" + `
+	B string ` + "`json:\"b\"`" + `
+}
+`
+
+func loadWire(t *testing.T, src string) *lint.Package {
+	t.Helper()
+	root := writeModule(t, map[string]string{"wire/wire.go": src})
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Load([]string{"./wire"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("want 1 package, got %d", len(pkgs))
+	}
+	return pkgs[0]
+}
+
+func runWireFormOn(t *testing.T, pkg *lint.Package) []lint.Finding {
+	t.Helper()
+	findings, err := lint.Run([]*lint.Package{pkg}, []*analysis.Analyzer{lint.WireForm}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return findings
+}
+
+// TestGoldenWireFormVersionGate is the acceptance check for the wire pin:
+// with the v1 shape pinned, the pinned tree is clean, an unversioned shape
+// change fails with the bump demand, and a version-bumped change asks only
+// for a pin regeneration.
+func TestGoldenWireFormVersionGate(t *testing.T) {
+	v1 := loadWire(t, wireV1)
+	pin, ok := lint.ComputeWirePin(v1.Types)
+	if !ok || pin.Version != 1 || len(pin.Structs) != 1 {
+		t.Fatalf("v1 wire package must pin: %+v ok=%v", pin, ok)
+	}
+	lint.WireGolden[v1.Path] = pin
+	defer delete(lint.WireGolden, v1.Path)
+
+	if findings := runWireFormOn(t, v1); len(findings) != 0 {
+		t.Fatalf("pinned, unchanged wire package must be clean: %v", findings)
+	}
+
+	reshaped := runWireFormOn(t, loadWire(t, wireV1Reshaped))
+	if len(reshaped) != 1 || !strings.Contains(reshaped[0].Message, "changed without a SchemaVersion/protocolVersion bump") {
+		t.Fatalf("unversioned shape change must demand a version bump: %v", reshaped)
+	}
+
+	bumped := runWireFormOn(t, loadWire(t, wireV2Reshaped))
+	if len(bumped) != 1 || !strings.Contains(bumped[0].Message, "wire shape pin of tmpmod/wire is stale") {
+		t.Fatalf("version-bumped change must only ask for a pin regeneration: %v", bumped)
+	}
+}
+
+// TestWirePinIsShapeSensitive: the canonical shape text covers field
+// names, order, types, tags, and wire constants — permuting any of them
+// moves the hash.
+func TestWirePinIsShapeSensitive(t *testing.T) {
+	base, _ := lint.ComputeWirePin(loadWire(t, wireV1).Types)
+	variants := []string{
+		// Field renamed.
+		"package wire\n\nconst SchemaVersion = 1\n\ntype Msg struct {\n\tZ int `json:\"a\"`\n}\n",
+		// Tag renamed.
+		"package wire\n\nconst SchemaVersion = 1\n\ntype Msg struct {\n\tA int `json:\"alpha\"`\n}\n",
+		// Type changed.
+		"package wire\n\nconst SchemaVersion = 1\n\ntype Msg struct {\n\tA int64 `json:\"a\"`\n}\n",
+		// A wire constant changed.
+		"package wire\n\nconst SchemaVersion = 1\nconst recordMagic = 7\n\ntype Msg struct {\n\tA int `json:\"a\"`\n}\n",
+	}
+	for i, src := range variants {
+		pin, ok := lint.ComputeWirePin(loadWire(t, src).Types)
+		if !ok {
+			t.Fatalf("variant %d did not pin", i)
+		}
+		if pin.Hash == base.Hash {
+			t.Errorf("variant %d has the same hash as the base shape; the pin is under-sensitive", i)
+		}
+	}
+}

@@ -93,6 +93,11 @@ func (t *transport) TryMalfunctionScore(ctx context.Context, d *dataset.Dataset)
 		conn.SetDeadline(time.Time{})
 	}
 
+	// The lock is held across the framed I/O on purpose: the protocol is one
+	// request/response pair per connection at a time, so round trips must be
+	// serialized, and the AfterFunc above expires the connection deadline on
+	// cancellation, which unblocks the write/read from under the lock.
+	//lint:ignore lockorder round trips on the persistent conn must serialize, and the ctx AfterFunc deadline interrupts the blocked I/O
 	if err := writeFrame(conn, req); err != nil {
 		t.drop(conn)
 		return transientFailure(0, "send to "+t.addr, err)
